@@ -1,0 +1,106 @@
+"""Fig. 1: snapshot fields from standalone and coupled simulations.
+
+(a) precipitation + sea-surface kinetic energy from the coupled model,
+(b) total cloud fraction from the atmosphere-only run,
+(c) sea-surface speed from the ocean-only run.
+Laptop-scale grids; the report gives the field statistics the figure's
+color scales encode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atm import GristConfig, GristModel
+from repro.bench import banner, format_table
+from repro.esm import (
+    AP3ESM,
+    AP3ESMConfig,
+    atm_snapshot,
+    surface_kinetic_energy,
+    surface_speed,
+)
+from repro.ocn import LicomConfig, LicomModel
+
+
+@pytest.fixture(scope="module")
+def coupled_run():
+    model = AP3ESM(AP3ESMConfig(atm_level=3, ocn_nlon=64, ocn_nlat=48, ocn_levels=8))
+    model.init()
+    model.run_couplings(24)
+    return model
+
+
+@pytest.fixture(scope="module")
+def atm_only():
+    m = GristModel(GristConfig(level=3))
+    m.init()
+    m.run(24)
+    return m
+
+
+@pytest.fixture(scope="module")
+def ocn_only():
+    m = LicomModel(LicomConfig(nlon=96, nlat=64, n_levels=10))
+    m.init()
+    m.import_state({
+        "taux": np.where(m.metrics.mask_c, 0.08 * np.cos(3 * m.grid.lat), 0.0),
+        "heat_flux": np.where(m.metrics.mask_c, 40.0 * np.cos(m.grid.lat), 0.0),
+    })
+    m.run(50)
+    return m
+
+
+def _stats(name, field, mask=None):
+    vals = field[mask] if mask is not None else field[np.isfinite(field)]
+    return (name, float(np.nanmin(vals)), float(np.nanmean(vals)), float(np.nanmax(vals)))
+
+
+def test_fig1_report(coupled_run, atm_only, ocn_only, emit_report):
+    rows = []
+    snap = atm_snapshot(coupled_run.atm)
+    rows.append(_stats("(a) precip [mm/day]", snap["precip"] * 86400.0))
+    ke = surface_kinetic_energy(coupled_run.ocn)
+    rows.append(_stats("(a) sfc KE [m2/s2]", ke))
+    snap_b = atm_snapshot(atm_only)
+    rows.append(_stats("(b) cloud fraction", snap_b["cloud_fraction"]))
+    rows.append(_stats("(c) sfc speed [m/s]", surface_speed(ocn_only)))
+    emit_report(
+        "fig1_snapshots",
+        "\n".join([
+            banner("Fig. 1 — snapshot fields (laptop-scale reproduction)"),
+            format_table(["field", "min", "mean", "max"], rows),
+        ]),
+    )
+
+
+def test_precip_field_physical(coupled_run):
+    precip = atm_snapshot(coupled_run.atm)["precip"] * 86400.0
+    assert np.all(precip >= 0)
+    assert 0.0 < precip.mean() < 50.0  # global-mean precip ~ a few mm/day
+
+
+def test_cloud_fraction_bounded(atm_only):
+    cf = atm_snapshot(atm_only)["cloud_fraction"]
+    assert np.all((cf >= 0) & (cf <= 1))
+    assert 0.0 < cf.mean() < 1.0
+
+
+def test_surface_speed_wind_driven(ocn_only):
+    speed = surface_speed(ocn_only)
+    finite = speed[np.isfinite(speed)]
+    assert finite.max() > 0.005  # the gyres spun up
+    assert finite.max() < 5.0
+
+
+def test_kinetic_energy_log_range(coupled_run):
+    """Fig. 1 uses a logarithmic KE colorbar: the field must span at least
+    an order of magnitude (laptop grids resolve no mesoscale eddies, so we
+    require one decade between the 10th percentile and the maximum where
+    the paper's 1-km field spans ~6)."""
+    ke = surface_kinetic_energy(coupled_run.ocn)
+    finite = ke[np.isfinite(ke) & (ke > 0)]
+    assert finite.max() / max(np.percentile(finite, 10), 1e-30) > 10.0
+
+
+def test_benchmark_coupled_step(benchmark, coupled_run):
+    benchmark(coupled_run.step_coupling)

@@ -1,0 +1,81 @@
+"""Fig. 2: the state-of-the-art survey of high-resolution coupled models.
+
+Reproduces the figure's construction: SYPD vs total grid points for the
+surveyed models, with the dividing line "from a log-linear fit between the
+CNRM (2019) and the CESM (2024)" cases, and AP3ESM above it at the largest
+grid counts reported to date.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import SOTA_MODELS, banner, format_table
+
+
+def sota_line():
+    """The paper's dividing line: log-linear through the two endpoints."""
+    endpoints = [m for m in SOTA_MODELS if m.is_fit_endpoint]
+    assert len(endpoints) == 2
+    (a, b) = endpoints
+    x1, y1 = math.log10(a.total_grid_points), math.log10(a.sypd)
+    x2, y2 = math.log10(b.total_grid_points), math.log10(b.sypd)
+    slope = (y2 - y1) / (x2 - x1)
+
+    def line(points: float) -> float:
+        return 10 ** (y1 + slope * (math.log10(points) - x1))
+
+    return line, slope
+
+
+@pytest.fixture(scope="module")
+def line_and_slope():
+    return sota_line()
+
+
+def test_fig2_report(line_and_slope, emit_report):
+    line, slope = line_and_slope
+    rows = []
+    for m in sorted(SOTA_MODELS, key=lambda m: m.total_grid_points):
+        expected = line(m.total_grid_points)
+        rows.append((
+            m.name, f"{m.total_grid_points:.1e}", m.sypd, expected,
+            "ABOVE" if m.sypd > expected else "below",
+        ))
+    emit_report(
+        "fig2_sota",
+        "\n".join([
+            banner("Fig. 2 — high-resolution coupled-model survey"),
+            format_table(
+                ["model", "grid points", "SYPD", "SOTA line", "position"], rows
+            ),
+            f"\nlog-log slope of the SOTA line: {slope:.3f} "
+            "(throughput falls with grid size)",
+        ]),
+    )
+
+
+def test_line_slope_negative(line_and_slope):
+    _, slope = line_and_slope
+    assert slope < 0
+
+
+def test_ap3esm_above_the_line(line_and_slope):
+    """The figure's claim: both AP3ESM configurations beat the SOTA line."""
+    line, _ = line_and_slope
+    for m in SOTA_MODELS:
+        if "this work" in m.name:
+            assert m.sypd > line(m.total_grid_points), m.name
+
+
+def test_ap3esm_has_most_grid_points():
+    """'the highest total number of grid points reported to date'."""
+    best = max(SOTA_MODELS, key=lambda m: m.total_grid_points)
+    assert "AP3ESM 1v1" in best.name
+    assert best.total_grid_points == pytest.approx(7.2e10, rel=0.01)
+
+
+def test_benchmark_line_fit(benchmark):
+    line, _ = benchmark(sota_line)
+    assert line(1e9) > 0

@@ -1,0 +1,107 @@
+"""Fig. 6: typhoon structure at two coupled resolutions.
+
+The paper contrasts AP3ESM 3v2 vs 25v10 at +2 days: the high-resolution
+run "produces a more compact typhoon eye and resolves significantly finer
+details", and its "sea surface Ro field ... resolve[s] a wealth of
+fine-scale patterns", while the low-resolution run only shows the
+localized response.  Laptop equivalents: the same idealized vortex run
+through two coupled configurations (icosahedral level 4 + 96x64 ocean vs
+level 3 + 48x32), compared on eye radius, peak wind, and the fine-scale
+variance of the surface Rossby number.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import banner, format_table
+from repro.esm import AP3ESM, AP3ESMConfig, HollandVortex, TyphoonExperiment
+
+VORTEX = HollandVortex(
+    center_lon=math.radians(150.0), center_lat=math.radians(20.0),
+    v_max=40.0, r_max=5.0e5,
+)
+HOURS = 12
+
+
+def _run(atm_level, nlon, nlat):
+    model = AP3ESM(AP3ESMConfig(atm_level=atm_level, ocn_nlon=nlon, ocn_nlat=nlat,
+                                ocn_levels=8))
+    model.init()
+    exp = TyphoonExperiment(model, VORTEX)
+    exp.run(HOURS)
+    return exp
+
+
+@pytest.fixture(scope="module")
+def high_res():
+    return _run(4, 96, 64)
+
+
+@pytest.fixture(scope="module")
+def low_res():
+    return _run(3, 48, 32)
+
+
+def test_fig6_report(high_res, low_res, emit_report):
+    rows = []
+    for label, exp in (("3v2-like (hi)", high_res), ("25v10-like (lo)", low_res)):
+        em = exp.eye_metrics()
+        spacing = exp.model.atm.grid.mean_cell_spacing_km
+        rows.append((
+            label, f"{spacing:.0f} km", em["eye_radius_km"], em["max_wind"],
+            f"{em['wind_grad_rms']:.2e}", f"{em['rossby_p95']:.2e}",
+        ))
+    emit_report(
+        "fig6_typhoon_structure",
+        "\n".join([
+            banner(f"Fig. 6 — typhoon structure at +{HOURS} h, two resolutions"),
+            format_table(
+                ["config", "atm spacing", "eye radius [km]", "max wind [m/s]",
+                 "wind grad RMS", "Ro p95"],
+                rows,
+            ),
+            "\npaper: the high-resolution pair shows a more compact eye and "
+            "far richer fine-scale structure; here the eye radius, the wind "
+            "gradient sharpness, and intensity carry the comparison (the "
+            "ocean Ro response at +12 h on laptop grids is reported but "
+            "noise-dominated).",
+        ]),
+    )
+
+
+def test_high_res_has_more_compact_eye(high_res, low_res):
+    hi = high_res.eye_metrics()["eye_radius_km"]
+    lo = low_res.eye_metrics()["eye_radius_km"]
+    assert hi < lo
+
+
+def test_high_res_holds_stronger_winds(high_res, low_res):
+    hi = high_res.eye_metrics()["max_wind"]
+    lo = low_res.eye_metrics()["max_wind"]
+    assert hi > lo
+
+
+def test_high_res_sharper_wind_field(high_res, low_res):
+    """'resolves significantly finer details in the spatial pattern of the
+    wind field': the wind-gradient RMS near the storm must be larger."""
+    hi = high_res.eye_metrics()["wind_grad_rms"]
+    lo = low_res.eye_metrics()["wind_grad_rms"]
+    assert hi > lo
+
+
+def test_ocean_rossby_response_exists(high_res):
+    """The coupled ocean shows a Rossby-number response near the storm."""
+    assert high_res.eye_metrics()["rossby_p95"] > 0
+
+
+def test_both_capture_the_vortex(high_res, low_res):
+    for exp in (high_res, low_res):
+        track = exp.tracker.track()
+        assert track[0, 3] > 15.0  # winds well above the ~10 m/s background
+
+
+def test_benchmark_structure_snapshot(benchmark, high_res):
+    snap = benchmark(high_res.structure_snapshot)
+    assert "rossby" in snap

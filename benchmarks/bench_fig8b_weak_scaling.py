@@ -1,0 +1,90 @@
+"""Fig. 8b: weak scaling of the atmosphere and ocean components.
+
+The paper runs four resolutions each on node counts chosen to hold
+per-node work roughly fixed (ATM: 25/10/6/3 km on 683/2731/10922/43691
+nodes, 87.85 % efficiency; OCN: 10/5/3/2 km on 2107/8212/18225/50035
+nodes, 96.57 %).  The machine model — calibrated only on the *strong*
+scaling anchors — regenerates the ladders.
+"""
+
+import pytest
+
+from repro.bench import WEAK_SCALING, banner, format_table, weak_scaling_series
+
+
+@pytest.fixture(scope="module")
+def series():
+    return {c: weak_scaling_series(c) for c in ("atm", "ocn")}
+
+
+def test_fig8b_report(series, emit_report):
+    sections = [banner("Fig. 8b — weak scaling (machine-model prediction)")]
+    for comp, data in series.items():
+        rows = [
+            (f"{r:g} km", n, s, e)
+            for r, n, s, e in zip(
+                data["resolution_km"], data["nodes"], data["sypd"], data["efficiency"]
+            )
+        ]
+        rows.append((
+            "paper terminal", "-", None, data["published_terminal_efficiency"][0]
+        ))
+        sections.append(f"\n[{comp.upper()}]")
+        sections.append(format_table(["resolution", "nodes", "SYPD", "weak eff"], rows))
+    emit_report("fig8b_weak_scaling", "\n".join(sections))
+
+
+@pytest.mark.parametrize("component", ["atm", "ocn"])
+def test_weak_efficiency_stays_high(series, component):
+    """Both components weak-scale well; the model must agree within 25
+    points of the published terminal efficiency (which is itself >85 %)."""
+    data = series[component]
+    pub = WEAK_SCALING[component]["published_efficiency"]
+    assert data["efficiency"][-1] > pub - 0.25
+
+
+def test_ladder_holds_work_per_node(series):
+    """The published ladders keep points-per-node within ~2x across rungs
+    (that is what makes Fig. 8b a weak-scaling experiment)."""
+    from repro.esm import GRIST_CONFIGS
+
+    data = WEAK_SCALING["atm"]["ladder"]
+    per_node = []
+    for res, nodes in data:
+        cfg = GRIST_CONFIGS[res]
+        cells = cfg.cells if cfg.convention == "hexagon" else cfg.vertices
+        per_node.append(cells / nodes)
+    assert max(per_node) / min(per_node) < 2.5
+
+
+def test_benchmark_weak_series(benchmark):
+    data = benchmark(weak_scaling_series, "ocn")
+    assert len(data["sypd"]) == 4
+
+
+def test_jitter_sensitivity_report(emit_report):
+    """The paper attributes its Fig. 8b drop to 'synchronization overhead
+    at large node counts'.  The model's extreme-value jitter term (expected
+    max of P iid rank times) is swept: the ocean's published terminal
+    efficiency (96.57 %) is matched at cv ~ 0.1-0.2; the atmosphere's
+    (87.85 %) is NOT reachable through synchronization alone — its drop
+    must come from resolution-dependent communication growth the
+    fixed-work-per-node model does not represent.  Reported honestly."""
+    rows = []
+    for cv in (0.0, 0.1, 0.2, 0.3):
+        atm = weak_scaling_series("atm", imbalance_cv=cv)["efficiency"][-1]
+        ocn = weak_scaling_series("ocn", imbalance_cv=cv)["efficiency"][-1]
+        rows.append((cv, atm, ocn))
+    rows.append(("paper", 0.8785, 0.9657))
+    emit_report(
+        "fig8b_jitter_sensitivity",
+        "\n".join([
+            banner("Fig. 8b sensitivity — synchronization-jitter term"),
+            format_table(
+                ["imbalance cv", "ATM terminal eff", "OCN terminal eff"], rows
+            ),
+        ]),
+    )
+    # The ocean matches with a plausible jitter; the atmosphere does not.
+    ocn_cv02 = weak_scaling_series("ocn", imbalance_cv=0.2)["efficiency"][-1]
+    assert abs(ocn_cv02 - 0.9657) < 0.02

@@ -1,0 +1,143 @@
+"""§5.3: performance portability (Kokkos + SWGOMP).
+
+Measures the portability layer's contract: the same kernels produce
+bit-identical results on every execution space (Serial, HostThreads,
+CPECluster, GPUDevice); the hash-registry launch path (the Sunway TMP
+workaround) matches direct dispatch exactly; the hybrid host-device split
+equalizes modeled finish times; and the modeled per-space kernel costs
+reproduce the MPE-vs-CPE ordering that drives Table 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import banner, format_table
+from repro.pp import (
+    CPECluster,
+    GPUDevice,
+    HostThreads,
+    HybridDispatcher,
+    KernelRegistry,
+    MDRangePolicy,
+    Serial,
+    kernel_hash,
+    parallel_for,
+    parallel_reduce,
+    target,
+)
+
+SPACES = {
+    "Serial (MPE)": Serial(),
+    "HostThreads": HostThreads(8),
+    "CPECluster": CPECluster(64),
+    "GPUDevice": GPUDevice(4096),
+}
+
+N = 200_000
+
+
+def _stencil(out, x, idx):
+    left = x[np.maximum(idx - 1, 0)]
+    right = x[np.minimum(idx + 1, len(x) - 1)]
+    out[idx] = 0.25 * left + 0.5 * x[idx] + 0.25 * right
+
+
+@pytest.fixture(scope="module")
+def field():
+    return np.random.default_rng(0).standard_normal(N)
+
+
+def test_portability_report(field, emit_report):
+    results = {}
+    rows = []
+    flops = 4.0 * N
+    for name, space in SPACES.items():
+        out = np.zeros(N)
+        parallel_for(space, N, lambda idx: _stencil(out, field, idx))
+        results[name] = out
+        rows.append((name, space.lanes, f"{space.modeled_time(flops) * 1e6:.2f}"))
+    reference = results["Serial (MPE)"]
+    identical = all(np.array_equal(v, reference) for v in results.values())
+
+    hybrid = HybridDispatcher(Serial(), CPECluster(64)).rebalanced()
+    rows.append(("Hybrid MPE+CPE", "1+64",
+                 f"{hybrid.modeled_time(4.0, N) * 1e6:.2f}"))
+
+    emit_report(
+        "perf_portability",
+        "\n".join([
+            banner("§5.3 — performance portability across execution spaces"),
+            format_table(["execution space", "lanes", "modeled kernel time [us]"], rows),
+            f"\nbit-identical across all spaces: {identical}",
+            f"hybrid device fraction (balanced): {hybrid.device_fraction:.4f}",
+        ]),
+    )
+    assert identical
+
+
+def test_all_spaces_bit_identical(field):
+    outputs = []
+    for space in SPACES.values():
+        out = np.zeros(N)
+        parallel_for(space, N, lambda idx: _stencil(out, field, idx))
+        outputs.append(out)
+    for out in outputs[1:]:
+        assert np.array_equal(out, outputs[0])
+
+
+def test_reduction_deterministic_across_spaces(field):
+    vals = [
+        parallel_reduce(space, N, lambda idx: field[idx].sum())
+        for space in (Serial(), Serial())
+    ]
+    assert vals[0] == vals[1]
+
+
+def test_hash_registry_launch_matches_direct(field):
+    """The Sunway workaround: launch-by-hash == direct dispatch, bitwise."""
+    registry = KernelRegistry()
+
+    def saxpy(idx, y, a, x):
+        y[idx] += a * x[idx]
+
+    handle = registry.register(saxpy)
+    y_direct = np.zeros(N)
+    parallel_for(CPECluster(64), N, lambda idx: saxpy(idx, y_direct, 2.0, field))
+    y_hash = np.zeros(N)
+    registry.launch(CPECluster(64), handle, N, y_hash, 2.0, field)
+    assert np.array_equal(y_direct, y_hash)
+    assert kernel_hash(saxpy) == handle
+
+
+def test_swgomp_offload_matches_host(field):
+    @target(schedule="static")
+    def relax(u):
+        u *= 0.5
+
+    host = field.copy().reshape(-1, 1)
+    dev = field.copy().reshape(-1, 1)
+    relax(host)
+    relax.offload(CPECluster(64), dev)
+    assert np.array_equal(host, dev)
+
+
+def test_cpe_cluster_fastest_modeled():
+    """The modeled per-space ordering behind Table 2's MPE-vs-CPE gap."""
+    flops = 1e9
+    t = {name: space.modeled_time(flops) for name, space in SPACES.items()}
+    assert t["CPECluster"] < t["HostThreads"] < t["Serial (MPE)"]
+    ratio = t["Serial (MPE)"] / t["CPECluster"]
+    assert ratio > 100  # the raw compute gap the 84-184x end-to-end rests on
+
+
+def test_mdrange_tiling_covers(field):
+    policy = MDRangePolicy(extents=(100, 50), tile=(10, 25))
+    hits = np.zeros((100, 50))
+    parallel_for(Serial(), policy, lambda a, b: hits.__setitem__(np.ix_(a, b), 1.0))
+    assert hits.all()
+
+
+@pytest.mark.parametrize("name,space", list(SPACES.items()), ids=list(SPACES))
+def test_benchmark_kernel_per_space(benchmark, field, name, space):
+    out = np.zeros(N)
+    benchmark(parallel_for, space, N, lambda idx: _stencil(out, field, idx))

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and emits a
+paper-vs-measured report: printed to the terminal (run with ``-s`` to see
+it live) and written to ``benchmarks/reports/<name>.txt`` for
+EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.grids import IcosahedralGrid
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def icos4():
+    """Level-4 icosahedral grid: 2562 cells (~450 km spacing)."""
+    return IcosahedralGrid.build(4)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def emit_report(report_dir):
+    """Callable: emit_report(name, text) -> prints and persists."""
+
+    def _emit(name: str, text: str) -> None:
+        print(text)
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate the paper's scaling results (Table 2 / Figs. 8a-8b) with the
+calibrated machine models.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.bench import (
+    banner,
+    coupled_curve,
+    evaluate_all_curves,
+    format_curve_result,
+    format_table,
+    weak_scaling_series,
+)
+
+
+def main() -> None:
+    print(banner("Strong scaling (Fig. 8a / Table 2): paper vs machine model"))
+    for key, result in evaluate_all_curves().items():
+        print(format_curve_result(result))
+
+    for label in ("3v2", "1v1"):
+        print(format_curve_result(coupled_curve(label)))
+
+    print(banner("Weak scaling (Fig. 8b)"))
+    for comp in ("atm", "ocn"):
+        data = weak_scaling_series(comp)
+        rows = list(zip(
+            [f"{r:g} km" for r in data["resolution_km"]],
+            data["nodes"], data["sypd"], data["efficiency"],
+        ))
+        print(f"\n[{comp.upper()}]  "
+              f"(paper terminal efficiency "
+              f"{data['published_terminal_efficiency'][0] * 100:.1f}%)")
+        print(format_table(["resolution", "nodes", "SYPD", "weak eff"], rows))
+
+
+if __name__ == "__main__":
+    main()

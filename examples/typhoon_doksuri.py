@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The Figs. 6/7 experiment: an idealized Doksuri-like typhoon in the
+coupled model, at two resolutions.
+
+A Holland vortex in gradient-wind balance is injected over the synthetic
+western Pacific; the coupled model integrates 18 hours while the tracker
+follows the storm.  The high-resolution run doubles as the "best track".
+
+Run:  python examples/typhoon_doksuri.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.esm import (
+    AP3ESM,
+    AP3ESMConfig,
+    HollandVortex,
+    TyphoonExperiment,
+    cold_wake,
+    track_distance,
+)
+
+VORTEX = HollandVortex(
+    center_lon=math.radians(150.0),
+    center_lat=math.radians(20.0),
+    v_max=40.0,
+    r_max=5.0e5,
+)
+HOURS = 18
+
+
+def run(label: str, atm_level: int, nlon: int, nlat: int) -> TyphoonExperiment:
+    print(f"\n[{label}] initializing (atmosphere L{atm_level}, ocean {nlon}x{nlat})...")
+    model = AP3ESM(AP3ESMConfig(atm_level=atm_level, ocn_nlon=nlon, ocn_nlat=nlat,
+                                ocn_levels=8))
+    model.init()
+    exp = TyphoonExperiment(model, VORTEX)
+    print(f"[{label}] integrating +{HOURS} h with the tracker...")
+    exp.run(HOURS)
+    track = exp.tracker.track()
+    print(f"[{label}] track:")
+    for k in range(0, len(track), 6):
+        t, lon, lat, vmax = track[k]
+        print(f"    +{t / 3600:4.0f} h  ({math.degrees(lon):6.1f} E, "
+              f"{math.degrees(lat):5.1f} N)  Vmax {vmax:5.1f} m/s")
+    em = exp.eye_metrics()
+    print(f"[{label}] eye radius {em['eye_radius_km']:.0f} km, "
+          f"max wind {em['max_wind']:.1f} m/s, "
+          f"wind-gradient RMS {em['wind_grad_rms']:.2e} 1/s")
+    cw = cold_wake(exp.sst_before, exp.model.ocn.t[0], exp.model.ocn.mask3d[0])
+    print(f"[{label}] SST cold wake: max {cw['max_cooling']:.2f} C, "
+          f"mean {cw['mean_cooling']:.3f} C over "
+          f"{100 * cw['cooled_fraction']:.0f}% of the ocean")
+    return exp
+
+
+def main() -> None:
+    best = run("3v2-like (best track)", atm_level=4, nlon=96, nlat=64)
+    fcst = run("25v10-like", atm_level=3, nlon=48, nlat=32)
+    sep = track_distance(best.tracker.track(), fcst.tracker.track())
+    print(f"\nmean track separation (coarse vs best track): {sep:.0f} km")
+    print("paper (Fig. 6): the higher-resolution pair shows the more compact "
+          "eye and the sharper wind structure — compare the metrics above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,267 @@
+"""Neural-network layers with manual backprop, in pure numpy.
+
+The AI physics suite (§5.2.1) needs exactly two architectures — an
+11-layer 1-D CNN with 5 ResUnits (~5x10^5 parameters) applying "a
+one-dimensional convolution along the vertical column", and a 7-layer MLP
+with residual connections — so this module implements the minimal layer
+zoo for them: Dense, Conv1d (same-padded), ReLU/Tanh, LayerNorm, ResUnit,
+and Flatten.  Every layer exposes ``forward``/``backward``/``parameters``
+and every backward pass is verified against finite differences in the
+test suite.
+
+Shapes: Conv1d works on ``(batch, channels, levels)``; Dense on
+``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import seeded
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "Conv1d",
+    "ReLU",
+    "Tanh",
+    "LayerNorm",
+    "ResUnit",
+    "ResidualDense",
+    "Flatten",
+]
+
+
+@dataclass
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.value = np.asarray(self.value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Layer:
+    """Base layer: stateless API contract."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return grad w.r.t. the input."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    @property
+    def n_params(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(self, n_in: int, n_out: int, rng_key: str = "dense") -> None:
+        rng = seeded("ai", rng_key, n_in, n_out)
+        scale = np.sqrt(2.0 / n_in)
+        self.w = Parameter(rng.standard_normal((n_in, n_out)) * scale, name=f"{rng_key}.w")
+        self.b = Parameter(np.zeros(n_out), name=f"{rng_key}.b")
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.w.value + self.b.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "forward before backward"
+        self.w.grad += self._x.T @ grad_out
+        self.b.grad += grad_out.sum(axis=0)
+        return grad_out @ self.w.value.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.w, self.b]
+
+
+class Conv1d(Layer):
+    """Same-padded 1-D convolution over the vertical (level) axis.
+
+    Input ``(batch, c_in, L)`` -> output ``(batch, c_out, L)``; odd kernel
+    sizes only (symmetric padding).  Implemented with
+    ``sliding_window_view`` + einsum: no python loops over levels.
+    """
+
+    def __init__(self, c_in: int, c_out: int, kernel: int = 3, rng_key: str = "conv") -> None:
+        if kernel % 2 != 1:
+            raise ValueError("kernel size must be odd for same padding")
+        rng = seeded("ai", rng_key, c_in, c_out, kernel)
+        scale = np.sqrt(2.0 / (c_in * kernel))
+        self.w = Parameter(
+            rng.standard_normal((c_out, c_in, kernel)) * scale, name=f"{rng_key}.w"
+        )
+        self.b = Parameter(np.zeros(c_out), name=f"{rng_key}.b")
+        self.kernel = kernel
+        self._x: Optional[np.ndarray] = None
+
+    def _window(self, x: np.ndarray) -> np.ndarray:
+        pad = self.kernel // 2
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad)))
+        # (batch, c_in, L, kernel)
+        return np.lib.stride_tricks.sliding_window_view(xp, self.kernel, axis=2)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError("Conv1d expects (batch, channels, levels)")
+        self._x = x
+        win = self._window(x)
+        return np.einsum("bclk,ock->bol", win, self.w.value, optimize=True) + self.b.value[None, :, None]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "forward before backward"
+        win = self._window(self._x)
+        self.w.grad += np.einsum("bclk,bol->ock", win, grad_out, optimize=True)
+        self.b.grad += grad_out.sum(axis=(0, 2))
+        # Input gradient: correlate grad_out with the flipped kernel.
+        pad = self.kernel // 2
+        gp = np.pad(grad_out, ((0, 0), (0, 0), (pad, pad)))
+        gwin = np.lib.stride_tricks.sliding_window_view(gp, self.kernel, axis=2)
+        w_flip = self.w.value[:, :, ::-1]
+        return np.einsum("bolk,ock->bcl", gwin, w_flip, optimize=True)
+
+    def parameters(self) -> List[Parameter]:
+        return [self.w, self.b]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._y is not None
+        return grad_out * (1.0 - self._y**2)
+
+
+class LayerNorm(Layer):
+    """Normalization over the last axis with learned scale/shift."""
+
+    def __init__(self, n_features: int, eps: float = 1e-5, rng_key: str = "ln") -> None:
+        self.gamma = Parameter(np.ones(n_features), name=f"{rng_key}.gamma")
+        self.beta = Parameter(np.zeros(n_features), name=f"{rng_key}.beta")
+        self.eps = eps
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mu) * inv
+        self._cache = (xhat, inv, x)
+        return xhat * self.gamma.value + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        xhat, inv, x = self._cache
+        n = x.shape[-1]
+        # Reduce over all axes but the last for the parameter grads.
+        red_axes = tuple(range(grad_out.ndim - 1))
+        self.gamma.grad += (grad_out * xhat).sum(axis=red_axes)
+        self.beta.grad += grad_out.sum(axis=red_axes)
+        g = grad_out * self.gamma.value
+        gx = (
+            g - g.mean(axis=-1, keepdims=True)
+            - xhat * (g * xhat).mean(axis=-1, keepdims=True)
+        ) * inv
+        return gx
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class ResUnit(Layer):
+    """Residual unit: ``y = x + Conv(ReLU(Conv(x)))`` (two conv layers).
+
+    Five of these plus a stem conv give the paper's "five ResUnits within
+    an 11-layer deep CNN".
+    """
+
+    def __init__(self, channels: int, kernel: int = 3, rng_key: str = "res") -> None:
+        self.conv1 = Conv1d(channels, channels, kernel, rng_key=f"{rng_key}.c1")
+        self.act = ReLU()
+        self.conv2 = Conv1d(channels, channels, kernel, rng_key=f"{rng_key}.c2")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x + self.conv2.forward(self.act.forward(self.conv1.forward(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.conv1.backward(self.act.backward(self.conv2.backward(grad_out)))
+        return grad_out + g
+
+    def parameters(self) -> List[Parameter]:
+        return self.conv1.parameters() + self.conv2.parameters()
+
+
+class ResidualDense(Layer):
+    """Residual MLP block: ``y = x + Dense(ReLU(Dense(x)))`` — the building
+    block of the 7-layer radiation MLP."""
+
+    def __init__(self, features: int, rng_key: str = "rd") -> None:
+        self.fc1 = Dense(features, features, rng_key=f"{rng_key}.fc1")
+        self.act = ReLU()
+        self.fc2 = Dense(features, features, rng_key=f"{rng_key}.fc2")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x + self.fc2.forward(self.act.forward(self.fc1.forward(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.fc1.backward(self.act.backward(self.fc2.backward(grad_out)))
+        return grad_out + g
+
+    def parameters(self) -> List[Parameter]:
+        return self.fc1.parameters() + self.fc2.parameters()
+
+
+class Flatten(Layer):
+    """(batch, ...) -> (batch, prod(...))."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return grad_out.reshape(self._shape)

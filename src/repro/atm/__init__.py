@@ -1,0 +1,46 @@
+"""GRIST-like atmosphere component: TRSK shallow-water dycore, column
+physics (conventional + AI suites), and the CPL7 component contract."""
+
+from .ai_physics import (
+    AIPhysicsSuite,
+    generate_training_archive,
+    harvest_archive_from_model,
+    synthetic_columns,
+)
+from .columns import (
+    ColumnState,
+    pressure_levels,
+    reference_profiles,
+    saturation_specific_humidity,
+)
+from .dycore import (
+    ShallowWaterDycore,
+    SWEState,
+    isolated_mountain,
+    williamson_tc2,
+)
+from .model import GristConfig, GristModel
+from .semi_implicit import SemiImplicitDycore, helmholtz_solve
+from .physics import ConventionalPhysics, PhysicsParams, PhysicsTendencies
+
+__all__ = [
+    "SWEState",
+    "ShallowWaterDycore",
+    "williamson_tc2",
+    "isolated_mountain",
+    "ColumnState",
+    "pressure_levels",
+    "reference_profiles",
+    "saturation_specific_humidity",
+    "ConventionalPhysics",
+    "PhysicsParams",
+    "PhysicsTendencies",
+    "AIPhysicsSuite",
+    "generate_training_archive",
+    "harvest_archive_from_model",
+    "synthetic_columns",
+    "GristConfig",
+    "GristModel",
+    "SemiImplicitDycore",
+    "helmholtz_solve",
+]

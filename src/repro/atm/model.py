@@ -1,0 +1,337 @@
+"""GRIST-like atmosphere model: dycore + tracer transport + column physics
+behind the CPL7 component contract (init / run / finalize, import / export).
+
+Structure mirrors the paper's §5.1.1 and §6.1:
+
+* timestep hierarchy **dycore : tracer : model(physics) = 8 s : 30 s :
+  120 s** — kept as the exact substep ratio (15 dycore and 4 tracer
+  substeps per model step) with the absolute step scaled to the grid's CFL
+  limit;
+* a physics suite that is either the conventional parameterizations or the
+  **AI suite**, exchanged through the same physics-dynamics coupling
+  interface ("this suite gets the input variables from the dynamical core
+  and returns full physical variables back");
+* ``import_state`` / ``export_state`` carrying exactly the boundary fields
+  the coupler moves (SST and ice fraction in; wind stress, heat fluxes,
+  radiation, precipitation out);
+* the land surface model is driven *directly* (bypassing the coupler), as
+  in the paper: "GRIST and the land surface model directly exchange data".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+import numpy as np
+
+from ..grids import trsk
+from ..grids.icos import IcosahedralGrid
+from ..utils.timers import TimerRegistry
+from ..utils.units import GRAVITY, RHO_AIR
+from .columns import ColumnState, pressure_levels, reference_profiles
+from .dycore import SWEState, ShallowWaterDycore, williamson_tc2
+from .physics import ConventionalPhysics, PhysicsTendencies
+
+__all__ = ["GristConfig", "GristModel"]
+
+DYCORE_SUBSTEPS = 15  # 120 s / 8 s
+TRACER_SUBSTEPS = 4   # 120 s / 30 s
+
+
+class PhysicsSuite(Protocol):
+    def compute(self, state: ColumnState, dt_s: float) -> PhysicsTendencies: ...
+
+
+@dataclass
+class GristConfig:
+    """Configuration for one GRIST instance."""
+
+    level: int = 4
+    nlev: int = 30
+    cfl: float = 0.35
+    diffusion: float = 1.0e5
+    start_time: float = 0.0
+    heating_feedback: float = 0.02  # column heating -> thickness coupling
+    # Cap on the dycore substep: keeps the model (physics) step at most
+    # ~1 h on coarse test grids, where the gravity-wave CFL alone would
+    # allow physics steps too long for the explicit surface-drag terms.
+    max_dt_dycore: float = 240.0
+    # Time scheme: "rk4" (explicit) or "semi_implicit" (theta-method with
+    # the CG Helmholtz solve — the paper's method class, §2).  The
+    # semi-implicit path may take gravity-wave-free steps up to 5x the
+    # explicit CFL (still bounded by max_dt_dycore).
+    time_scheme: str = "rk4"
+
+
+class GristModel:
+    """The atmosphere component.
+
+    Lifecycle: ``init()`` -> ``run(n)``/``step()`` -> ``finalize()``;
+    boundary exchange through ``import_state`` / ``export_state``.
+    """
+
+    name = "atm"
+
+    def __init__(
+        self,
+        config: GristConfig | None = None,
+        physics: Optional[PhysicsSuite] = None,
+        timers: Optional[TimerRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else GristConfig()
+        self.physics: PhysicsSuite = physics if physics is not None else ConventionalPhysics()
+        self.timers = timers if timers is not None else TimerRegistry()
+        self._initialized = False
+        self._finalized = False
+
+    # -- CPL7 contract ---------------------------------------------------------
+
+    def init(self) -> None:
+        """Build grid, dycore, column state, and the model clock."""
+        cfg = self.config
+        if cfg.time_scheme not in ("rk4", "semi_implicit"):
+            raise ValueError("time_scheme must be 'rk4' or 'semi_implicit'")
+        self.grid = IcosahedralGrid.build(cfg.level)
+        self.swe = williamson_tc2(self.grid)
+        self.dycore = ShallowWaterDycore(self.grid, diffusion=cfg.diffusion)
+        explicit_dt = self.dycore.max_stable_dt(self.swe, cfl=cfg.cfl)
+        if cfg.time_scheme == "semi_implicit":
+            from .semi_implicit import SemiImplicitDycore
+
+            self._si = SemiImplicitDycore(self.grid, diffusion=cfg.diffusion)
+            # Gravity waves are implicit: allow up to 5x the explicit step.
+            self.dt_dycore = min(5.0 * explicit_dt, cfg.max_dt_dycore)
+        else:
+            self._si = None
+            self.dt_dycore = min(explicit_dt, cfg.max_dt_dycore)
+        self.dt_model = DYCORE_SUBSTEPS * self.dt_dycore
+        self.dt_tracer = self.dt_model / TRACER_SUBSTEPS
+
+        nc = self.grid.n_cells
+        self.p = pressure_levels(cfg.nlev)
+        t_ref, q_ref = reference_profiles(self.p)
+        h_anom = (self.swe.h - self.swe.h.mean()) / self.swe.h.mean()
+        self.t_col = t_ref[None, :] + 30.0 * h_anom[:, None]
+        self.q_col = np.tile(q_ref, (nc, 1)) * (1.0 + h_anom[:, None])
+        self.tracer = np.ones(nc)  # advected column moisture scaling
+        self.tskin = self.t_col[:, -1] + 1.0
+        self.ice_fraction = np.zeros(nc)
+
+        self.time = cfg.start_time
+        self.n_steps = 0
+        # Diagnostics exported to the coupler / written by benches.
+        self.diag: Dict[str, np.ndarray] = {}
+        self._initialized = True
+
+    def finalize(self) -> Dict[str, float]:
+        """Release heavy state; return summary statistics."""
+        if not self._initialized:
+            raise RuntimeError("finalize before init")
+        summary = {
+            "steps": float(self.n_steps),
+            "simulated_seconds": self.time - self.config.start_time,
+            "mass": self.dycore.total_mass(self.swe),
+        }
+        self._finalized = True
+        return summary
+
+    # -- boundary exchange -------------------------------------------------------
+
+    def import_state(self, fields: Dict[str, np.ndarray]) -> None:
+        """Receive boundary data (ocean/ice -> atmosphere)."""
+        self._check_alive()
+        if "sst" in fields:
+            sst = np.asarray(fields["sst"])
+            if sst.shape != self.tskin.shape:
+                raise ValueError("sst must be on atmosphere cells (remap first)")
+            # Ocean skin temperature relaxes to the imported SST.
+            self.tskin = sst.copy()
+        if "ice_fraction" in fields:
+            self.ice_fraction = np.clip(np.asarray(fields["ice_fraction"]), 0.0, 1.0)
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """Provide boundary data (atmosphere -> coupler)."""
+        self._check_alive()
+        u_cell, v_cell = self._cell_winds()
+        wind = np.sqrt(u_cell**2 + v_cell**2)
+        cd = 1.3e-3
+        taux = RHO_AIR * cd * wind * u_cell
+        tauy = RHO_AIR * cd * wind * v_cell
+        out = {
+            "taux": taux,
+            "tauy": tauy,
+            "t_bot": self.t_col[:, -1],
+            "q_bot": self.q_col[:, -1],
+            "u_bot": u_cell,
+            "v_bot": v_cell,
+        }
+        for key in ("gsw", "glw", "precip", "shflx", "lhflx", "cloud_fraction"):
+            if key in self.diag:
+                out[key] = self.diag[key]
+        return out
+
+    # -- stepping -----------------------------------------------------------------
+
+    def step(self) -> None:
+        """One model (physics) step = 15 dycore + 4 tracer substeps + physics."""
+        self._check_alive()
+        with self.timers.timed("atm_run"):
+            with self.timers.timed("atm_dycore"):
+                for _ in range(DYCORE_SUBSTEPS):
+                    if self._si is not None:
+                        self.swe = self._si.step(self.swe, self.dt_dycore)
+                    else:
+                        self.swe = self.dycore.step_rk4(self.swe, self.dt_dycore)
+            with self.timers.timed("atm_tracer"):
+                for _ in range(TRACER_SUBSTEPS):
+                    self._advect_tracer(self.dt_tracer)
+            with self.timers.timed("atm_physics"):
+                self._physics_step(self.dt_model)
+        self.time += self.dt_model
+        self.n_steps += 1
+
+    def run(self, n_steps: int) -> None:
+        for _ in range(n_steps):
+            self.step()
+
+    # -- restart I/O (subfile format, §5.2.5) -------------------------------------------
+
+    def save_restart(self, directory) -> None:
+        """Write the prognostic state as a subfile restart set."""
+        self._check_alive()
+        from ..io.restart import save_restart
+
+        save_restart(
+            directory,
+            fields={
+                "h": self.swe.h, "u": self.swe.u,
+                "t_col": self.t_col, "q_col": self.q_col,
+                "tracer": self.tracer, "tskin": self.tskin,
+                "ice_fraction": self.ice_fraction,
+            },
+            scalars={"time": self.time, "n_steps": float(self.n_steps)},
+        )
+
+    def load_restart(self, directory) -> None:
+        """Restore the prognostic state bit-exactly from a restart set."""
+        self._check_alive()
+        from ..io.restart import load_restart
+
+        fields, scalars = load_restart(directory)
+        self.swe.h = fields["h"]
+        self.swe.u = fields["u"]
+        self.t_col = fields["t_col"]
+        self.q_col = fields["q_col"]
+        self.tracer = fields["tracer"]
+        self.tskin = fields["tskin"]
+        self.ice_fraction = fields["ice_fraction"]
+        self.time = scalars["time"]
+        self.n_steps = int(scalars["n_steps"])
+
+    # -- internals ------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("model not initialized (call init())")
+        if self._finalized:
+            raise RuntimeError("model already finalized")
+
+    def _cell_winds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstruct (east, north) cell winds from edge normals:
+        V_c = (1/A_c) sum_e le u_e (x_e - x_c) projected on the local basis."""
+        g = self.grid
+        vec = np.zeros((g.n_cells, 3))
+        # Each edge contributes its flux moment to both cells.
+        np.add.at(vec, g.edge_cells[:, 0], (g.le * self.swe.u)[:, None] * (g.xyz_edge - g.xyz_cell[g.edge_cells[:, 0]]))
+        np.add.at(vec, g.edge_cells[:, 1], -(g.le * self.swe.u)[:, None] * (g.xyz_edge - g.xyz_cell[g.edge_cells[:, 1]]))
+        vec = vec * (g.radius / g.area_cell[:, None])
+        from ..grids.sphere import tangent_basis
+
+        east, north = tangent_basis(g.xyz_cell)
+        return np.sum(vec * east, axis=-1), np.sum(vec * north, axis=-1)
+
+    def _advect_tracer(self, dt: float) -> None:
+        """First-order upwind, flux-form, mass-conserving tracer step."""
+        g = self.grid
+        h_e = trsk.cell_to_edge(g, self.swe.h)
+        upwind = np.where(
+            self.swe.u > 0,
+            self.tracer[g.edge_cells[:, 0]],
+            self.tracer[g.edge_cells[:, 1]],
+        )
+        flux = g.le * self.swe.u * h_e * upwind
+        dmass = np.zeros(g.n_cells)
+        np.add.at(dmass, g.edge_cells[:, 0], -flux)
+        np.add.at(dmass, g.edge_cells[:, 1], flux)
+        mass = self.tracer * self.swe.h * g.area_cell
+        mass = mass + dt * dmass
+        # h has moved too within the dycore substep bundle; normalize by the
+        # *current* h to keep the tracer a mixing ratio.
+        self.tracer = mass / (self.swe.h * g.area_cell)
+
+    def _coszr(self) -> np.ndarray:
+        """Cosine of solar zenith angle from lon/lat and model time."""
+        g = self.grid
+        day_phase = 2.0 * math.pi * (self.time % 86400.0) / 86400.0
+        year_phase = 2.0 * math.pi * (self.time % (365.0 * 86400.0)) / (365.0 * 86400.0)
+        declination = 0.41 * math.sin(year_phase)
+        hour_angle = g.lon_cell + day_phase
+        return np.clip(
+            np.sin(g.lat_cell) * math.sin(declination)
+            + np.cos(g.lat_cell) * math.cos(declination) * np.cos(hour_angle),
+            0.0,
+            1.0,
+        )
+
+    def current_columns(self) -> ColumnState:
+        """The physics-suite input columns for the current model state —
+        exactly what the physics-dynamics coupling interface hands to the
+        suite (and what AI-training archives harvest)."""
+        u_cell, v_cell = self._cell_winds()
+        shape = (1.0 - (self.p / self.p[-1]) ** 2)[None, :]
+        return ColumnState(
+            u=u_cell[:, None] * (1.0 + shape),
+            v=v_cell[:, None] * (1.0 + shape),
+            t=self.t_col.copy(),
+            q=np.clip(self.q_col * self.tracer[:, None], 0.0, 0.04),
+            p=self.p,
+            tskin=self.tskin.copy(),
+            coszr=self._coszr(),
+        )
+
+    def _physics_step(self, dt: float) -> None:
+        g = self.grid
+        cols = self.current_columns()
+        tend = self.physics.compute(cols, dt)
+
+        self.t_col = self.t_col + dt * tend.dt
+        self.q_col = np.clip(self.q_col + dt * tend.dq, 0.0, 0.04)
+
+        # Physics-dynamics coupling: column heating expands/contracts the
+        # fluid thickness (hypsometric feedback), and surface momentum
+        # tendencies project onto the edges.
+        heating = tend.dt.mean(axis=1)
+        self.swe.h = self.swe.h * (
+            1.0 + self.config.heating_feedback * dt * heating / np.maximum(self.t_col.mean(axis=1), 100.0)
+        )
+        du_cell = tend.du[:, -1]
+        dv_cell = tend.dv[:, -1]
+        from ..grids.sphere import tangent_basis
+
+        east, north = tangent_basis(g.xyz_cell)
+        vec = du_cell[:, None] * east + dv_cell[:, None] * north
+        vec_e = 0.5 * (vec[g.edge_cells[:, 0]] + vec[g.edge_cells[:, 1]])
+        self.swe.u = self.swe.u + dt * np.sum(vec_e * g.normal, axis=-1)
+
+        # Land skin temperature responds to radiation where no SST is
+        # imported (simple prognostic; the land model refines this).
+        self.diag = {
+            "gsw": tend.gsw,
+            "glw": tend.glw,
+            "precip": tend.precip,
+            "shflx": tend.shflx,
+            "lhflx": tend.lhflx,
+            "cloud_fraction": tend.cloud_fraction,
+        }

@@ -1,0 +1,254 @@
+"""The conventional physics parameterization suite.
+
+Four schemes, each a vectorized column parameterization of the kind the AI
+suite replaces (§5.2.1): gray-atmosphere radiation (producing the surface
+fluxes ``gsw``/``glw`` and a heating profile), a bulk surface layer,
+dry/moist convective adjustment, and large-scale condensation.  The suite
+returns (dU, dV, dT, dQ) tendencies plus the diagnostics (precipitation,
+cloud fraction, surface fluxes) the coupler and the land model consume.
+
+The suite is deliberately branch- and iteration-heavy relative to the AI
+suite's dense tensor kernels — that cost asymmetry is the basis of the
+paper's "computational gains by unifying most operations into highly
+efficient tensor kernels" claim, measured in ``benchmarks/bench_ai_physics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..utils.units import CP_AIR, GRAVITY, LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
+from .columns import ColumnState, saturation_specific_humidity
+
+__all__ = ["PhysicsTendencies", "PhysicsParams", "ConventionalPhysics"]
+
+SOLAR_CONSTANT = 1361.0  # W/m^2
+
+
+@dataclass
+class PhysicsTendencies:
+    """Output of one physics step: tendencies (per second) + diagnostics."""
+
+    du: np.ndarray           # (ncol, nlev) m/s^2
+    dv: np.ndarray
+    dt: np.ndarray           # K/s
+    dq: np.ndarray           # kg/kg/s
+    gsw: np.ndarray          # (ncol,) surface downward shortwave W/m^2
+    glw: np.ndarray          # (ncol,) surface downward longwave W/m^2
+    precip: np.ndarray       # (ncol,) kg/m^2/s
+    cloud_fraction: np.ndarray  # (ncol,) diagnosed total cloud fraction
+    shflx: np.ndarray        # (ncol,) surface sensible heat flux W/m^2
+    lhflx: np.ndarray        # (ncol,) surface latent heat flux W/m^2
+
+
+@dataclass(frozen=True)
+class PhysicsParams:
+    """Tunable coefficients of the conventional suite."""
+
+    albedo: float = 0.3
+    sw_absorptivity: float = 0.12      # column shortwave absorption share
+    lw_emissivity_clear: float = 0.70
+    lw_emissivity_cloud: float = 0.95
+    lw_cooling_rate: float = 1.6e-5    # K/s radiative cooling scale
+    drag_coefficient: float = 1.3e-3
+    exchange_wind_min: float = 1.0     # m/s gustiness floor
+    critical_lapse: float = 7.0e-3     # K/m convective threshold
+    adjust_sweeps: int = 6
+    condensation_timescale: float = 1800.0  # s
+    cloud_rh_threshold: float = 0.8
+    # K-profile boundary-layer diffusion: strong near the surface (where
+    # the surface fluxes stir), decaying to a free-troposphere floor.
+    pbl_kappa_surface: float = 10.0    # m^2/s
+    pbl_kappa_free: float = 0.1        # m^2/s
+    pbl_depth_fraction: float = 0.25   # share of levels in the PBL
+
+
+class ConventionalPhysics:
+    """The conventional suite; call :meth:`compute` on a column batch."""
+
+    def __init__(self, params: PhysicsParams | None = None) -> None:
+        self.params = params if params is not None else PhysicsParams()
+
+    # -- individual schemes -------------------------------------------------
+
+    def radiation(
+        self, state: ColumnState, cloud_fraction: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gray radiation: (gsw, glw, dT_rad)."""
+        prm = self.params
+        p = state.p
+        # Column water vapor path weights the gray-body emissivity.
+        colq = np.trapezoid(state.q, p, axis=1) / GRAVITY
+        wv_factor = np.clip(colq / 30.0, 0.0, 1.0)
+
+        coszr = np.clip(state.coszr, 0.0, 1.0)
+        transmission = 1.0 - prm.sw_absorptivity - 0.25 * cloud_fraction
+        gsw = SOLAR_CONSTANT * coszr * (1.0 - prm.albedo) * np.clip(transmission, 0.0, 1.0)
+
+        eps = (
+            prm.lw_emissivity_clear
+            + (prm.lw_emissivity_cloud - prm.lw_emissivity_clear) * cloud_fraction
+        )
+        eps = eps * (0.8 + 0.2 * wv_factor)
+        t_low = state.t[:, -1]
+        glw = eps * STEFAN_BOLTZMANN * t_low**4
+
+        # Heating profile: SW absorption aloft, LW cooling weighted to
+        # the emission levels (mid troposphere).
+        sw_heat = (
+            SOLAR_CONSTANT
+            * coszr[:, None]
+            * prm.sw_absorptivity
+            * (p / p[-1])[None, :] ** 0.5
+        )
+        sw_heat = sw_heat / (CP_AIR * 8000.0)  # W/m2 over an ~800 hPa airmass
+        lw_cool = prm.lw_cooling_rate * (state.t / 288.0) ** 4
+        dt_rad = sw_heat - lw_cool
+        return gsw, glw, dt_rad
+
+    def surface_layer(
+        self, state: ColumnState
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk fluxes: (dU, dV, dT, dQ tendencies at the lowest level plus
+        sensible/latent fluxes)."""
+        prm = self.params
+        wind = np.sqrt(state.u[:, -1] ** 2 + state.v[:, -1] ** 2)
+        wind = np.maximum(wind, prm.exchange_wind_min)
+        rho_cd_w = 1.2 * prm.drag_coefficient * wind
+
+        shflx = rho_cd_w * CP_AIR * (state.tskin - state.t[:, -1])
+        qsat_skin = saturation_specific_humidity(state.tskin, np.full_like(state.tskin, state.p[-1]))
+        lhflx = rho_cd_w * LATENT_HEAT_VAPORIZATION * np.maximum(
+            qsat_skin - state.q[:, -1], 0.0
+        ) * 0.7  # ocean-ish evaporation efficiency
+
+        # Spread the flux over the lowest model layer (~500 m of air).
+        layer_mass = 1.2 * 500.0
+        du = np.zeros_like(state.u)
+        dv = np.zeros_like(state.v)
+        dt = np.zeros_like(state.t)
+        dq = np.zeros_like(state.q)
+        du[:, -1] = -rho_cd_w * state.u[:, -1] / layer_mass
+        dv[:, -1] = -rho_cd_w * state.v[:, -1] / layer_mass
+        dt[:, -1] = shflx / (CP_AIR * layer_mass)
+        dq[:, -1] = lhflx / (LATENT_HEAT_VAPORIZATION * layer_mass)
+        return du, dv, dt, dq, shflx, lhflx
+
+    def convective_adjustment(self, state: ColumnState, dt_s: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Relax super-critical lapse rates pairwise, conserving enthalpy.
+
+        Returns (dT, dQ, convective precip rate).  The level loop is short
+        (nlev) and fully vectorized over columns.
+        """
+        prm = self.params
+        t = state.t.copy()
+        q = state.q.copy()
+        p = state.p
+        z = 7500.0 * np.log(p[-1] / np.maximum(p, 1.0))  # heights, sfc-relative
+        dz = z[:-1] - z[1:]  # positive: level k is above k+1
+
+        for _ in range(prm.adjust_sweeps):
+            # Lapse between adjacent levels (K/m), top index k above k+1.
+            lapse = (t[:, 1:] - t[:, :-1]) / dz[None, :]
+            unstable = lapse > prm.critical_lapse
+            if not np.any(unstable):
+                break
+            excess = (lapse - prm.critical_lapse) * dz[None, :]
+            adj = 0.25 * np.where(unstable, excess, 0.0)
+            # Move heat upward: cool lower level, warm upper level.
+            t_new = t.copy()
+            t_new[:, 1:] -= adj
+            t_new[:, :-1] += adj
+            t = t_new
+
+        dT = (t - state.t) / dt_s
+        # Moisture: where convection fired, detrain toward 80 % RH.
+        fired = np.abs(dT).sum(axis=1) > 0
+        qsat = saturation_specific_humidity(t, p[None, :])
+        q_target = np.minimum(q, 0.8 * qsat)
+        dQ = np.where(fired[:, None], (q_target - q) / max(dt_s, 1.0), 0.0)
+        # Removed moisture rains out (column integral, positive down).
+        precip = -np.trapezoid(dQ, p, axis=1) / GRAVITY
+        precip = np.maximum(precip, 0.0)
+        return dT, dQ, precip
+
+    def large_scale_condensation(self, state: ColumnState, dt_s: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Condense supersaturation: (dT, dQ, precip, cloud fraction)."""
+        prm = self.params
+        qsat = saturation_specific_humidity(state.t, state.p[None, :])
+        excess = np.maximum(state.q - qsat, 0.0)
+        rate = excess / prm.condensation_timescale
+        dQ = -rate
+        dT = (LATENT_HEAT_VAPORIZATION / CP_AIR) * rate
+        precip = np.maximum(-np.trapezoid(dQ, state.p, axis=1) / GRAVITY, 0.0)
+        rh = state.q / np.maximum(qsat, 1e-10)
+        cloudy = np.clip(
+            (rh - prm.cloud_rh_threshold) / (1.0 - prm.cloud_rh_threshold), 0.0, 1.0
+        )
+        # Total cloud fraction: random-overlap of layer clouds.
+        cloud_fraction = 1.0 - np.prod(1.0 - 0.5 * cloudy, axis=1)
+        return dT, dQ, precip, cloud_fraction
+
+    def boundary_layer_diffusion(
+        self, state: ColumnState, dt_s: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """K-profile vertical mixing of (U, V, T, Q): implicit solve with a
+        surface-intensified diffusivity (reuses the same tridiagonal
+        machinery as the ocean's Canuto scheme — one substrate, two
+        components)."""
+        from ..ocn.mixing import implicit_vertical_diffusion
+
+        prm = self.params
+        p = state.p
+        nlev = state.nlev
+        # Level "thicknesses" from the pressure spacing (hydrostatic).
+        rho_air = p / (287.0 * 260.0)
+        edges = np.concatenate([[p[0] - (p[1] - p[0]) / 2],
+                                (p[:-1] + p[1:]) / 2,
+                                [p[-1] + (p[-1] - p[-2]) / 2]])
+        dz = np.abs(np.diff(edges)) / (rho_air * 9.81)
+        dz = np.maximum(dz, 10.0)
+
+        # K profile: surface value over the lowest pbl_depth_fraction of
+        # the column, decaying upward (index 0 = top).
+        k_iface = np.full(nlev - 1, prm.pbl_kappa_free)
+        n_pbl = max(1, int(round(nlev * prm.pbl_depth_fraction)))
+        ramp = np.linspace(0.0, 1.0, n_pbl)
+        k_iface[-n_pbl:] = prm.pbl_kappa_free + (
+            prm.pbl_kappa_surface - prm.pbl_kappa_free
+        ) * ramp
+        kappa = np.tile(k_iface[:, None], (1, state.ncol))
+
+        out = []
+        for field_ in (state.u, state.v, state.t, state.q):
+            mixed = implicit_vertical_diffusion(field_.T.copy(), kappa, dz, dt_s)
+            out.append((mixed.T - field_) / dt_s)
+        return tuple(out)  # type: ignore[return-value]
+
+    # -- the full suite -------------------------------------------------------
+
+    def compute(self, state: ColumnState, dt_s: float) -> PhysicsTendencies:
+        """Run all schemes and combine tendencies (process splitting)."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        dT_ls, dQ_ls, precip_ls, cloud = self.large_scale_condensation(state, dt_s)
+        gsw, glw, dT_rad = self.radiation(state, cloud)
+        dU_s, dV_s, dT_s_, dQ_s, shflx, lhflx = self.surface_layer(state)
+        dT_cv, dQ_cv, precip_cv = self.convective_adjustment(state, dt_s)
+        dU_bl, dV_bl, dT_bl, dQ_bl = self.boundary_layer_diffusion(state, dt_s)
+
+        return PhysicsTendencies(
+            du=dU_s + dU_bl,
+            dv=dV_s + dV_bl,
+            dt=dT_rad + dT_s_ + dT_cv + dT_ls + dT_bl,
+            dq=dQ_s + dQ_cv + dQ_ls + dQ_bl,
+            gsw=gsw,
+            glw=glw,
+            precip=precip_cv + precip_ls,
+            cloud_fraction=cloud,
+            shflx=shflx,
+            lhflx=lhflx,
+        )

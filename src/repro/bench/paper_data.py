@@ -1,0 +1,253 @@
+"""Published reference numbers from the paper's evaluation section.
+
+Table 2's OCR in the provided text is garbled (row labels shifted), so the
+curves below are **reconstructed from the prose of §7.2/§7.3**, which is
+internally consistent, cross-checked against the table's parallel-
+efficiency columns (e.g. the OCN-MPE row's 100/118/107 % matches the
+0.0014/0.0033/0.0060 SYPD series exactly).  Every reconstruction is
+annotated.  Points marked ``anchor=True`` are used to calibrate the
+machine model; all other points are *predictions* reported in
+EXPERIMENTS.md.
+
+Also here: the Fig. 2 state-of-the-art survey data (prior coupled models'
+SYPD vs total grid points) and the published component/coupled headline
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingCurve",
+    "STRONG_SCALING_CURVES",
+    "WEAK_SCALING",
+    "SOTA_MODELS",
+    "HEADLINES",
+    "CORES_PER_SUNWAY_PROCESS",
+]
+
+#: Sunway: one MPI process per 65-core core group in CPE mode; 1 core per
+#: process in MPE-only mode.  ORISE: one process per GPU.
+CORES_PER_SUNWAY_PROCESS = 65
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One published point of a strong-scaling curve."""
+
+    resources: float      # cores (Sunway) or GPUs (ORISE), as published
+    sypd: float
+    anchor: bool = False  # used for model calibration
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """One curve of Fig. 8a / Table 2."""
+
+    key: str
+    label: str
+    machine: str              # "sunway" | "orise"
+    mode: str                 # "accelerated" | "host"
+    component: str            # "atm" | "ocn" | "coupled"
+    resolution_label: str
+    points: Tuple[ScalingPoint, ...]
+    resource_unit: str = "cores"
+
+    def anchors(self) -> List[ScalingPoint]:
+        return [p for p in self.points if p.anchor]
+
+    def published_efficiency(self) -> float:
+        """Parallel efficiency at the largest published scale."""
+        first, last = self.points[0], self.points[-1]
+        return (last.sypd / first.sypd) / (last.resources / first.resources)
+
+
+STRONG_SCALING_CURVES: Dict[str, ScalingCurve] = {
+    "atm_3km_mpe": ScalingCurve(
+        key="atm_3km_mpe",
+        label="3 km ATM MPE",
+        machine="sunway",
+        mode="host",
+        component="atm",
+        resolution_label="3 km",
+        points=(
+            ScalingPoint(32768, 0.0032, anchor=True, note="prose: 5462 nodes"),
+            ScalingPoint(262144, 0.0063, anchor=True, note="prose: 43691 nodes; eff 24.6%"),
+        ),
+    ),
+    "atm_3km_cpe": ScalingCurve(
+        key="atm_3km_cpe",
+        label="3 km ATM CPE+OPT",
+        machine="sunway",
+        mode="accelerated",
+        component="atm",
+        resolution_label="3 km",
+        points=(
+            ScalingPoint(2129920, 0.36, anchor=True),
+            ScalingPoint(4259840, 0.70, note="table eff 97.2%"),
+            ScalingPoint(8519680, 0.92, note="table eff 63.9%"),
+            ScalingPoint(17039360, 1.16, anchor=True, note="prose eff 40.3%"),
+        ),
+    ),
+    "atm_1km_cpe": ScalingCurve(
+        key="atm_1km_cpe",
+        label="1 km ATM CPE+OPT",
+        machine="sunway",
+        mode="accelerated",
+        component="atm",
+        resolution_label="1 km",
+        points=(
+            ScalingPoint(4259840, 0.20, anchor=True),
+            ScalingPoint(34078270, 0.85, anchor=True, note="headline; eff 51.5%"),
+        ),
+    ),
+    "ocn_2km_mpe": ScalingCurve(
+        key="ocn_2km_mpe",
+        label="2 km OCN MPE",
+        machine="sunway",
+        mode="host",
+        component="ocn",
+        resolution_label="2 km",
+        points=(
+            ScalingPoint(19608, 0.0014, anchor=True),
+            ScalingPoint(38550, 0.0033, note="table eff 118% (super-linear)"),
+            ScalingPoint(76026, 0.0060, note="table eff 107%"),
+            ScalingPoint(300366, 0.019, anchor=True,
+                         note="prose: 'over 300000 cores', eff 88.6% backs out ~3.0e5"),
+        ),
+    ),
+    "ocn_2km_cpe": ScalingCurve(
+        key="ocn_2km_cpe",
+        label="2 km OCN CPE+OPT",
+        machine="sunway",
+        mode="accelerated",
+        component="ocn",
+        resolution_label="2 km",
+        points=(
+            ScalingPoint(1273415, 0.21, anchor=True),
+            ScalingPoint(2505880, 0.42),
+            ScalingPoint(4941755, 0.72),
+            ScalingPoint(19513780, 1.59, anchor=True, note="prose eff 49.4%"),
+        ),
+    ),
+    "ocn_1km_orise_original": ScalingCurve(
+        key="ocn_1km_orise_original",
+        label="1 km OCN Original (GB'24 record)",
+        machine="orise",
+        mode="accelerated",
+        component="ocn",
+        resolution_label="1 km",
+        resource_unit="GPUs",
+        points=(
+            ScalingPoint(4000, 0.77, anchor=True),
+            ScalingPoint(8000, 1.25),
+            ScalingPoint(12000, 1.49),
+            ScalingPoint(16085, 1.70, anchor=True, note="the SC'24 record"),
+        ),
+    ),
+    "ocn_1km_orise_opt": ScalingCurve(
+        key="ocn_1km_orise_opt",
+        label="1 km OCN OPT",
+        machine="orise",
+        mode="accelerated",
+        component="ocn",
+        resolution_label="1 km",
+        resource_unit="GPUs",
+        points=(
+            ScalingPoint(4060, 0.92, anchor=True),
+            ScalingPoint(8060, 1.45),
+            ScalingPoint(11927, 1.76),
+            ScalingPoint(16085, 1.98, anchor=True, note="headline; eff 54.3%; 1.2x record"),
+        ),
+    ),
+    "coupled_3v2": ScalingCurve(
+        key="coupled_3v2",
+        label="AP3ESM 3v2",
+        machine="sunway",
+        mode="accelerated",
+        component="coupled",
+        resolution_label="3v2",
+        points=(
+            ScalingPoint(3403335, 0.18, anchor=True),
+            ScalingPoint(4259840, 0.20),
+            ScalingPoint(8519680, 0.40),
+            ScalingPoint(17039360, 0.71),
+            ScalingPoint(36553140, 1.01, anchor=True, note="prose eff 52.2%"),
+        ),
+    ),
+    "coupled_1v1": ScalingCurve(
+        key="coupled_1v1",
+        label="AP3ESM 1v1",
+        machine="sunway",
+        mode="accelerated",
+        component="coupled",
+        resolution_label="1v1",
+        points=(
+            ScalingPoint(8745360, 0.14, anchor=True),
+            ScalingPoint(17359160, 0.23, note="table eff 82.8%"),
+            ScalingPoint(37172980, 0.54, anchor=True, note="headline; eff 90.7%"),
+        ),
+    ),
+}
+
+#: Fig. 8b weak scaling: (resolution_km, nodes) ladders and published
+#: terminal efficiencies.
+WEAK_SCALING = {
+    "atm": {
+        "ladder": [(25.0, 683), (10.0, 2731), (6.0, 10922), (3.0, 43691)],
+        "terminal_cores": 17039360,
+        "published_efficiency": 0.8785,
+    },
+    "ocn": {
+        "ladder": [(10.0, 2107), (5.0, 8212), (3.0, 18225), (2.0, 50035)],
+        "terminal_cores": 19513780,
+        "published_efficiency": 0.9657,
+    },
+}
+
+
+@dataclass(frozen=True)
+class SOTAModel:
+    """One prior coupled model from the Fig. 2 survey."""
+
+    name: str
+    year: int
+    total_grid_points: float
+    sypd: float
+    is_fit_endpoint: bool = False  # CNRM 2019 and CESM 2024 define the line
+
+
+#: Fig. 2 survey, assembled from §4's narrative (grid counts estimated
+#: from the quoted resolutions where the figure's exact values are not in
+#: the text).
+SOTA_MODELS: List[SOTAModel] = [
+    SOTAModel("CNRM-CM6 (2019)", 2019, 2.0e8, 2.0, is_fit_endpoint=True),
+    SOTAModel("HadGEM3-GC3.1-HH (2018)", 2018, 3.3e8, 0.49),
+    SOTAModel("E3SM v1 HR (2019)", 2019, 4.5e8, 0.8),
+    SOTAModel("EC-Earth3P-VHR (2024)", 2024, 8.0e8, 2.8),
+    SOTAModel("ICON nextGEMS 9v5 (2025)", 2025, 3.5e9, 600.0 / 365.0),
+    SOTAModel("ICON MSA 5 km (2023)", 2023, 6.0e9, 0.47),
+    SOTAModel("CESM Sunway 5v3 (2024)", 2024, 8.0e9, 0.61, is_fit_endpoint=True),
+    SOTAModel("AP3ESM 3v2 (this work)", 2025, 1.5e10, 1.01),
+    SOTAModel("AP3ESM 1v1 (this work)", 2025, 7.2e10, 0.54),
+]
+
+#: Headline numbers (abstract / §1).
+HEADLINES = {
+    "atm_1km_sypd": 0.85,
+    "atm_1km_cores": 34.1e6,
+    "ocn_1km_sypd": 1.98,
+    "ocn_1km_gpus": 16085,
+    "coupled_1v1_sypd": 0.54,
+    "coupled_1v1_cores": 37.2e6,
+    "coupled_3v2_sypd": 1.01,
+    "coupled_1v1_efficiency": 0.907,
+    "mpe_to_cpe_speedup_atm": (112.0, 184.0),
+    "mpe_to_cpe_speedup_ocn": (84.0, 150.0),
+    "speedup_vs_gb24_record": 1.2,
+    "nonocean_removal_saving": 0.30,
+}

@@ -1,0 +1,65 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Every benchmark prints the same kind of table the paper's evaluation
+section shows: resources, published SYPD (where the paper gives one),
+modeled/measured SYPD, and the point's role (anchor vs prediction).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_curve_result", "banner"]
+
+
+def banner(title: str, width: int = 78) -> str:
+    bar = "=" * width
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+
+    def cell(x: object) -> str:
+        if x is None:
+            return "-"
+        if isinstance(x, float):
+            return floatfmt.format(x)
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, val in enumerate(row):
+            widths[i] = max(widths[i], len(val))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve_result(result) -> str:
+    """Render a :class:`repro.bench.scaling.CurveResult`."""
+    headers = [result.curve.resource_unit, "paper SYPD", "model SYPD", "role"]
+    rows: List[Tuple[object, ...]] = []
+    for r, pub, mod, tag in result.rows():
+        rows.append((f"{r:,.0f}", pub, mod, tag))
+    lines = [
+        banner(f"{result.curve.label}  [{result.curve.machine}, {result.curve.mode}]"),
+        format_table(headers, rows),
+        (
+            f"calibration: compute_scale={result.compute_scale:.3f}, "
+            f"serial={result.serial_seconds:.2f}s/day; "
+            f"modeled end-to-end efficiency "
+            f"{result.modeled_efficiency() * 100:.1f}% "
+            f"(paper {result.curve.published_efficiency() * 100:.1f}%)"
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,355 @@
+"""Scaling-study runners: published curve -> calibrated model -> full curve.
+
+Glue between :mod:`repro.bench.paper_data` and :mod:`repro.machine`: builds
+the right machine/workload for each published curve, calibrates on the
+anchor points, and evaluates the model at every published resource count
+(plus optional extra points for smooth figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..machine import (
+    ComponentWorkload,
+    CoupledPerfModel,
+    CouplingSpec,
+    PerfModel,
+    atm_workload,
+    ocn_workload,
+    orise,
+    sunway_oceanlight,
+)
+from ..esm.config import GRIST_CONFIGS, LICOM_CONFIGS
+from .paper_data import (
+    CORES_PER_SUNWAY_PROCESS,
+    STRONG_SCALING_CURVES,
+    ScalingCurve,
+    WEAK_SCALING,
+)
+
+__all__ = [
+    "CurveResult",
+    "resources_to_processes",
+    "workload_for",
+    "evaluate_curve",
+    "evaluate_all_curves",
+    "weak_scaling_series",
+    "coupled_curve",
+    "predict_pairing_sypd",
+]
+
+
+def resources_to_processes(curve: ScalingCurve, resources: float) -> int:
+    """Published resource counts -> model process counts."""
+    if curve.machine == "orise":
+        return max(1, int(resources))              # one process per GPU
+    if curve.mode == "host":
+        return max(1, int(resources))              # MPE-only: 1 core each
+    return max(1, int(resources) // CORES_PER_SUNWAY_PROCESS)
+
+
+def workload_for(curve: ScalingCurve) -> ComponentWorkload:
+    """The grid-sized workload behind a published curve."""
+    if curve.component == "atm":
+        res = float(curve.resolution_label.split()[0])
+        cfg = GRIST_CONFIGS[res]
+        # Workload columns = hexagon cells.
+        cells = cfg.cells if cfg.convention == "hexagon" else cfg.vertices
+        return atm_workload(int(cells), cfg.levels)
+    if curve.component == "ocn":
+        res = float(curve.resolution_label.split()[0])
+        cfg = LICOM_CONFIGS[res]
+        compressed = "opt" in curve.key or curve.mode == "accelerated"
+        return ocn_workload(cfg.nlon * cfg.nlat, cfg.levels, compressed=compressed)
+    raise ValueError(f"no single-component workload for {curve.component!r}")
+
+
+def model_for(curve: ScalingCurve) -> PerfModel:
+    machine = sunway_oceanlight() if curve.machine == "sunway" else orise()
+    return PerfModel(machine, mode=curve.mode)
+
+
+@dataclass
+class CurveResult:
+    """Published-vs-modeled series for one curve."""
+
+    curve: ScalingCurve
+    resources: List[float]
+    published: List[Optional[float]]
+    modeled: List[float]
+    anchors: List[bool]
+    compute_scale: float
+    serial_seconds: float
+    sync_imbalance: float = 0.0
+
+    def rows(self) -> List[Tuple[float, Optional[float], float, str]]:
+        out = []
+        for r, pub, mod, anc in zip(self.resources, self.published, self.modeled, self.anchors):
+            tag = "anchor" if anc else ("prediction" if pub is not None else "model-only")
+            out.append((r, pub, mod, tag))
+        return out
+
+    def max_prediction_error(self) -> float:
+        """Worst relative error on non-anchor published points."""
+        errs = [
+            abs(m - p) / p
+            for p, m, a in zip(self.published, self.modeled, self.anchors)
+            if p is not None and not a
+        ]
+        return max(errs) if errs else 0.0
+
+    def modeled_efficiency(self) -> float:
+        first, last = 0, len(self.resources) - 1
+        return (self.modeled[last] / self.modeled[first]) / (
+            self.resources[last] / self.resources[first]
+        )
+
+
+def evaluate_curve(curve: ScalingCurve, extra_resources: Optional[List[float]] = None) -> CurveResult:
+    """Calibrate on the curve's anchors, evaluate everywhere."""
+    workload = workload_for(curve)
+    model = model_for(curve)
+    anchors = [(resources_to_processes(curve, p.resources), p.sypd) for p in curve.anchors()]
+    cal, wl = model.calibrated(workload, anchors)
+
+    resources = [p.resources for p in curve.points]
+    published: List[Optional[float]] = [p.sypd for p in curve.points]
+    anchor_flags = [p.anchor for p in curve.points]
+    for extra in extra_resources or []:
+        resources.append(extra)
+        published.append(None)
+        anchor_flags.append(False)
+
+    modeled = [
+        cal.predict_sypd(wl, resources_to_processes(curve, r)) for r in resources
+    ]
+    return CurveResult(
+        curve=curve,
+        resources=resources,
+        published=published,
+        modeled=modeled,
+        anchors=anchor_flags,
+        compute_scale=cal.compute_scale,
+        serial_seconds=wl.serial_seconds_per_day,
+    )
+
+
+def evaluate_all_curves() -> Dict[str, CurveResult]:
+    """All single-component curves (coupled ones go through
+    :func:`coupled_curve`, which composes standalone calibrations)."""
+    return {
+        key: evaluate_curve(c)
+        for key, c in STRONG_SCALING_CURVES.items()
+        if c.component != "coupled"
+    }
+
+
+def weak_scaling_series(component: str, imbalance_cv: float = 0.0) -> Dict[str, List[float]]:
+    """Fig. 8b: fixed work per node across the resolution/node ladder.
+
+    Returns per-point modeled SYPD and the weak-scaling efficiency series
+    (time-per-step at fixed per-node work, normalized to the first point).
+    The component model is calibrated from the corresponding strong-scaling
+    curve's anchors so the weak series is a genuine prediction.
+
+    ``imbalance_cv`` switches on the synchronization-jitter term (expected
+    max of P iid rank times) — the mechanism the paper blames for its
+    Fig. 8b efficiency drop; used as a sensitivity knob by the bench.
+    """
+    from dataclasses import replace as _replace
+
+    spec = WEAK_SCALING[component]
+    base_key = "atm_3km_cpe" if component == "atm" else "ocn_2km_cpe"
+    curve = STRONG_SCALING_CURVES[base_key]
+    model = _replace(model_for(curve), imbalance_cv=imbalance_cv)
+    anchors = [
+        (resources_to_processes(curve, p.resources), p.sypd) for p in curve.anchors()
+    ]
+    cal, wl_cal = model.calibrated(workload_for(curve), anchors)
+
+    sypd: List[float] = []
+    time_per_day: List[float] = []
+    for res_km, nodes in spec["ladder"]:
+        procs = nodes * 6
+        if component == "atm":
+            cfg = GRIST_CONFIGS[res_km]
+            cells = cfg.cells if cfg.convention == "hexagon" else cfg.vertices
+            wl = atm_workload(int(cells), cfg.levels)
+        else:
+            cfg = LICOM_CONFIGS[res_km]
+            wl = ocn_workload(cfg.nlon * cfg.nlat, cfg.levels, compressed=True)
+        wl = type(wl)(
+            name=wl.name, columns=wl.columns, levels=wl.levels, phases=wl.phases,
+            point_bytes_state=wl.point_bytes_state,
+            serial_seconds_per_day=wl_cal.serial_seconds_per_day,
+        )
+        bd = cal.time_per_day(wl, procs)
+        sypd.append(bd.sypd)
+        time_per_day.append(bd.total)
+    # Weak efficiency: T(first) / T(n) at ~fixed work per node.
+    eff = [time_per_day[0] / t for t in time_per_day]
+    return {
+        "resolution_km": [r for r, _ in spec["ladder"]],
+        "nodes": [n for _, n in spec["ladder"]],
+        "sypd": sypd,
+        "efficiency": eff,
+        "published_terminal_efficiency": [spec["published_efficiency"]],
+    }
+
+
+def predict_pairing_sypd(label: str, total_cores: float) -> Dict[str, float]:
+    """Model-only coupled SYPD for ANY Table 1 pairing (the paper publishes
+    coupled numbers only for 3v2 and 1v1; this completes the table).
+
+    Component calibrations come from the published standalone curves (3 km
+    ATM and 2 km OCN on Sunway), transferred to the pairing's grid sizes;
+    the coupled overhead scalar comes from the 3v2 coupled fit.
+    """
+    from ..esm.config import AP3ESM_CONFIGS
+
+    pairing = AP3ESM_CONFIGS[label]
+    machine = sunway_oceanlight()
+    model = PerfModel(machine, mode="accelerated")
+
+    atm_curve = STRONG_SCALING_CURVES["atm_3km_cpe"]
+    acfg = pairing.atm
+    cells = acfg.cells if acfg.convention == "hexagon" else acfg.vertices
+    cal_a, wl_a3 = model.calibrated(
+        atm_workload(int(GRIST_CONFIGS[3.0].cells), 30),
+        [(resources_to_processes(atm_curve, p.resources), p.sypd)
+         for p in atm_curve.anchors()],
+    )
+    wl_a = atm_workload(int(cells), acfg.levels)
+    wl_a = replace_workload(wl_a, wl_a3.serial_seconds_per_day)
+
+    ocn_curve = STRONG_SCALING_CURVES["ocn_2km_cpe"]
+    ocfg = pairing.ocn
+    cal_o, wl_o2 = model.calibrated(
+        ocn_workload(LICOM_CONFIGS[2.0].nlon * LICOM_CONFIGS[2.0].nlat, 80, compressed=True),
+        [(resources_to_processes(ocn_curve, p.resources), p.sypd)
+         for p in ocn_curve.anchors()],
+    )
+    wl_o = ocn_workload(ocfg.nlon * ocfg.nlat, ocfg.levels, compressed=True)
+    wl_o = replace_workload(wl_o, wl_o2.serial_seconds_per_day)
+
+    coupling = CouplingSpec(
+        exchanges_per_day={"atm": 180.0, "ocn": 36.0, "ice": 180.0},
+        bytes_per_exchange={
+            "atm": float(cells) * 8 * 8,
+            "ocn": float(ocfg.nlon * ocfg.nlat) * 8 * 8,
+            "ice": float(ocfg.nlon * ocfg.nlat) * 8 * 2,
+        },
+    )
+    coupled = CoupledPerfModel(
+        model1=cal_a, model2=cal_o, domain1=(wl_a,), domain2=(wl_o,),
+        coupling=coupling,
+    )
+    # Transfer the 3v2 sync-imbalance scalar (the coupled-only effect).
+    ref = coupled_curve("3v2")
+    from dataclasses import replace as _dc_replace
+
+    coupled = _dc_replace(coupled, sync_imbalance=ref.sync_imbalance)
+    total = max(2, int(total_cores) // CORES_PER_SUNWAY_PROCESS)
+    n1, n2 = coupled.balance_resources(total)
+    return {
+        "sypd": coupled.predict_sypd(n1, n2),
+        "procs_domain1": float(n1),
+        "procs_domain2": float(n2),
+    }
+
+
+def replace_workload(wl: ComponentWorkload, serial: float) -> ComponentWorkload:
+    """Workload copy carrying a calibrated serial term."""
+    return type(wl)(
+        name=wl.name, columns=wl.columns, levels=wl.levels, phases=wl.phases,
+        point_bytes_state=wl.point_bytes_state, serial_seconds_per_day=serial,
+    )
+
+
+def coupled_curve(label: str) -> CurveResult:
+    """AP3ESM coupled curves, assembled from *standalone* calibrations.
+
+    The coupled model is NOT calibrated on the coupled points: its
+    components carry the standalone curves' calibrations, resources are
+    split with :meth:`CoupledPerfModel.balance_resources`, and the
+    published coupled SYPD are pure predictions — the strongest test the
+    machine model faces.
+    """
+    curve = STRONG_SCALING_CURVES[f"coupled_{label}"]
+    machine = sunway_oceanlight()
+    model = PerfModel(machine, mode="accelerated")
+
+    if label == "3v2":
+        atm_key, atm_res, ocn_res = "atm_3km_cpe", 3.0, 2.0
+    elif label == "1v1":
+        atm_key, atm_res, ocn_res = "atm_1km_cpe", 1.0, 1.0
+    else:
+        raise ValueError(f"unknown coupled label {label!r}")
+
+    atm_curve = STRONG_SCALING_CURVES[atm_key]
+    acfg = GRIST_CONFIGS[atm_res]
+    cells = acfg.cells if acfg.convention == "hexagon" else acfg.vertices
+    wl_a = atm_workload(int(cells), acfg.levels)
+    cal_a, wl_a = model.calibrated(
+        wl_a,
+        [(resources_to_processes(atm_curve, p.resources), p.sypd) for p in atm_curve.anchors()],
+    )
+
+    ocn_curve = STRONG_SCALING_CURVES["ocn_2km_cpe"]
+    ocfg = LICOM_CONFIGS[ocn_res]
+    wl_o = ocn_workload(ocfg.nlon * ocfg.nlat, ocfg.levels, compressed=True)
+    # Reuse the 2 km curve's calibration scale for the 1v1 ocean (no
+    # standalone Sunway 1 km ocean curve is published).
+    cal_o, wl_o2km = model.calibrated(
+        ocn_workload(LICOM_CONFIGS[2.0].nlon * LICOM_CONFIGS[2.0].nlat, 80, compressed=True),
+        [(resources_to_processes(ocn_curve, p.resources), p.sypd) for p in ocn_curve.anchors()],
+    )
+    wl_o = type(wl_o)(
+        name=wl_o.name, columns=wl_o.columns, levels=wl_o.levels, phases=wl_o.phases,
+        point_bytes_state=wl_o.point_bytes_state,
+        serial_seconds_per_day=wl_o2km.serial_seconds_per_day,
+    )
+
+    coupling = CouplingSpec(
+        exchanges_per_day={"atm": 180.0, "ocn": 36.0, "ice": 180.0},
+        bytes_per_exchange={
+            "atm": float(cells) * 8 * 8,
+            "ocn": float(ocfg.nlon * ocfg.nlat) * 8 * 8,
+            "ice": float(ocfg.nlon * ocfg.nlat) * 8 * 2,
+        },
+    )
+    coupled = CoupledPerfModel(
+        model1=cal_a, model2=cal_o, domain1=(wl_a,), domain2=(wl_o,), coupling=coupling
+    )
+
+    def split(r: float) -> Tuple[int, int]:
+        total = max(2, int(r) // CORES_PER_SUNWAY_PROCESS)
+        return coupled.balance_resources(total)
+
+    # Calibrate the two coupled-only terms (inter-domain sync imbalance +
+    # driver serial time) on the curve's anchor endpoints; interior points
+    # stay predictions.
+    anchor_points = [p for p in curve.points if p.anchor]
+    coupled = coupled.calibrated_coupled(
+        [(*split(p.resources), p.sypd) for p in anchor_points]
+    )
+
+    resources = [p.resources for p in curve.points]
+    modeled = []
+    for r in resources:
+        n1, n2 = split(r)
+        modeled.append(coupled.predict_sypd(n1, n2))
+    return CurveResult(
+        curve=curve,
+        resources=resources,
+        published=[p.sypd for p in curve.points],
+        modeled=modeled,
+        anchors=[p.anchor for p in curve.points],
+        compute_scale=cal_a.compute_scale,
+        serial_seconds=coupled.serial_seconds,
+        sync_imbalance=coupled.sync_imbalance,
+    )

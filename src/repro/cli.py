@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library version, subsystem inventory, Table 1 configurations.
+``run-coupled``
+    Run the coupled AP3ESM for N days and print diagnostics + SYPD.
+``typhoon``
+    The idealized-typhoon experiment (Figs. 6/7) with track output.
+``scaling``
+    Regenerate the Table 2 / Fig. 8a strong-scaling tables.
+``train-ai``
+    Harvest a training archive from the model and train the AI suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AP3ESM reproduction (SC '25) — coupled Earth system "
+                    "model at laptop scale",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and configuration summary")
+
+    run = sub.add_parser("run-coupled", help="run the coupled model")
+    run.add_argument("--days", type=float, default=1.0)
+    run.add_argument("--atm-level", type=int, default=3)
+    run.add_argument("--ocn-nlon", type=int, default=64)
+    run.add_argument("--ocn-nlat", type=int, default=48)
+    run.add_argument("--ocn-levels", type=int, default=8)
+    run.add_argument("--restart-dir", default=None,
+                     help="write a restart set here at the end")
+
+    ty = sub.add_parser("typhoon", help="idealized typhoon experiment")
+    ty.add_argument("--hours", type=int, default=12)
+    ty.add_argument("--atm-level", type=int, default=4)
+    ty.add_argument("--vmax", type=float, default=40.0)
+    ty.add_argument("--rmax-km", type=float, default=500.0)
+
+    sc = sub.add_parser("scaling", help="Table 2 / Fig. 8a tables")
+    sc.add_argument("--curve", default=None,
+                    help="one curve key (default: all)")
+
+    tr = sub.add_parser("train-ai", help="train the AI physics suite")
+    tr.add_argument("--days", type=int, default=6)
+    tr.add_argument("--epochs", type=int, default=40)
+    tr.add_argument("--width", type=int, default=32)
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.esm import AP3ESM_CONFIGS, GRIST_CONFIGS, LICOM_CONFIGS
+
+    print(f"repro {repro.__version__} — AP3ESM reproduction (SC '25)")
+    print(f"subpackages: {', '.join(repro.__all__)}")
+    print("\nTable 1 configurations:")
+    for label, pairing in AP3ESM_CONFIGS.items():
+        print(f"  {label:>6}: atm {pairing.atm_resolution_km:g} km "
+              f"({pairing.atm.grid_points:.1e} pts) + "
+              f"ocn {pairing.ocn_resolution_km:g} km "
+              f"({pairing.ocn.grid_points:.1e} pts)")
+    return 0
+
+
+def _cmd_run_coupled(args: argparse.Namespace) -> int:
+    from repro.esm import AP3ESM, AP3ESMConfig, atm_snapshot
+    from repro.utils import get_timing
+
+    model = AP3ESM(AP3ESMConfig(
+        atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
+        ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
+    ))
+    model.init()
+    print(f"running {args.days:g} coupled days...")
+    model.run_days(args.days)
+    snap = atm_snapshot(model.atm)
+    sst = model.ocn.export_state()["sst"]
+    wet = model.ocn.mask3d[0]
+    print(f"precip {snap['precip'].mean() * 86400:.2f} mm/day | "
+          f"cloud {snap['cloud_fraction'].mean():.2f} | "
+          f"SST {sst[wet].min():.1f}..{sst[wet].max():.1f} C | "
+          f"ice {model.ice.total_area() / 1e12:.2f} Mkm^2")
+    rep = get_timing([model.timers], "cpl_run",
+                     simulated_days=model.n_couplings * model.dt_couple / 86400.0)
+    print(f"throughput: {rep.sypd:.1f} SYPD on this machine")
+    if args.restart_dir:
+        model.atm.save_restart(f"{args.restart_dir}/atm")
+        model.ocn.save_restart(f"{args.restart_dir}/ocn")
+        print(f"restart written to {args.restart_dir}/(atm|ocn)")
+    model.finalize()
+    return 0
+
+
+def _cmd_typhoon(args: argparse.Namespace) -> int:
+    from repro.esm import AP3ESM, AP3ESMConfig, HollandVortex, TyphoonExperiment
+
+    model = AP3ESM(AP3ESMConfig(atm_level=args.atm_level, ocn_nlon=64,
+                                ocn_nlat=48, ocn_levels=8))
+    model.init()
+    vortex = HollandVortex(
+        center_lon=math.radians(150.0), center_lat=math.radians(20.0),
+        v_max=args.vmax, r_max=args.rmax_km * 1000.0,
+    )
+    exp = TyphoonExperiment(model, vortex)
+    exp.run(args.hours)
+    for fix in exp.tracker.fixes[:: max(1, args.hours // 6)]:
+        print(f"+{fix.time / 3600:5.1f} h  ({math.degrees(fix.lon):6.1f} E, "
+              f"{math.degrees(fix.lat):5.1f} N)  Vmax {fix.max_wind:5.1f} m/s")
+    em = exp.eye_metrics()
+    print(f"eye radius {em['eye_radius_km']:.0f} km | "
+          f"max wind {em['max_wind']:.1f} m/s | "
+          f"Ro p95 {em['rossby_p95']:.2e}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        STRONG_SCALING_CURVES,
+        coupled_curve,
+        evaluate_curve,
+        format_curve_result,
+    )
+
+    if args.curve is not None:
+        if args.curve not in STRONG_SCALING_CURVES:
+            print(f"unknown curve {args.curve!r}; choose from "
+                  f"{sorted(STRONG_SCALING_CURVES)}", file=sys.stderr)
+            return 2
+        curve = STRONG_SCALING_CURVES[args.curve]
+        result = (coupled_curve(curve.resolution_label)
+                  if curve.component == "coupled" else evaluate_curve(curve))
+        print(format_curve_result(result))
+        return 0
+    for key, curve in STRONG_SCALING_CURVES.items():
+        result = (coupled_curve(curve.resolution_label)
+                  if curve.component == "coupled" else evaluate_curve(curve))
+        print(format_curve_result(result))
+    return 0
+
+
+def _cmd_train_ai(args: argparse.Namespace) -> int:
+    from repro.atm import (
+        AIPhysicsSuite,
+        GristConfig,
+        GristModel,
+        harvest_archive_from_model,
+    )
+
+    host = GristModel(GristConfig(level=3, nlev=10))
+    host.init()
+    print(f"harvesting {args.days} days of training data from the model...")
+    archive = harvest_archive_from_model(host, n_days=args.days)
+    suite = AIPhysicsSuite.train(archive, epochs=args.epochs, width=args.width)
+    idx = np.arange(len(archive["x_column"]))
+    skill = suite.skill(archive, idx)
+    print(f"trained: tendency R^2 {skill['tendency']:.2f}, "
+          f"radiation R^2 {skill['radiation']:.2f}, "
+          f"CNN params {suite.tendency_trainer.model.n_params:,}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run-coupled":
+        return _cmd_run_coupled(args)
+    if args.command == "typhoon":
+        return _cmd_typhoon(args)
+    if args.command == "scaling":
+        return _cmd_scaling(args)
+    if args.command == "train-ai":
+        return _cmd_train_ai(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""CPL7/MCT-style coupler machinery: GSMap, AttrVect, Router, rearranger,
+clocks/alarms, and the coupling-field registry with pruning."""
+
+from .attrvect import AttrVect
+from .clock import Alarm, Clock
+from .fields import (
+    CESM_A2X_FIELDS,
+    CESM_I2X_FIELDS,
+    CESM_O2X_FIELDS,
+    CESM_X2O_FIELDS,
+    FieldRegistry,
+)
+from .gsmap import GlobalSegMap
+from .rearranger import Rearranger
+from .router import Router
+
+__all__ = [
+    "GlobalSegMap",
+    "AttrVect",
+    "Router",
+    "Rearranger",
+    "Clock",
+    "Alarm",
+    "FieldRegistry",
+    "CESM_A2X_FIELDS",
+    "CESM_X2O_FIELDS",
+    "CESM_O2X_FIELDS",
+    "CESM_I2X_FIELDS",
+]

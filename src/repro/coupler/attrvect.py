@@ -1,0 +1,96 @@
+"""AttrVect: MCT's attribute vector — named fields over local grid points.
+
+The coupler moves AttrVects, not raw arrays: every exchanged bundle is a
+(field x point) block with a field registry attached, which is what lets
+§5.2.4's "remove the unnecessary communication variables that are
+registered in MCT and are not used" pruning shrink messages without
+touching component code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["AttrVect"]
+
+
+@dataclass
+class AttrVect:
+    """Named real fields over ``lsize`` local points (row per field)."""
+
+    fields: List[str]
+    data: np.ndarray  # (n_fields, lsize)
+
+    def __post_init__(self) -> None:
+        self.data = np.atleast_2d(np.asarray(self.data, dtype=np.float64))
+        if len(self.fields) != self.data.shape[0]:
+            raise ValueError("one data row per field required")
+        if len(set(self.fields)) != len(self.fields):
+            raise ValueError("duplicate field names")
+        self._index = {name: i for i, name in enumerate(self.fields)}
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def zeros(fields: Sequence[str], lsize: int) -> "AttrVect":
+        return AttrVect(list(fields), np.zeros((len(fields), lsize)))
+
+    @staticmethod
+    def from_dict(values: Dict[str, np.ndarray]) -> "AttrVect":
+        names = list(values.keys())
+        data = np.stack([np.asarray(values[n], dtype=np.float64) for n in names])
+        return AttrVect(names, data)
+
+    # -- access --------------------------------------------------------------------
+
+    @property
+    def lsize(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def n_fields(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self.data[self._index[name]]
+        except KeyError:
+            raise KeyError(f"no field {name!r}; have {self.fields}") from None
+
+    def set(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.lsize,):
+            raise ValueError(f"expected shape ({self.lsize},), got {values.shape}")
+        self.data[self._index[name]] = values
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        return {name: self.data[i].copy() for i, name in enumerate(self.fields)}
+
+    # -- transforms -------------------------------------------------------------------
+
+    def subset(self, names: Iterable[str]) -> "AttrVect":
+        """A view-free AttrVect with only the requested fields (pruning)."""
+        names = list(names)
+        missing = [n for n in names if n not in self._index]
+        if missing:
+            raise KeyError(f"fields not present: {missing}")
+        rows = [self._index[n] for n in names]
+        return AttrVect(names, self.data[rows].copy())
+
+    def permute(self, perm: np.ndarray) -> "AttrVect":
+        """Reorder points (the rearranger's local gather step)."""
+        perm = np.asarray(perm, dtype=np.int64)
+        return AttrVect(list(self.fields), self.data[:, perm].copy())
+
+    def copy(self) -> "AttrVect":
+        return AttrVect(list(self.fields), self.data.copy())

@@ -1,0 +1,82 @@
+"""Coupler clocks and alarms.
+
+"The coupler manages the main clock in the system and maintains a clock
+that is associated with each component.  GRIST and LICOM implement the
+clock, which is consistent with the coupling clock, and make sure the
+coupling period is consistent with their internal timestep" (§5.1.1).
+
+:class:`Clock` advances in fixed steps; :class:`Alarm` fires at a coupling
+interval and *validates at construction* that the interval divides evenly
+into clock steps — the consistency requirement the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Clock", "Alarm"]
+
+
+@dataclass
+class Alarm:
+    """Fires every ``interval`` seconds of a clock's time."""
+
+    name: str
+    interval: float
+    next_ring: float
+
+    def ringing(self, time: float) -> bool:
+        return time + 1e-9 >= self.next_ring
+
+    def rearm(self) -> None:
+        self.next_ring += self.interval
+
+
+class Clock:
+    """Fixed-step model clock with coupling alarms."""
+
+    def __init__(self, dt: float, start: float = 0.0) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.dt = dt
+        self.start = start
+        self.time = start
+        self.step_count = 0
+        self._alarms: Dict[str, Alarm] = {}
+
+    def add_alarm(self, name: str, interval: float) -> Alarm:
+        """Register an alarm; interval must be a whole number of steps
+        (the coupling-period consistency check)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        ratio = interval / self.dt
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError(
+                f"coupling period {interval}s is not a multiple of the "
+                f"component step {self.dt}s (ratio {ratio:.6f})"
+            )
+        if name in self._alarms:
+            raise ValueError(f"alarm {name!r} already exists")
+        alarm = Alarm(name=name, interval=interval, next_ring=self.start + interval)
+        self._alarms[name] = alarm
+        return alarm
+
+    def advance(self) -> None:
+        self.time += self.dt
+        self.step_count += 1
+
+    def ringing(self, name: str) -> bool:
+        """Check-and-rearm an alarm at the current time."""
+        alarm = self._alarms[name]
+        if alarm.ringing(self.time):
+            alarm.rearm()
+            return True
+        return False
+
+    def alarms(self) -> List[str]:
+        return sorted(self._alarms)
+
+    def synchronized_with(self, other: "Clock") -> bool:
+        """Two clocks agree if they read the same time (coupling check)."""
+        return abs(self.time - other.time) < 1e-6

@@ -1,0 +1,89 @@
+"""Coupling-field registry with unused-field pruning (§5.2.4).
+
+CPL7 registers a fixed superset of exchange fields per component pair
+(CESM's a2x/x2o/o2x/i2x bundles); most are never read by a given model
+configuration.  "We remove the unnecessary communication variables that
+are registered in MCT and are not used in GRIST and LICOM" — reproduced
+by declaring the full registry, marking what each component actually
+consumes, and pruning the difference before the rearranger runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+__all__ = ["FieldRegistry", "CESM_A2X_FIELDS", "CESM_X2O_FIELDS", "CESM_O2X_FIELDS", "CESM_I2X_FIELDS"]
+
+# Representative CESM/CPL7 bundles (subset of the real ~40-field lists).
+CESM_A2X_FIELDS = [
+    "Sa_z", "Sa_u", "Sa_v", "Sa_tbot", "Sa_ptem", "Sa_shum", "Sa_pbot",
+    "Sa_dens", "Faxa_swndr", "Faxa_swvdr", "Faxa_swndf", "Faxa_swvdf",
+    "Faxa_lwdn", "Faxa_rainc", "Faxa_rainl", "Faxa_snowc", "Faxa_snowl",
+    "Faxa_taux", "Faxa_tauy", "Faxa_sen", "Faxa_lat",
+]
+CESM_X2O_FIELDS = [
+    "Foxx_taux", "Foxx_tauy", "Foxx_swnet", "Foxx_lwdn", "Foxx_sen",
+    "Foxx_lat", "Foxx_rain", "Foxx_snow", "Foxx_rofl", "Foxx_rofi",
+    "Sx_duu10n", "Fioi_melth", "Fioi_meltw", "Fioi_salt",
+]
+CESM_O2X_FIELDS = [
+    "So_t", "So_s", "So_u", "So_v", "So_ssh", "So_dhdx", "So_dhdy",
+    "Fioo_q", "So_bldepth",
+]
+CESM_I2X_FIELDS = [
+    "Si_ifrac", "Si_t", "Si_avsdr", "Si_avsdf", "Faii_taux", "Faii_tauy",
+    "Faii_sen", "Faii_lat", "Fioi_swpen",
+]
+
+
+@dataclass
+class FieldRegistry:
+    """Registered fields per exchange path + what consumers actually use."""
+
+    registered: Dict[str, List[str]] = field(default_factory=dict)
+    used: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def cesm_default() -> "FieldRegistry":
+        reg = FieldRegistry()
+        reg.register("a2x", CESM_A2X_FIELDS)
+        reg.register("x2o", CESM_X2O_FIELDS)
+        reg.register("o2x", CESM_O2X_FIELDS)
+        reg.register("i2x", CESM_I2X_FIELDS)
+        return reg
+
+    def register(self, path: str, fields: Sequence[str]) -> None:
+        if path in self.registered:
+            raise ValueError(f"path {path!r} already registered")
+        if len(set(fields)) != len(fields):
+            raise ValueError("duplicate field names")
+        self.registered[path] = list(fields)
+        self.used.setdefault(path, set())
+
+    def mark_used(self, path: str, fields: Sequence[str]) -> None:
+        """Declare the fields a component actually reads on this path."""
+        if path not in self.registered:
+            raise KeyError(path)
+        unknown = set(fields) - set(self.registered[path])
+        if unknown:
+            raise KeyError(f"fields not registered on {path!r}: {sorted(unknown)}")
+        self.used[path] |= set(fields)
+
+    def pruned(self, path: str) -> List[str]:
+        """Fields that survive pruning (registered AND used), in
+        registration order (deterministic message layout)."""
+        used = self.used[path]
+        return [f for f in self.registered[path] if f in used]
+
+    def savings(self, path: str, lsize: int, itemsize: int = 8) -> Dict[str, float]:
+        """Bytes saved per exchange by pruning this path."""
+        n_reg = len(self.registered[path])
+        n_used = len(self.pruned(path))
+        return {
+            "registered_fields": float(n_reg),
+            "used_fields": float(n_used),
+            "bytes_before": float(n_reg * lsize * itemsize),
+            "bytes_after": float(n_used * lsize * itemsize),
+            "fraction_saved": 1.0 - (n_used / n_reg if n_reg else 0.0),
+        }

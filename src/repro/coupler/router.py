@@ -1,0 +1,131 @@
+"""Router: MCT's M-to-N transfer table between two GSMaps.
+
+"Given two decompositions specified in two GSMaps, the Router table can
+easily build a mapping between the location of one grid point on a
+processor and its location on another processor" (§5.2.4).  Construction
+intersects every source rank's index set with every destination rank's —
+the O(M x N)-ish work and memory that motivated the paper's **offline**
+precomputation, which :meth:`Router.save`/:meth:`Router.load` provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from .gsmap import GlobalSegMap
+
+__all__ = ["Router"]
+
+
+@dataclass
+class Router:
+    """Per (src_pe, dst_pe) transfer lists in *local* index coordinates.
+
+    ``send[(p, q)]`` holds the local positions (into rank p's ascending
+    owned-index order) of the values p must send to q; ``recv[(p, q)]``
+    the local positions on q where they land, in matching order.
+    """
+
+    src_gsize: int
+    dst_gsize: int
+    send: Dict[Tuple[int, int], np.ndarray]
+    recv: Dict[Tuple[int, int], np.ndarray]
+
+    # -- construction --------------------------------------------------------------
+
+    @staticmethod
+    def build(src: GlobalSegMap, dst: GlobalSegMap) -> "Router":
+        """Intersect the two decompositions (identity grid mapping: the
+        same global index space on both sides, as MCT requires — grid
+        interpolation is a separate sparse-matrix step)."""
+        if src.gsize != dst.gsize:
+            raise ValueError(
+                "Router requires both GSMaps over the same global space "
+                f"(got {src.gsize} vs {dst.gsize})"
+            )
+        send: Dict[Tuple[int, int], np.ndarray] = {}
+        recv: Dict[Tuple[int, int], np.ndarray] = {}
+        src_owner = src.owner_array()
+        dst_owner = dst.owner_array()
+        # Local position of each global index on its owner.
+        src_pos = _local_positions(src)
+        dst_pos = _local_positions(dst)
+        both = (src_owner >= 0) & (dst_owner >= 0)
+        pairs = np.stack([src_owner[both], dst_owner[both]], axis=1)
+        gidx = np.flatnonzero(both)
+        # Group by (src_pe, dst_pe).
+        order = np.lexsort((gidx, pairs[:, 1], pairs[:, 0]))
+        pairs = pairs[order]
+        gidx = gidx[order]
+        if len(gidx):
+            boundaries = np.flatnonzero(np.any(np.diff(pairs, axis=0) != 0, axis=1)) + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [len(gidx)]])
+            for s, e in zip(starts, ends):
+                p, q = int(pairs[s, 0]), int(pairs[s, 1])
+                g = gidx[s:e]
+                send[(p, q)] = src_pos[g]
+                recv[(p, q)] = dst_pos[g]
+        return Router(src.gsize, dst.gsize, send, recv)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def partners_of_source(self, pe: int) -> List[int]:
+        return sorted(q for (p, q) in self.send if p == pe)
+
+    def partners_of_destination(self, pe: int) -> List[int]:
+        return sorted(p for (p, q) in self.recv if q == pe)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.send)
+
+    def total_points(self) -> int:
+        return int(sum(len(v) for v in self.send.values()))
+
+    def memory_bytes(self) -> int:
+        return int(
+            sum(v.nbytes for v in self.send.values())
+            + sum(v.nbytes for v in self.recv.values())
+        )
+
+    # -- offline precompute ----------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload: Dict[str, np.ndarray] = {
+            "meta": np.array([self.src_gsize, self.dst_gsize], dtype=np.int64)
+        }
+        for (p, q), idx in self.send.items():
+            payload[f"s_{p}_{q}"] = idx
+        for (p, q), idx in self.recv.items():
+            payload[f"r_{p}_{q}"] = idx
+        np.savez_compressed(path, **payload)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Router":
+        send: Dict[Tuple[int, int], np.ndarray] = {}
+        recv: Dict[Tuple[int, int], np.ndarray] = {}
+        with np.load(path) as data:
+            meta = data["meta"]
+            for key in data.files:
+                if key == "meta":
+                    continue
+                kind, p, q = key.split("_")
+                target = send if kind == "s" else recv
+                target[(int(p), int(q))] = data[key]
+        return Router(int(meta[0]), int(meta[1]), send, recv)
+
+
+def _local_positions(gsmap: GlobalSegMap) -> np.ndarray:
+    """For every global index, its position in the owner's ascending local
+    order (-1 in holes)."""
+    owner = gsmap.owner_array()
+    pos = np.full(gsmap.gsize, -1, dtype=np.int64)
+    for pe in range(gsmap.n_pes):
+        mine = np.flatnonzero(owner == pe)
+        pos[mine] = np.arange(len(mine))
+    return pos

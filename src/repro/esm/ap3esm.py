@@ -1,0 +1,303 @@
+"""The coupled AP3ESM driver: atmosphere + ocean + sea ice + land.
+
+Wiring follows the paper:
+
+* the **coupler** (CPL7 primitives from :mod:`repro.coupler`) owns the
+  main clock and per-component alarms; coupling frequencies keep the
+  paper's §6.1 ratio — the ocean couples once per ``ocn_couple_ratio`` (=5,
+  i.e. 180:36 per day) atmosphere couplings;
+* **land is coupled directly** to the atmosphere (bypassing the coupler),
+  receiving the AI-radiation fluxes gsw/glw per §5.2.1;
+* the **sea ice** component mirrors the ocean grid;
+* exchanged bundles pass through the pruned field registry, and the
+  atmosphere<->ocean grid change goes through the sparse remap matrices
+  (global flux fixer applied to the heat/water fluxes).
+
+Task-domain placement (§5.1.2: domain 1 = coupler+atm+ice+lnd, domain 2 =
+ocn) is a *performance* concept: this serial driver executes sequentially
+and the machine model prices the concurrent layout; :meth:`task_domains`
+exposes the mapping the benchmarks feed to
+:class:`repro.machine.CoupledPerfModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..atm import GristConfig, GristModel
+from ..coupler import Clock, FieldRegistry
+from ..grids.remap import RemapMatrix, nearest_remap
+from ..ice import CiceModel
+from ..lnd import LandModel
+from ..ocn import LicomConfig, LicomModel
+from ..utils.timers import TimerRegistry
+from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
+
+__all__ = ["AP3ESMConfig", "AP3ESM"]
+
+KELVIN = 273.15
+OCEAN_ALBEDO = 0.07
+OCEAN_EMISSIVITY = 0.96
+
+
+@dataclass
+class AP3ESMConfig:
+    """Laptop-scale coupled configuration (paper pairings in config.py)."""
+
+    atm_level: int = 3
+    atm_nlev: int = 30
+    ocn_nlon: int = 96
+    ocn_nlat: int = 64
+    ocn_levels: int = 10
+    atm_steps_per_coupling: int = 1
+    ocn_couple_ratio: int = 5      # paper: atm 180/day vs ocn 36/day
+    physics: Optional[object] = None  # a PhysicsSuite; None = conventional
+
+    @staticmethod
+    def from_namelist(path) -> "AP3ESMConfig":
+        """Build a configuration from a CESM-style namelist file with an
+        ``&ap3esm_nml`` group (unknown variables are rejected)."""
+        from ..utils.namelist import read_namelist
+
+        groups = read_namelist(path)
+        if "ap3esm_nml" not in groups:
+            raise ValueError("namelist must contain an &ap3esm_nml group")
+        nml = groups["ap3esm_nml"]
+        import dataclasses
+
+        valid = {f.name for f in dataclasses.fields(AP3ESMConfig)} - {"physics"}
+        unknown = set(nml) - valid
+        if unknown:
+            raise ValueError(f"unknown ap3esm_nml variables: {sorted(unknown)}")
+        return AP3ESMConfig(**{k: v for k, v in nml.items()})
+
+
+class AP3ESM:
+    """The coupled Earth system model."""
+
+    def __init__(self, config: AP3ESMConfig | None = None) -> None:
+        self.config = config if config is not None else AP3ESMConfig()
+        self.timers = TimerRegistry()
+        self._initialized = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def init(self) -> None:
+        cfg = self.config
+        self.atm = GristModel(
+            GristConfig(level=cfg.atm_level, nlev=cfg.atm_nlev),
+            physics=cfg.physics,
+            timers=self.timers,
+        )
+        self.atm.init()
+        self.ocn = LicomModel(
+            LicomConfig(nlon=cfg.ocn_nlon, nlat=cfg.ocn_nlat, n_levels=cfg.ocn_levels),
+            timers=self.timers,
+        )
+        self.ocn.init()
+        self.ice = CiceModel(self.ocn.grid, timers=self.timers)
+        self.ice.init()
+
+        # Remap operators between the two grids.
+        ocn_xyz = self.ocn.grid.centers.reshape(-1, 3)
+        ocn_area = self.ocn.grid.area.reshape(-1)
+        atm_grid = self.atm.grid
+        self.o2a = nearest_remap(ocn_xyz, atm_grid.xyz_cell, ocn_area, atm_grid.area_cell)
+        self.a2o = nearest_remap(atm_grid.xyz_cell, ocn_xyz, atm_grid.area_cell, ocn_area)
+
+        # Land mask on atmosphere cells from the remapped ocean mask.
+        ocean_frac = self.o2a.apply(self.ocn.grid.mask.reshape(-1).astype(float))
+        self.ocean_frac_atm = np.clip(ocean_frac, 0.0, 1.0)
+        self.land_mask_atm = self.ocean_frac_atm < 0.5
+        self.lnd = LandModel(
+            atm_grid.n_cells, land_mask=self.land_mask_atm, timers=self.timers
+        )
+        self.lnd.init()
+
+        # Coupler clock: one tick per atmosphere coupling interval, with
+        # the ocean alarm at the paper's 5:1 frequency ratio.
+        self.dt_couple = cfg.atm_steps_per_coupling * self.atm.dt_model
+        self.clock = Clock(dt=self.dt_couple)
+        self.clock.add_alarm("cpl_ocn", interval=cfg.ocn_couple_ratio * self.dt_couple)
+
+        # Ocean substeps per ocean coupling, with dt adjusted so the
+        # coupling period is an exact multiple of the internal step (the
+        # §5.1.1 clock-consistency requirement).
+        period = cfg.ocn_couple_ratio * self.dt_couple
+        n = max(1, math.ceil(period / self.ocn.dt_baroclinic))
+        self.ocn.dt_baroclinic = period / n
+        self.ocn.dt_barotropic = self.ocn.dt_baroclinic / 10.0
+        self.ocn.dt_tracer = self.ocn.dt_baroclinic
+        self.ocn_steps_per_coupling = n
+
+        # Pruned coupling-field registry (§5.2.4).
+        self.fields = FieldRegistry.cesm_default()
+        self.fields.mark_used(
+            "x2o", ["Foxx_taux", "Foxx_tauy", "Foxx_swnet", "Foxx_lwdn",
+                    "Foxx_sen", "Foxx_lat", "Foxx_rain"]
+        )
+        self.fields.mark_used("o2x", ["So_t", "So_u", "So_v", "So_ssh"])
+        self.fields.mark_used("i2x", ["Si_ifrac", "Si_t"])
+        self.fields.mark_used(
+            "a2x", ["Sa_tbot", "Faxa_swndr", "Faxa_lwdn", "Faxa_rainc",
+                    "Faxa_taux", "Faxa_tauy", "Faxa_sen", "Faxa_lat"]
+        )
+
+        self.n_couplings = 0
+        self._initialized = True
+
+    def finalize(self) -> Dict[str, Dict[str, float]]:
+        self._check()
+        return {
+            "atm": self.atm.finalize(),
+            "ocn": self.ocn.finalize(),
+            "ice": self.ice.finalize(),
+            "lnd": self.lnd.finalize(),
+        }
+
+    # -- coupling loop ---------------------------------------------------------------
+
+    def step_coupling(self) -> None:
+        """One atmosphere coupling interval (+ ocean when its alarm rings)."""
+        self._check()
+        cfg = self.config
+        with self.timers.timed("cpl_run"):
+            self.atm.run(cfg.atm_steps_per_coupling)
+            a2x = self.atm.export_state()
+
+            # --- direct atmosphere -> land -> atmosphere exchange --------
+            lnd_out = self.lnd.force(
+                gsw=a2x["gsw"], glw=a2x["glw"], precip=a2x["precip"],
+                t_air=a2x["t_bot"], dt=self.dt_couple,
+            )
+
+            # --- atmosphere -> ice (on the ocean grid) --------------------
+            shape_o = self.ocn.metrics.shape
+            to_ocn = {
+                name: self.a2o.apply(a2x[name]).reshape(shape_o)
+                for name in ("gsw", "glw", "t_bot", "taux", "tauy", "shflx", "lhflx", "precip")
+            }
+            o2x = self.ocn.export_state()
+            self.ice.import_state({
+                "gsw": to_ocn["gsw"],
+                "glw": to_ocn["glw"],
+                "t_air": to_ocn["t_bot"] - KELVIN,
+                "sst": o2x["sst"],
+                "freezing": o2x["freezing"],
+                "u_drift": o2x["u_surf"],
+                "v_drift": o2x["v_surf"],
+            })
+            self.ice.step(self.dt_couple)
+            i2x = self.ice.export_state()
+
+            # --- atmosphere(+ice) -> ocean at the slower frequency --------
+            self.clock.advance()
+            if self.clock.ringing("cpl_ocn"):
+                sst_k = o2x["sst"] + KELVIN
+                open_water = 1.0 - i2x["ice_fraction"]
+                net_heat = (
+                    (1.0 - OCEAN_ALBEDO) * to_ocn["gsw"]
+                    + to_ocn["glw"]
+                    - OCEAN_EMISSIVITY * STEFAN_BOLTZMANN * sst_k**4
+                    - to_ocn["shflx"]
+                    - to_ocn["lhflx"]
+                ) * open_water
+                evap = to_ocn["lhflx"] / LATENT_HEAT_VAPORIZATION
+                self.ocn.import_state({
+                    "taux": to_ocn["taux"] * open_water,
+                    "tauy": to_ocn["tauy"] * open_water,
+                    "heat_flux": net_heat,
+                    "fresh_flux": (to_ocn["precip"] - evap) * open_water,
+                })
+                self.ocn.run(self.ocn_steps_per_coupling)
+                o2x = self.ocn.export_state()
+
+            # --- ocean + ice + land -> atmosphere -------------------------
+            sst_atm = self.o2a.apply((o2x["sst"] + KELVIN).reshape(-1))
+            ice_frac_atm = np.clip(
+                self.o2a.apply(i2x["ice_fraction"].reshape(-1)), 0.0, 1.0
+            )
+            ice_t_atm = self.o2a.apply((i2x["ice_tsurf"] + KELVIN).reshape(-1))
+            skin = (1.0 - ice_frac_atm) * sst_atm + ice_frac_atm * ice_t_atm
+            skin = np.where(self.land_mask_atm, lnd_out["tskin_land"], skin)
+            self.atm.import_state({"sst": skin, "ice_fraction": ice_frac_atm})
+        self.n_couplings += 1
+
+    def run_couplings(self, n: int) -> None:
+        for _ in range(n):
+            self.step_coupling()
+
+    def run_days(self, days: float) -> None:
+        per_day = 86400.0 / self.dt_couple
+        self.run_couplings(max(1, int(round(days * per_day))))
+
+    # -- restart I/O (§5.2.5, whole coupled system) ---------------------------------------
+
+    def save_restart(self, directory) -> None:
+        """Write all four components' restart sets plus the coupler clock."""
+        self._check()
+        from pathlib import Path
+
+        from ..io.restart import save_restart
+
+        base = Path(directory)
+        self.atm.save_restart(base / "atm")
+        self.ocn.save_restart(base / "ocn")
+        self.ice.save_restart(base / "ice")
+        self.lnd.save_restart(base / "lnd")
+        save_restart(
+            base / "cpl",
+            fields={},
+            scalars={
+                "time": self.clock.time,
+                "n_couplings": float(self.n_couplings),
+                "step_count": float(self.clock.step_count),
+            },
+        )
+
+    def load_restart(self, directory) -> None:
+        """Restore the whole coupled system; clocks stay synchronized."""
+        self._check()
+        from pathlib import Path
+
+        from ..io.restart import load_restart
+
+        base = Path(directory)
+        self.atm.load_restart(base / "atm")
+        self.ocn.load_restart(base / "ocn")
+        self.ice.load_restart(base / "ice")
+        self.lnd.load_restart(base / "lnd")
+        _, scalars = load_restart(base / "cpl")
+        self.clock.time = scalars["time"]
+        self.clock.step_count = int(scalars["step_count"])
+        self.n_couplings = int(scalars["n_couplings"])
+        # Re-arm the ocean alarm consistently with the restored clock.
+        alarm = self.clock._alarms["cpl_ocn"]
+        periods_done = int(self.clock.time / alarm.interval + 1e-9)
+        alarm.next_ring = self.clock.start + (periods_done + 1) * alarm.interval
+
+    # -- performance-layout description (§5.1.2) -----------------------------------------
+
+    def task_domains(self) -> Dict[str, Dict[str, object]]:
+        """The two concurrent task domains the paper allocates resources
+        to (consumed by the machine model's CoupledPerfModel)."""
+        return {
+            "domain1": {
+                "members": ["cpl", "atm", "ice", "lnd"],
+                "rationale": "atmosphere dominates cost; coupler co-located "
+                             "to minimize exchange; land is tied to the "
+                             "atmosphere; ice is cheap",
+            },
+            "domain2": {
+                "members": ["ocn"],
+                "rationale": "second-largest cost, runs concurrently",
+            },
+        }
+
+    def _check(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("coupled model not initialized (call init())")

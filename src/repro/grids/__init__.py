@@ -1,0 +1,36 @@
+"""Grid infrastructure: icosahedral Voronoi C-grid (atmosphere), tripolar
+grid with synthetic earth (ocean/ice), partitioners, and remapping."""
+
+from .icos import IcosahedralGrid, icosahedral_counts
+from .partition import IcosPartition, tripolar_blocks
+from .remap import RemapMatrix, nearest_remap
+from .sphere import (
+    arc_length,
+    lonlat_to_xyz,
+    normalize,
+    spherical_triangle_area,
+    tangent_basis,
+    triangle_circumcenter,
+    xyz_to_lonlat,
+)
+from .tripolar import TripolarGrid, default_levels
+from . import trsk
+
+__all__ = [
+    "IcosahedralGrid",
+    "icosahedral_counts",
+    "TripolarGrid",
+    "default_levels",
+    "IcosPartition",
+    "tripolar_blocks",
+    "RemapMatrix",
+    "nearest_remap",
+    "trsk",
+    "normalize",
+    "lonlat_to_xyz",
+    "xyz_to_lonlat",
+    "arc_length",
+    "spherical_triangle_area",
+    "triangle_circumcenter",
+    "tangent_basis",
+]

@@ -1,0 +1,132 @@
+"""Regridding between the atmosphere (icosahedral) and ocean (tripolar)
+grids — the sparse-matrix interpolation the coupler applies to every
+exchanged field.
+
+Two schemes, mirroring what CPL7 mapping files provide:
+
+* :func:`nearest_remap` — inverse-distance weighting over the k nearest
+  source cells (row-normalized, so constants are preserved exactly);
+* :meth:`RemapMatrix.with_global_conservation` — the coupler's "flux
+  fixer": a multiplicative correction making the area integral of the
+  remapped field match the source integral exactly (what conservative
+  mapping + global fixers achieve in production couplers).
+
+Matrices are scipy CSR; ``apply`` is a sparse mat-vec, so remapping costs
+O(nnz) per field per coupling step — the quantity the coupler cost model
+charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.spatial import cKDTree
+
+__all__ = ["RemapMatrix", "nearest_remap"]
+
+
+@dataclass
+class RemapMatrix:
+    """Sparse remap operator ``dst = W @ src`` with area metadata."""
+
+    weights: csr_matrix
+    src_area: np.ndarray
+    dst_area: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_dst, n_src = self.weights.shape
+        if len(self.src_area) != n_src or len(self.dst_area) != n_dst:
+            raise ValueError("area vectors must match matrix shape")
+
+    @property
+    def n_src(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def n_dst(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return self.weights.nnz
+
+    def apply(self, field: np.ndarray) -> np.ndarray:
+        """Remap a source field (last axis = source cells)."""
+        field = np.asarray(field)
+        if field.shape[-1] != self.n_src:
+            raise ValueError(
+                f"field has {field.shape[-1]} cells, matrix expects {self.n_src}"
+            )
+        return self.weights @ field if field.ndim == 1 else (self.weights @ field.T).T
+
+    def row_sums(self) -> np.ndarray:
+        return np.asarray(self.weights.sum(axis=1)).ravel()
+
+    def src_integral(self, field: np.ndarray) -> float:
+        return float(np.sum(field * self.src_area))
+
+    def dst_integral(self, field: np.ndarray) -> float:
+        return float(np.sum(field * self.dst_area))
+
+    def conservation_error(self, field: np.ndarray) -> float:
+        """Relative integral mismatch of a remapped field."""
+        src = self.src_integral(field)
+        dst = self.dst_integral(self.apply(field))
+        denom = max(abs(src), 1e-300)
+        return abs(dst - src) / denom
+
+    def apply_conservative(self, field: np.ndarray) -> np.ndarray:
+        """Remap then apply the global flux fixer: scale the destination
+        field so its area integral equals the source integral exactly.
+        (Falls back to the raw remap when the integral is ~0, where a
+        multiplicative fixer is ill-defined.)"""
+        out = self.apply(field)
+        src = self.src_integral(field)
+        dst = self.dst_integral(out)
+        if abs(dst) < 1e-300 or abs(src) < 1e-300:
+            return out
+        return out * (src / dst)
+
+
+def nearest_remap(
+    src_xyz: np.ndarray,
+    dst_xyz: np.ndarray,
+    src_area: np.ndarray,
+    dst_area: np.ndarray,
+    k: int = 4,
+    power: float = 2.0,
+) -> RemapMatrix:
+    """Row-normalized inverse-distance remap over the k nearest sources.
+
+    Parameters
+    ----------
+    src_xyz, dst_xyz:
+        Unit-sphere cell centers, shape (n, 3).
+    src_area, dst_area:
+        Cell areas (m^2), used for the conservation diagnostics/fixer.
+    k:
+        Stencil size; k=1 degenerates to nearest-neighbor injection.
+    """
+    src_xyz = np.asarray(src_xyz, dtype=np.float64).reshape(-1, 3)
+    dst_xyz = np.asarray(dst_xyz, dtype=np.float64).reshape(-1, 3)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, len(src_xyz))
+    tree = cKDTree(src_xyz)
+    dist, idx = tree.query(dst_xyz, k=k)
+    if k == 1:
+        dist = dist[:, None]
+        idx = idx[:, None]
+    # IDW weights with an epsilon so exact hits don't divide by zero.
+    w = 1.0 / np.maximum(dist, 1e-12) ** power
+    w /= w.sum(axis=1, keepdims=True)
+    n_dst = len(dst_xyz)
+    rows = np.repeat(np.arange(n_dst), k)
+    mat = csr_matrix(
+        (w.ravel(), (rows, idx.ravel())), shape=(n_dst, len(src_xyz))
+    )
+    return RemapMatrix(mat, np.asarray(src_area, dtype=np.float64).ravel(),
+                       np.asarray(dst_area, dtype=np.float64).ravel())

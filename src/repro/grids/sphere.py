@@ -1,0 +1,105 @@
+"""Spherical geometry primitives shared by the grid generators.
+
+All functions operate on unit vectors (points on the unit sphere) stored as
+``(..., 3)`` numpy arrays; radii are applied by callers.  Formulas are the
+numerically robust ones (atan2-based arc lengths and spherical excess), so
+they behave for the nearly-degenerate triangles a high-level subdivision
+produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalize",
+    "lonlat_to_xyz",
+    "xyz_to_lonlat",
+    "arc_length",
+    "spherical_triangle_area",
+    "triangle_circumcenter",
+    "tangent_basis",
+]
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Unit vectors along ``v`` (last axis), safe against zero vectors."""
+    v = np.asarray(v, dtype=np.float64)
+    norm = np.linalg.norm(v, axis=-1, keepdims=True)
+    if np.any(norm == 0):
+        raise ValueError("cannot normalize a zero vector")
+    return v / norm
+
+
+def lonlat_to_xyz(lon: np.ndarray, lat: np.ndarray) -> np.ndarray:
+    """Unit-sphere Cartesian coordinates from longitude/latitude (radians)."""
+    lon = np.asarray(lon, dtype=np.float64)
+    lat = np.asarray(lat, dtype=np.float64)
+    cl = np.cos(lat)
+    return np.stack([cl * np.cos(lon), cl * np.sin(lon), np.sin(lat)], axis=-1)
+
+
+def xyz_to_lonlat(xyz: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(lon, lat) in radians from unit vectors; lon in [-pi, pi]."""
+    xyz = np.asarray(xyz, dtype=np.float64)
+    lon = np.arctan2(xyz[..., 1], xyz[..., 0])
+    lat = np.arcsin(np.clip(xyz[..., 2], -1.0, 1.0))
+    return lon, lat
+
+
+def arc_length(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Great-circle distance between unit vectors (robust atan2 form)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    cross = np.linalg.norm(np.cross(a, b), axis=-1)
+    dot = np.sum(a * b, axis=-1)
+    return np.arctan2(cross, dot)
+
+
+def spherical_triangle_area(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Area (spherical excess) of triangles with unit-vector corners.
+
+    Uses the Oosterom-Strackee formula
+    ``E = 2 atan2(|a.(b x c)|, 1 + a.b + b.c + c.a)`` which is stable for
+    small triangles.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    num = np.abs(np.sum(a * np.cross(b, c), axis=-1))
+    den = 1.0 + np.sum(a * b, axis=-1) + np.sum(b * c, axis=-1) + np.sum(c * a, axis=-1)
+    return 2.0 * np.arctan2(num, den)
+
+
+def triangle_circumcenter(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Spherical circumcenter of triangles (equidistant from all corners).
+
+    The circumcenter lies along ``(b - a) x (c - a)``; the sign is chosen to
+    put it in the same hemisphere as the triangle's centroid.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    n = np.cross(b - a, c - a)
+    n = normalize(n)
+    centroid = normalize(a + b + c)
+    flip = np.sum(n * centroid, axis=-1) < 0
+    n = np.where(flip[..., None], -n, n)
+    return n
+
+
+def tangent_basis(p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Local (east, north) unit vectors in the tangent plane at ``p``."""
+    p = np.asarray(p, dtype=np.float64)
+    z = np.array([0.0, 0.0, 1.0])
+    east = np.cross(z, p)
+    norms = np.linalg.norm(east, axis=-1, keepdims=True)
+    # At the poles pick an arbitrary east.
+    polar = norms[..., 0] < 1e-12
+    if np.any(polar):
+        east = east.copy()
+        east[polar] = np.array([1.0, 0.0, 0.0])
+        norms = np.linalg.norm(east, axis=-1, keepdims=True)
+    east = east / norms
+    north = np.cross(p, east)
+    return east, north

@@ -1,0 +1,6 @@
+"""CICE4-like sea-ice component (mirrors the ocean grid)."""
+
+from .categories import CATEGORY_BOUNDS, ThicknessDistribution
+from .model import CiceConfig, CiceModel
+
+__all__ = ["CiceConfig", "CiceModel", "ThicknessDistribution", "CATEGORY_BOUNDS"]

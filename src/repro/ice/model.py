@@ -1,0 +1,238 @@
+"""CICE4-like sea-ice component.
+
+Thermodynamics (energy-balance growth/melt of thickness and concentration)
+plus free-drift dynamics with upwind transport, on the *ocean's* tripolar
+grid with the same land masking — "the configuration of the sea-ice
+component is designed to mirror that of the ocean component" (§6.1), and
+the 3-D point-removal optimization "has been applied to the sea-ice model"
+too (§5.2.2): the ice state can run compressed on ocean surface points.
+
+Imports: SST + freezing mask (ocean), downward radiation + air temperature
+(atmosphere).  Exports: ice fraction and surface temperature (to both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..grids.tripolar import TripolarGrid
+from ..ocn.metrics import CGridMetrics
+from ..utils.timers import TimerRegistry
+from ..utils.units import LATENT_HEAT_FUSION, RHO_ICE, STEFAN_BOLTZMANN
+
+__all__ = ["CiceConfig", "CiceModel"]
+
+T_FREEZE = -1.8       # deg C
+ICE_ALBEDO = 0.65
+OCEAN_ALBEDO = 0.07
+MIN_CONCENTRATION = 1e-4
+
+
+@dataclass
+class CiceConfig:
+    drift_wind_factor: float = 0.02    # ice drifts at 2 % of the 10 m wind
+    drift_ocean_factor: float = 0.8
+    conductivity: float = 2.0          # W/(m K) through the slab
+    h_min: float = 0.05                # m, new-ice thickness
+    start_time: float = 0.0
+
+
+class CiceModel:
+    """The sea-ice component (mirrors the ocean grid)."""
+
+    name = "ice"
+
+    def __init__(
+        self,
+        grid: TripolarGrid,
+        config: CiceConfig | None = None,
+        timers: Optional[TimerRegistry] = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config if config is not None else CiceConfig()
+        self.timers = timers if timers is not None else TimerRegistry()
+        self._initialized = False
+
+    def init(self) -> None:
+        self.metrics = CGridMetrics.build(self.grid)
+        shape = self.metrics.shape
+        self.thickness = np.zeros(shape)       # m (grid-cell mean)
+        self.concentration = np.zeros(shape)   # 0..1
+        self.tsurf = np.full(shape, T_FREEZE)  # deg C
+        # Seed ice poleward of 70 deg where there is ocean.
+        polar = (np.abs(self.grid.lat) > np.radians(70.0)) & self.grid.mask
+        self.thickness[polar] = 1.5
+        self.concentration[polar] = 0.9
+
+        self.sst = np.full(shape, 0.0)
+        self.freezing = np.zeros(shape, dtype=bool)
+        self.gsw = np.zeros(shape)
+        self.glw = np.zeros(shape)
+        self.t_air = np.full(shape, T_FREEZE)
+        self.u_drift = np.zeros(shape)
+        self.v_drift = np.zeros(shape)
+        self.time = self.config.start_time
+        self.n_steps = 0
+        self._initialized = True
+
+    def finalize(self) -> Dict[str, float]:
+        self._check()
+        return {
+            "steps": float(self.n_steps),
+            "ice_volume": self.total_volume(),
+            "ice_area": self.total_area(),
+        }
+
+    # -- boundary exchange -----------------------------------------------------
+
+    def import_state(self, fields: Dict[str, np.ndarray]) -> None:
+        self._check()
+        shape = self.metrics.shape
+        mapping = {
+            "sst": "sst", "freezing": "freezing", "gsw": "gsw", "glw": "glw",
+            "t_air": "t_air", "u_drift": "u_drift", "v_drift": "v_drift",
+        }
+        for key, attr in mapping.items():
+            if key in fields:
+                arr = np.asarray(fields[key])
+                if arr.shape != shape:
+                    raise ValueError(f"{key} must be (nlat, nlon)")
+                setattr(self, attr, arr)
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        self._check()
+        return {
+            "ice_fraction": self.concentration.copy(),
+            "ice_thickness": self.thickness.copy(),
+            "ice_tsurf": self.tsurf.copy(),
+            "albedo": np.where(
+                self.grid.mask,
+                OCEAN_ALBEDO + (ICE_ALBEDO - OCEAN_ALBEDO) * self.concentration,
+                0.3,
+            ),
+        }
+
+    # -- stepping -----------------------------------------------------------------
+
+    def step(self, dt: float) -> None:
+        self._check()
+        with self.timers.timed("ice_run"):
+            with self.timers.timed("ice_thermo"):
+                self._thermodynamics(dt)
+            with self.timers.timed("ice_dynamics"):
+                self._dynamics(dt)
+        self.time += dt
+        self.n_steps += 1
+
+    def _thermodynamics(self, dt: float) -> None:
+        """Slab energy balance: grow where the ocean is at freezing and
+        losing heat, melt where the surface balance is positive."""
+        cfg = self.config
+        ocean = self.grid.mask
+        t_k = self.tsurf + 273.15
+
+        # Surface balance over ice (W/m^2, positive = melt).
+        absorbed = (1.0 - ICE_ALBEDO) * self.gsw + self.glw
+        emitted = 0.98 * STEFAN_BOLTZMANN * t_k**4
+        sensible = 15.0 * (self.t_air - self.tsurf)
+        balance = absorbed - emitted + sensible
+
+        # Conductive flux through the slab keeps the bottom at freezing.
+        h_eff = np.maximum(self.thickness, cfg.h_min)
+        conductive = cfg.conductivity * (T_FREEZE - self.tsurf) / h_eff
+
+        has_ice = (self.concentration > MIN_CONCENTRATION) & ocean
+        # Melt at the top where the balance is positive.
+        melt_rate = np.where(
+            has_ice & (balance > 0), balance / (RHO_ICE * LATENT_HEAT_FUSION), 0.0
+        )
+        # Growth at the bottom where the ocean is freezing.
+        grow_rate = np.where(
+            ocean & (self.freezing | (has_ice & (conductive > 0))),
+            np.abs(conductive) / (RHO_ICE * LATENT_HEAT_FUSION) + 1e-9,
+            0.0,
+        )
+        self.thickness = np.where(
+            ocean, np.maximum(self.thickness + dt * (grow_rate - melt_rate), 0.0), 0.0
+        )
+        # Concentration follows thickness (lead closing/opening).
+        target = np.clip(self.thickness / 0.5, 0.0, 1.0)
+        self.concentration = np.where(ocean, target, 0.0)
+        # New ice starts at the minimum thickness.
+        new_ice = ocean & self.freezing & (self.thickness < cfg.h_min)
+        self.thickness = np.where(new_ice, cfg.h_min, self.thickness)
+
+        # Surface temperature relaxes toward the air over ice.
+        self.tsurf = np.where(
+            has_ice,
+            self.tsurf + dt / 86400.0 * (np.minimum(self.t_air, 0.0) - self.tsurf),
+            T_FREEZE,
+        )
+
+    def _dynamics(self, dt: float) -> None:
+        """Free drift + upwind transport of thickness/concentration."""
+        cfg = self.config
+        m = self.metrics
+        u = cfg.drift_ocean_factor * self.u_drift
+        v = cfg.drift_ocean_factor * self.v_drift
+        # Mask to open faces.
+        u = np.where(m.mask_u, u, 0.0)
+        v = np.where(m.mask_v, v, 0.0)
+
+        for name in ("thickness", "concentration"):
+            c = getattr(self, name)
+            east = np.roll(c, -1, axis=1)
+            c_up_u = np.where(u > 0, c, east)
+            flux_u = u * c_up_u * m.ly_east
+            north = np.vstack([c[1:], c[-1:]])
+            c_up_v = np.where(v > 0, c, north)
+            flux_v = v * c_up_v * m.lx_north
+            fv_south = np.vstack([np.zeros((1, c.shape[1])), flux_v[:-1]])
+            div = (flux_u - np.roll(flux_u, 1, axis=1)) + (flux_v - fv_south)
+            c_new = c - dt * div / m.area
+            setattr(self, name, np.where(self.grid.mask, np.maximum(c_new, 0.0), 0.0))
+        self.concentration = np.clip(self.concentration, 0.0, 1.0)
+
+    # -- restart I/O (subfile format, §5.2.5) ----------------------------------------
+
+    def save_restart(self, directory) -> None:
+        """Write the prognostic ice state as a subfile restart set."""
+        self._check()
+        from ..io.restart import save_restart
+
+        save_restart(
+            directory,
+            fields={
+                "thickness": self.thickness,
+                "concentration": self.concentration,
+                "tsurf": self.tsurf,
+            },
+            scalars={"time": self.time, "n_steps": float(self.n_steps)},
+        )
+
+    def load_restart(self, directory) -> None:
+        """Restore the prognostic ice state bit-exactly."""
+        self._check()
+        from ..io.restart import load_restart
+
+        fields, scalars = load_restart(directory)
+        self.thickness = fields["thickness"]
+        self.concentration = fields["concentration"]
+        self.tsurf = fields["tsurf"]
+        self.time = scalars["time"]
+        self.n_steps = int(scalars["n_steps"])
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def total_volume(self) -> float:
+        return float(np.sum(self.metrics.area * self.thickness))
+
+    def total_area(self) -> float:
+        return float(np.sum(self.metrics.area * self.concentration))
+
+    def _check(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("model not initialized (call init())")

@@ -1,0 +1,13 @@
+"""Subfile parallel I/O: binary format, rank groups, cost model, restarts."""
+
+from .restart import load_restart, save_restart
+from .subfile import IOCostModel, SubfileLayout, read_subfiles, write_subfiles
+
+__all__ = [
+    "SubfileLayout",
+    "write_subfiles",
+    "read_subfiles",
+    "IOCostModel",
+    "save_restart",
+    "load_restart",
+]

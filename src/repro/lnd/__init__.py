@@ -1,0 +1,5 @@
+"""Bucket land-surface model (directly coupled to the atmosphere)."""
+
+from .model import LandConfig, LandModel
+
+__all__ = ["LandConfig", "LandModel"]

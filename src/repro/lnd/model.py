@@ -1,0 +1,208 @@
+"""Bucket land-surface model, directly coupled to the atmosphere.
+
+Per §5.1.1: "GRIST and the land surface model directly exchange data,
+bypassing the coupler.  Consequently, AP3ESM does not currently include a
+coupler-owned land model component."  This model therefore lives on the
+*atmosphere's* icosahedral cells (its land subset) and exchanges fields
+through plain method calls from :class:`repro.atm.model.GristModel` /
+the AP3ESM driver, not through MCT.
+
+Physics: a classic Manabe bucket — surface energy balance for skin
+temperature (forced by the gsw/glw the AI radiation module produces,
+which "serve as inputs to the land surface model"), bucket hydrology
+(precipitation in, evaporation out, runoff when full).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..utils.timers import TimerRegistry
+from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
+
+__all__ = ["LandConfig", "LandModel"]
+
+
+@dataclass
+class LandConfig:
+    bucket_capacity: float = 0.15      # m of water
+    heat_capacity: float = 2.0e5       # J/(m^2 K) effective surface slab
+    albedo: float = 0.25
+    snow_albedo: float = 0.65          # deep-snow albedo
+    snow_masking_depth: float = 0.05   # m SWE at which snow dominates albedo
+    emissivity: float = 0.95
+    beta_exponent: float = 1.0         # evaporation efficiency curve
+    start_time: float = 0.0
+
+T_SNOW = 273.15  # precipitation falls as snow below this air temperature
+LATENT_HEAT_FUSION_W = 3.337e5 * 1000.0  # J/m^3 of water equivalent
+
+
+class LandModel:
+    """Bucket land surface on a set of (atmosphere) land cells."""
+
+    name = "lnd"
+
+    def __init__(
+        self,
+        n_cells: int,
+        land_mask: Optional[np.ndarray] = None,
+        config: LandConfig | None = None,
+        timers: Optional[TimerRegistry] = None,
+    ) -> None:
+        if n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        self.n_cells = n_cells
+        self.land_mask = (
+            np.ones(n_cells, dtype=bool) if land_mask is None else np.asarray(land_mask, bool)
+        )
+        if self.land_mask.shape != (n_cells,):
+            raise ValueError("land_mask must have one entry per cell")
+        self.config = config if config is not None else LandConfig()
+        self.timers = timers if timers is not None else TimerRegistry()
+        self._initialized = False
+
+    def init(self) -> None:
+        cfg = self.config
+        self.tskin = np.full(self.n_cells, 285.0)
+        self.bucket = np.full(self.n_cells, 0.5 * cfg.bucket_capacity)
+        self.snow = np.zeros(self.n_cells)  # snow water equivalent, m
+        self.runoff_total = np.zeros(self.n_cells)
+        self.time = cfg.start_time
+        self.n_steps = 0
+        self._initialized = True
+
+    def effective_albedo(self) -> np.ndarray:
+        """Snow-masked surface albedo: blends toward the snow albedo as
+        the pack deepens past the masking depth."""
+        cfg = self.config
+        cover = np.clip(self.snow / cfg.snow_masking_depth, 0.0, 1.0)
+        return cfg.albedo + (cfg.snow_albedo - cfg.albedo) * cover
+
+    def finalize(self) -> Dict[str, float]:
+        self._check()
+        return {
+            "steps": float(self.n_steps),
+            "mean_tskin": float(self.tskin[self.land_mask].mean()),
+            "total_runoff": float(self.runoff_total[self.land_mask].sum()),
+        }
+
+    # -- direct (coupler-bypassing) exchange ------------------------------------
+
+    def force(
+        self,
+        gsw: np.ndarray,
+        glw: np.ndarray,
+        precip: np.ndarray,
+        t_air: np.ndarray,
+        dt: float,
+    ) -> Dict[str, np.ndarray]:
+        """One land step driven by atmosphere fields; returns the surface
+        state the atmosphere reads back (tskin, evaporation, runoff).
+        """
+        self._check()
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        for name, arr in (("gsw", gsw), ("glw", glw), ("precip", precip), ("t_air", t_air)):
+            if np.asarray(arr).shape != (self.n_cells,):
+                raise ValueError(f"{name} must have one entry per cell")
+        cfg = self.config
+        with self.timers.timed("lnd_run"):
+            beta = np.clip(self.bucket / cfg.bucket_capacity, 0.0, 1.0) ** cfg.beta_exponent
+            albedo = self.effective_albedo()
+            # Potential evaporation from the available energy (bounded >= 0).
+            net_rad = (1.0 - albedo) * gsw + cfg.emissivity * (
+                glw - STEFAN_BOLTZMANN * self.tskin**4
+            )
+            pot_evap = np.maximum(0.3 * net_rad, 0.0) / (LATENT_HEAT_VAPORIZATION * 1000.0)
+            evap = beta * pot_evap  # m/s of water
+
+            # Snow: precipitation falls frozen below T_SNOW; a snow pack
+            # melts with the positive energy balance (energy-limited),
+            # consuming latent heat of fusion and filling the bucket.
+            frozen = t_air < T_SNOW
+            water_in = np.maximum(precip, 0.0) / 1000.0  # m/s of water
+            snowfall = np.where(frozen, water_in, 0.0)
+            rain = np.where(frozen, 0.0, water_in)
+            melt_energy = np.maximum(net_rad, 0.0) * (self.tskin > T_SNOW - 0.5)
+            melt_rate = np.where(
+                self.snow > 0.0, melt_energy / LATENT_HEAT_FUSION_W, 0.0
+            )
+            melt = np.minimum(melt_rate * dt, self.snow + snowfall * dt) / max(dt, 1e-12)
+            self.snow = np.where(
+                self.land_mask,
+                np.maximum(self.snow + dt * (snowfall - melt), 0.0),
+                self.snow,
+            )
+
+            # Energy balance: radiative + sensible exchange with the air,
+            # minus latent cooling (evaporation + snowmelt).
+            sensible = 15.0 * (t_air - self.tskin)
+            latent = evap * 1000.0 * LATENT_HEAT_VAPORIZATION + melt * LATENT_HEAT_FUSION_W
+            dT = (net_rad + sensible - latent) / cfg.heat_capacity
+            self.tskin = np.where(self.land_mask, self.tskin + dt * dT, self.tskin)
+            self.tskin = np.clip(self.tskin, 180.0, 340.0)
+
+            # Bucket hydrology: rain + snowmelt in, evaporation out.
+            bucket_new = self.bucket + dt * (rain + melt - evap)
+            runoff = np.maximum(bucket_new - cfg.bucket_capacity, 0.0)
+            self.bucket = np.where(
+                self.land_mask, np.clip(bucket_new - runoff, 0.0, cfg.bucket_capacity), self.bucket
+            )
+            self.runoff_total += np.where(self.land_mask, runoff, 0.0)
+        self.time += dt
+        self.n_steps += 1
+        return {
+            "tskin_land": self.tskin.copy(),
+            "evaporation": np.where(self.land_mask, evap, 0.0),
+            "runoff": np.where(self.land_mask, runoff, 0.0),
+            "snow_depth": np.where(self.land_mask, self.snow, 0.0),
+            "albedo": albedo,
+            "soil_wetness": np.where(
+                self.land_mask, self.bucket / cfg.bucket_capacity, 0.0
+            ),
+        }
+
+    def save_restart(self, directory) -> None:
+        """Write the prognostic land state as a subfile restart set."""
+        self._check()
+        from ..io.restart import save_restart
+
+        save_restart(
+            directory,
+            fields={
+                "tskin": self.tskin,
+                "bucket": self.bucket,
+                "snow": self.snow,
+                "runoff_total": self.runoff_total,
+            },
+            scalars={"time": self.time, "n_steps": float(self.n_steps)},
+        )
+
+    def load_restart(self, directory) -> None:
+        """Restore the prognostic land state bit-exactly."""
+        self._check()
+        from ..io.restart import load_restart
+
+        fields, scalars = load_restart(directory)
+        self.tskin = fields["tskin"]
+        self.bucket = fields["bucket"]
+        self.snow = fields["snow"]
+        self.runoff_total = fields["runoff_total"]
+        self.time = scalars["time"]
+        self.n_steps = int(scalars["n_steps"])
+
+    def water_balance_error(self, total_precip_m: float, total_evap_m: float) -> float:
+        """Closure check: d(bucket) = P - E - runoff (per unit area means)."""
+        self._check()
+        cfg = self.config
+        d_bucket = float(self.bucket[self.land_mask].mean()) - 0.5 * cfg.bucket_capacity
+        runoff = float(self.runoff_total[self.land_mask].mean())
+        return abs(d_bucket + runoff - (total_precip_m - total_evap_m))
+
+    def _check(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("model not initialized (call init())")

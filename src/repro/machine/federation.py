@@ -1,0 +1,132 @@
+"""Computing-power-network federation (the paper's §8 future work).
+
+"To further scale, we will explore federating geographically distributed
+HPC clusters through a computing power network, enabling task-level
+parallel execution of distinct ESM components and thereby improving
+aggregate performance."
+
+This module prices exactly that: one component per machine (e.g. the
+atmosphere on Sunway OceanLight, the ocean on ORISE), coupled across a
+wide-area link.  The coupled time per day becomes
+
+    max(T_atm@machine1, T_ocn@machine2) + T_wan(coupling traffic)
+
+and the analysis exposes the break-even WAN bandwidth/latency at which
+federation beats the best single-machine two-domain split — the go/no-go
+number such a deployment would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..utils.units import SECONDS_PER_DAY, sypd_from_walltime
+from .perfmodel import ComponentWorkload, CoupledPerfModel, CouplingSpec, PerfModel
+
+__all__ = ["WanLink", "FederatedESM"]
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """A wide-area interconnect between two centers.
+
+    Defaults are a dedicated research-network class link: ~50 ms one-way
+    latency (continental distance) and 100 Gb/s provisioned bandwidth.
+    """
+
+    latency_s: float = 0.05
+    bandwidth: float = 1.25e10  # bytes/s (100 Gb/s)
+
+    def transfer_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.latency_s + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class FederatedESM:
+    """One component per machine, coupled across a WAN.
+
+    Parameters
+    ----------
+    model1 / workload1:
+        The first component on its machine (e.g. atmosphere on Sunway).
+    model2 / workload2:
+        The second component on its machine (e.g. ocean on ORISE).
+    coupling:
+        Same spec as the single-machine coupled model; its byte volumes
+        cross the WAN here.
+    link:
+        The computing-power-network link.
+    """
+
+    model1: PerfModel
+    workload1: ComponentWorkload
+    model2: PerfModel
+    workload2: ComponentWorkload
+    coupling: CouplingSpec
+    link: WanLink = field(default_factory=WanLink)
+
+    def wan_time_per_day(self) -> float:
+        """Coupling traffic over the WAN (every exchange crosses it)."""
+        total = 0.0
+        for label, freq in self.coupling.exchanges_per_day.items():
+            nbytes = self.coupling.bytes_per_exchange.get(label, 0.0)
+            total += freq * self.link.transfer_time(nbytes)
+        return total
+
+    def time_per_day(self, n_procs1: int, n_procs2: int) -> float:
+        t1 = self.model1.time_per_day(self.workload1, n_procs1).total
+        t2 = self.model2.time_per_day(self.workload2, n_procs2).total
+        return max(t1, t2) + self.wan_time_per_day()
+
+    def predict_sypd(self, n_procs1: int, n_procs2: int) -> float:
+        return sypd_from_walltime(SECONDS_PER_DAY, self.time_per_day(n_procs1, n_procs2))
+
+    # -- analysis -------------------------------------------------------------
+
+    def compare_with_single_machine(
+        self,
+        single: CoupledPerfModel,
+        single_total_procs: int,
+        n_procs1: int,
+        n_procs2: int,
+    ) -> Dict[str, float]:
+        """Federated vs the best single-machine two-domain split."""
+        s1, s2 = single.balance_resources(single_total_procs)
+        t_single = single.time_per_day(s1, s2)
+        t_fed = self.time_per_day(n_procs1, n_procs2)
+        return {
+            "single_machine_s_per_day": t_single,
+            "federated_s_per_day": t_fed,
+            "federation_speedup": t_single / t_fed,
+            "wan_share_of_federated": self.wan_time_per_day() / t_fed,
+        }
+
+    def breakeven_bandwidth(
+        self,
+        target_s_per_day: float,
+        n_procs1: int,
+        n_procs2: int,
+    ) -> Optional[float]:
+        """Smallest WAN bandwidth (bytes/s) at which the federated time
+        meets ``target_s_per_day`` (None if latency alone already blows
+        the budget)."""
+        if target_s_per_day <= 0:
+            raise ValueError("target must be positive")
+        t1 = self.model1.time_per_day(self.workload1, n_procs1).total
+        t2 = self.model2.time_per_day(self.workload2, n_procs2).total
+        compute = max(t1, t2)
+        lat_total = sum(
+            freq * self.link.latency_s
+            for freq in self.coupling.exchanges_per_day.values()
+        )
+        budget = target_s_per_day - compute - lat_total
+        if budget <= 0:
+            return None
+        total_bytes = sum(
+            freq * self.coupling.bytes_per_exchange.get(label, 0.0)
+            for label, freq in self.coupling.exchanges_per_day.items()
+        )
+        return total_bytes / budget

@@ -1,0 +1,498 @@
+"""Analytic performance model: from component workloads to SYPD.
+
+This is the substitute for running on the real Sunway OceanLight / ORISE
+machines.  Time per simulated day of a component is assembled from first
+principles:
+
+* **compute** — roofline per process: ``max(flops / proc.flops, bytes /
+  mem_bw)`` per phase step, with a cache bonus when the per-process working
+  set fits in fast memory (this term produces the super-linear 118 %
+  efficiency the paper measures for the OCN MPE curve);
+* **halo exchange** — perimeter-scaled message sizes from the 2-D
+  decomposition, priced with the LogGP models in
+  :mod:`repro.parallel.collectives`;
+* **collectives** — log2(P) latency terms per allreduce (CFL checks,
+  barotropic dot products), with the fat-tree oversubscription penalty when
+  the job spans super-nodes;
+* **staging** — PCIe transfer of halo data for accelerator machines (ORISE);
+* **serial** — an Amdahl term for work that does not parallelize (dominant
+  in the paper's MPE-only baselines, whose strong-scaling efficiency
+  collapses to 24.6 %).
+
+Sustained rates are not published, so each curve of Table 2/Fig 8 is
+**calibrated** on its two endpoint anchors (compute scale + serial seconds,
+a 2x2 linear solve) and every intermediate point is a prediction.  The
+benchmarks report paper-vs-model for all points, including the calibrated
+ones (where agreement is exact by construction and labeled as such).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..utils.units import SECONDS_PER_DAY, sypd_from_walltime
+from .spec import MachineSpec, ProcessorSpec
+
+__all__ = [
+    "Phase",
+    "ComponentWorkload",
+    "PerfBreakdown",
+    "PerfModel",
+    "CoupledPerfModel",
+    "CouplingSpec",
+]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One sub-cycle of a component (dycore, tracer, physics, barotropic...).
+
+    Parameters
+    ----------
+    steps_per_day:
+        Number of times this phase executes per simulated day.
+    flops_per_point / bytes_per_point:
+        Work per 3-D grid point per step.
+    halo_fields:
+        Number of 3-D fields whose halos are exchanged each step.
+    halo_width:
+        Halo depth in points.
+    allreduces_per_step:
+        Global reductions per step (CFL checks, solver dot products).
+    """
+
+    name: str
+    steps_per_day: float
+    flops_per_point: float
+    bytes_per_point: float
+    halo_fields: int = 1
+    halo_width: int = 1
+    allreduces_per_step: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.steps_per_day <= 0:
+            raise ValueError("steps_per_day must be positive")
+        if self.flops_per_point < 0 or self.bytes_per_point < 0:
+            raise ValueError("work per point must be >= 0")
+
+
+@dataclass(frozen=True)
+class ComponentWorkload:
+    """A component's computational profile on a given grid configuration."""
+
+    name: str
+    columns: int           # horizontal grid points (cells / wet columns)
+    levels: int
+    phases: Tuple[Phase, ...]
+    point_bytes_state: float = 200.0   # resident state bytes per 3-D point
+    serial_seconds_per_day: float = 0.0  # Amdahl term (calibrated)
+
+    def __post_init__(self) -> None:
+        if self.columns <= 0 or self.levels <= 0:
+            raise ValueError("grid extents must be positive")
+        if not self.phases:
+            raise ValueError("a workload needs at least one phase")
+
+    @property
+    def points(self) -> int:
+        return self.columns * self.levels
+
+    def scaled(self, points_factor: float) -> "ComponentWorkload":
+        """Workload with the column count scaled (e.g. non-ocean-point
+        removal keeps ~70 % of the points)."""
+        if points_factor <= 0:
+            raise ValueError("points_factor must be positive")
+        return replace(self, columns=max(1, int(round(self.columns * points_factor))))
+
+
+@dataclass(frozen=True)
+class PerfBreakdown:
+    """Per-simulated-day time decomposition for one component run."""
+
+    component: str
+    n_processes: int
+    t_compute: float
+    t_halo: float
+    t_collectives: float
+    t_staging: float
+    t_serial: float
+
+    @property
+    def total(self) -> float:
+        return self.t_compute + self.t_halo + self.t_collectives + self.t_staging + self.t_serial
+
+    @property
+    def sypd(self) -> float:
+        return sypd_from_walltime(SECONDS_PER_DAY, self.total)
+
+    @property
+    def comm_fraction(self) -> float:
+        return (self.t_halo + self.t_collectives + self.t_staging) / self.total
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Performance model of one machine in one execution mode.
+
+    Parameters
+    ----------
+    machine:
+        The machine spec.
+    mode:
+        ``"accelerated"`` (CPEs/GPUs) or ``"host"`` (MPE-only / CPU-only).
+    compute_scale:
+        Multiplier on compute time (calibrated; 1.0 = spec defaults).
+    comm_scale:
+        Multiplier on communication time (calibrated).
+    """
+
+    machine: MachineSpec
+    mode: str = "accelerated"
+    compute_scale: float = 1.0
+    comm_scale: float = 1.0
+    #: Per-rank compute-time coefficient of variation.  Every substep ends
+    #: at the *slowest* rank, and the expected maximum of P iid
+    #: rank-times is ~ mean * (1 + cv * sqrt(2 ln P)) (Gumbel asymptotics)
+    #: — the "synchronization overhead at large node counts" the paper
+    #: blames for the Fig. 8b efficiency drop.  Default 0 (off): the
+    #: strong-scaling reproductions do not depend on it; the weak-scaling
+    #: bench uses it as an explicit sensitivity knob.
+    imbalance_cv: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("accelerated", "host"):
+            raise ValueError("mode must be 'accelerated' or 'host'")
+        if self.mode == "host" and self.machine.node.host_processor is None:
+            raise ValueError(f"{self.machine.name} has no host-only mode")
+        if self.compute_scale <= 0 or self.comm_scale < 0:
+            raise ValueError("scales must be positive")
+        if self.imbalance_cv < 0:
+            raise ValueError("imbalance_cv must be >= 0")
+
+    # -- pieces ------------------------------------------------------------
+
+    @property
+    def processor(self) -> ProcessorSpec:
+        if self.mode == "host":
+            assert self.machine.node.host_processor is not None
+            return self.machine.node.host_processor
+        return self.machine.node.processor
+
+    def _effective_mem_bw(self, working_set_bytes: float) -> float:
+        p = self.processor
+        if p.cache_bytes > 0 and working_set_bytes <= p.cache_bytes:
+            return p.mem_bw * p.cache_speedup
+        return p.mem_bw
+
+    def _local_geometry(self, workload: ComponentWorkload, n_procs: int) -> Tuple[float, float]:
+        """(local 3-D points, halo points per width-1 single-field exchange).
+
+        Assumes a 2-D horizontal decomposition with full columns local: the
+        halo perimeter of a near-square block of ``cols_local`` columns is
+        ``4 * sqrt(cols_local)`` columns.
+        """
+        cols_local = workload.columns / n_procs
+        points_local = cols_local * workload.levels
+        perimeter_cols = 4.0 * math.sqrt(max(cols_local, 1.0))
+        return points_local, perimeter_cols * workload.levels
+
+    def _spans_supernodes(self, n_procs: int) -> bool:
+        nodes = n_procs / self.machine.node.processes_per_node
+        return nodes > self.machine.network.nodes_per_supernode
+
+    # -- main entry ----------------------------------------------------------
+
+    def time_per_day(self, workload: ComponentWorkload, n_procs: int) -> PerfBreakdown:
+        """Seconds of wall time per simulated day."""
+        if n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        if n_procs > self.machine.total_processes:
+            raise ValueError(
+                f"{self.machine.name} supports at most "
+                f"{self.machine.total_processes} processes; got {n_procs}"
+            )
+        proc = self.processor
+        net = self.machine.network
+        points_local, halo_points = self._local_geometry(workload, n_procs)
+        working_set = points_local * workload.point_bytes_state
+        mem_bw = self._effective_mem_bw(working_set)
+
+        t_compute = 0.0
+        t_halo = 0.0
+        t_coll = 0.0
+        t_staging = 0.0
+        spans = self._spans_supernodes(n_procs)
+        latency = net.latency_s * (1.5 if spans else 1.0)
+        halo_bw = net.effective_bandwidth(inter_supernode=False)
+
+        for phase in workload.phases:
+            flops = points_local * phase.flops_per_point
+            bytes_ = points_local * phase.bytes_per_point
+            t_step = max(flops / proc.flops, bytes_ / mem_bw)
+            t_compute += phase.steps_per_day * t_step
+
+            if n_procs > 1:
+                halo_bytes = halo_points * phase.halo_width * phase.halo_fields * 8.0
+                n_neighbors = 4
+                t_halo += phase.steps_per_day * (
+                    n_neighbors * latency + halo_bytes / halo_bw
+                )
+                if phase.allreduces_per_step > 0:
+                    rounds = max(1, math.ceil(math.log2(n_procs)))
+                    t_coll += (
+                        phase.steps_per_day
+                        * phase.allreduces_per_step
+                        * rounds
+                        * latency
+                    )
+                if self.machine.node.staging_bw:
+                    # Halo data crosses PCIe twice (D2H before send, H2D after recv).
+                    t_staging += phase.steps_per_day * (
+                        2.0 * halo_bytes / self.machine.node.staging_bw
+                    )
+
+        if self.imbalance_cv > 0.0 and n_procs > 1:
+            # Expected max of n_procs iid rank times (Gumbel asymptotics).
+            t_compute *= 1.0 + self.imbalance_cv * math.sqrt(2.0 * math.log(n_procs))
+
+        return PerfBreakdown(
+            component=workload.name,
+            n_processes=n_procs,
+            t_compute=t_compute * self.compute_scale,
+            t_halo=t_halo * self.comm_scale,
+            t_collectives=t_coll * self.comm_scale,
+            t_staging=t_staging * self.comm_scale,
+            t_serial=workload.serial_seconds_per_day,
+        )
+
+    def predict_sypd(self, workload: ComponentWorkload, n_procs: int) -> float:
+        return self.time_per_day(workload, n_procs).sypd
+
+    # -- calibration ---------------------------------------------------------
+
+    def calibrated(
+        self,
+        workload: ComponentWorkload,
+        anchors: Sequence[Tuple[int, float]],
+    ) -> Tuple["PerfModel", ComponentWorkload]:
+        """Calibrate (compute_scale, serial_seconds_per_day) on anchors.
+
+        ``anchors`` is a list of ``(n_procs, sypd)`` published points.  With
+        two anchors the 2x2 linear system is solved exactly; with one, only
+        the compute scale is fit (serial term left as-is).  Returns the
+        calibrated model and the workload carrying the fitted serial term.
+
+        The communication terms stay first-principles: calibration never
+        touches them, so scaling *shape* between anchors remains a genuine
+        prediction.
+        """
+        if not anchors:
+            raise ValueError("need at least one anchor point")
+
+        def parts(n_procs: int) -> Tuple[float, float]:
+            base = replace(self, compute_scale=1.0).time_per_day(
+                replace(workload, serial_seconds_per_day=0.0), n_procs
+            )
+            comm = base.t_halo + base.t_collectives + base.t_staging
+            return base.t_compute, comm
+
+        targets = [
+            (p, SECONDS_PER_DAY / (365.0 * sypd)) for p, sypd in anchors
+        ]
+        if len(targets) == 1:
+            p, t_day = targets[0]
+            t_comp, t_comm = parts(p)
+            resid = t_day - t_comm - workload.serial_seconds_per_day
+            if resid <= 0:
+                raise ValueError(
+                    "anchor is faster than the modeled communication floor; "
+                    "reduce comm_scale or check the workload"
+                )
+            return (
+                replace(self, compute_scale=resid / t_comp),
+                workload,
+            )
+
+        (p1, t1), (p2, t2) = targets[0], targets[-1]
+        c1, m1 = parts(p1)
+        c2, m2 = parts(p2)
+        # Solve a*c + B = t - m for (a, B).
+        denom = c1 - c2
+        if abs(denom) < 1e-30:
+            raise ValueError("anchors have identical compute time; cannot calibrate")
+        a = ((t1 - m1) - (t2 - m2)) / denom
+        b = (t1 - m1) - a * c1
+        if a <= 0:
+            # Degenerate fit (published curve is super-linear beyond the cache
+            # model): fall back to a one-anchor fit on the largest scale.
+            return self.calibrated(workload, [anchors[-1]])
+        b = max(b, 0.0)
+        return (
+            replace(self, compute_scale=a),
+            replace(workload, serial_seconds_per_day=b),
+        )
+
+
+@dataclass(frozen=True)
+class CouplingSpec:
+    """Coupler cost description for the coupled model.
+
+    ``exchanges_per_day`` maps component pair labels to coupling
+    frequencies (the paper: atm 180, ocn 36, ice 180 per day);
+    ``bytes_per_exchange`` is the rearranged boundary-data volume.
+    """
+
+    exchanges_per_day: Dict[str, float]
+    bytes_per_exchange: Dict[str, float]
+    partners: int = 16  # overlapping ranks per rearrange (sparse p2p)
+
+    def time_per_day(self, model: PerfModel, n_procs: int) -> float:
+        net = model.machine.network
+        latency = net.latency_s * (1.5 if model._spans_supernodes(n_procs) else 1.0)
+        bw = net.effective_bandwidth(inter_supernode=True)
+        total = 0.0
+        for label, freq in self.exchanges_per_day.items():
+            nbytes = self.bytes_per_exchange.get(label, 0.0) / max(n_procs, 1)
+            total += freq * (self.partners * latency + nbytes * self.partners / max(self.partners, 1) / bw)
+        return total * model.comm_scale
+
+
+@dataclass(frozen=True)
+class CoupledPerfModel:
+    """Two concurrent task domains + coupler (the paper's §5.1.2 layout).
+
+    Domain 1 hosts coupler + atmosphere + sea ice + land; domain 2 hosts
+    the ocean.  The coupled time per day is ``max(domain times) +
+    coupling``, and :meth:`balance_resources` finds the split that the
+    paper's "computational resource allocation is adjusted based on the
+    computational profile of each component" describes.
+    """
+
+    model1: PerfModel
+    model2: PerfModel
+    domain1: Tuple[ComponentWorkload, ...]
+    domain2: Tuple[ComponentWorkload, ...]
+    coupling: CouplingSpec
+    #: Inter-domain synchronization/imbalance: at every coupling point the
+    #: faster domain idles; a static split cannot balance every interval,
+    #: so a fraction of the *smaller* domain time is lost (calibrated).
+    sync_imbalance: float = 0.0
+    #: Coupled-run serial term (driver sequencing, merge/diagnose steps).
+    serial_seconds: float = 0.0
+
+    def domain_time(self, domain: Sequence[ComponentWorkload], model: PerfModel, n_procs: int) -> float:
+        return sum(model.time_per_day(w, n_procs).total for w in domain)
+
+    def time_per_day(self, n_procs1: int, n_procs2: int) -> float:
+        t1 = self.domain_time(self.domain1, self.model1, n_procs1)
+        t2 = self.domain_time(self.domain2, self.model2, n_procs2)
+        t_couple = self.coupling.time_per_day(self.model1, n_procs1)
+        return (
+            max(t1, t2)
+            + self.sync_imbalance * min(t1, t2)
+            + t_couple
+            + self.serial_seconds
+        )
+
+    def calibrated_coupled(
+        self, anchors: Sequence[Tuple[int, int, float]]
+    ) -> "CoupledPerfModel":
+        """Fit (sync_imbalance, serial_seconds) on coupled anchor points.
+
+        ``anchors`` are (n_procs1, n_procs2, published_sypd).  With two
+        anchors the 2x2 system is solved exactly; interior coupled points
+        remain predictions.  Falls back to clamped single-parameter fits
+        when the exact solution is unphysical (negative terms).
+        """
+        if not anchors:
+            raise ValueError("need at least one coupled anchor")
+        base = replace(self, sync_imbalance=0.0, serial_seconds=0.0)
+
+        def parts(n1: int, n2: int) -> Tuple[float, float, float]:
+            t1 = base.domain_time(base.domain1, base.model1, n1)
+            t2 = base.domain_time(base.domain2, base.model2, n2)
+            return max(t1, t2), min(t1, t2), base.coupling.time_per_day(base.model1, n1)
+
+        targets = [
+            (n1, n2, SECONDS_PER_DAY / (365.0 * sypd)) for n1, n2, sypd in anchors
+        ]
+        if len(targets) == 1:
+            n1, n2, t_pub = targets[0]
+            mx, mn, tc = parts(n1, n2)
+            beta = max((t_pub - mx - tc) / mn, 0.0) if mn > 0 else 0.0
+            return replace(self, sync_imbalance=beta, serial_seconds=0.0)
+
+        (n1a, n2a, ta), (n1b, n2b, tb) = targets[0], targets[-1]
+        mxa, mna, tca = parts(n1a, n2a)
+        mxb, mnb, tcb = parts(n1b, n2b)
+        # Solve beta*mn + B = t_pub - mx - tc at both anchors.
+        ra = ta - mxa - tca
+        rb = tb - mxb - tcb
+        denom = mna - mnb
+        if abs(denom) < 1e-30:
+            return self.calibrated_coupled([anchors[-1]])
+        beta = (ra - rb) / denom
+        serial = ra - beta * mna
+        if beta < 0 or serial < 0:
+            # The exact solve is unphysical (overhead grows faster than the
+            # smaller domain's time at small scale): fall back to a
+            # log-space least-squares fit of the imbalance factor alone,
+            # which balances the anchor errors instead of nailing one end.
+            import numpy as np
+
+            betas = np.linspace(0.0, 3.0, 301)
+            cost = np.zeros_like(betas)
+            for (n1, n2, t_pub) in targets:
+                mx, mn, tc = parts(n1, n2)
+                cost += (np.log(mx + betas * mn + tc) - math.log(t_pub)) ** 2
+            beta = float(betas[int(np.argmin(cost))])
+            return replace(self, sync_imbalance=beta, serial_seconds=0.0)
+        return replace(self, sync_imbalance=beta, serial_seconds=serial)
+
+    def predict_sypd(self, n_procs1: int, n_procs2: int) -> float:
+        return sypd_from_walltime(SECONDS_PER_DAY, self.time_per_day(n_procs1, n_procs2))
+
+    def sequential_time_per_day(self, total_procs: int) -> float:
+        """§5.1.2's *other* strategy: "all components are executed
+        sequentially within a single domain" — every component gets the
+        whole allocation, but their times add instead of overlapping.
+        No inter-domain imbalance applies (there is only one domain)."""
+        if total_procs < 1:
+            raise ValueError("total_procs must be >= 1")
+        t1 = self.domain_time(self.domain1, self.model1, total_procs)
+        t2 = self.domain_time(self.domain2, self.model2, total_procs)
+        t_couple = self.coupling.time_per_day(self.model1, total_procs)
+        return t1 + t2 + t_couple + self.serial_seconds
+
+    def strategy_comparison(self, total_procs: int) -> Dict[str, float]:
+        """Concurrent-domains vs sequential-single-domain (seconds/day and
+        the speedup of the strategy the paper chose)."""
+        n1, n2 = self.balance_resources(total_procs)
+        concurrent = self.time_per_day(n1, n2)
+        sequential = self.sequential_time_per_day(total_procs)
+        return {
+            "concurrent_s_per_day": concurrent,
+            "sequential_s_per_day": sequential,
+            "speedup": sequential / concurrent,
+            "split_domain1": float(n1),
+            "split_domain2": float(n2),
+        }
+
+    def balance_resources(self, total_procs: int, steps: int = 64) -> Tuple[int, int]:
+        """Split ``total_procs`` between the domains to minimize coupled time."""
+        if total_procs < 2:
+            raise ValueError("need at least 2 processes to split")
+        best = (total_procs - 1, 1)
+        best_t = float("inf")
+        for k in range(1, steps):
+            n1 = max(1, int(round(total_procs * k / steps)))
+            n2 = total_procs - n1
+            if n2 < 1:
+                continue
+            t = self.time_per_day(n1, n2)
+            if t < best_t:
+                best_t = t
+                best = (n1, n2)
+        return best

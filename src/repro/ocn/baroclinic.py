@@ -1,0 +1,159 @@
+"""Baroclinic (20 s-substep) dynamics: 3-D momentum over the level stack.
+
+The reduced baroclinic system solved here keeps the terms that set the
+computational and physical structure of LICOM's baroclinic mode:
+
+* pressure gradient from the hydrostatic integral of the density anomaly
+  (linear equation of state),
+* semi-implicit Coriolis (same rotation as the barotropic mode),
+* implicit vertical friction with the Canuto-like mixing coefficient,
+* surface wind-stress and linear bottom-drag boundary conditions,
+* horizontal Laplacian friction for grid-scale noise.
+
+Momentum advection is omitted (documented simplification; the tracer
+module carries the advective transport that the coupled experiments
+diagnose).  All fields are (nlev, nlat, nlon), level 0 at the surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.units import GRAVITY, RHO_OCEAN
+from .metrics import CGridMetrics, grad_x, grad_y
+from .mixing import MixingParams, canuto_kappa, implicit_vertical_diffusion, richardson_number
+
+__all__ = ["linear_eos", "BaroclinicSolver"]
+
+RHO_ALPHA = 2.0e-4   # thermal expansion (1/K)
+RHO_BETA = 7.6e-4    # haline contraction (1/psu)
+T_REF = 10.0         # deg C
+S_REF = 35.0         # psu
+
+
+def linear_eos(t: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Density (kg/m^3) from the linear equation of state."""
+    return RHO_OCEAN * (1.0 - RHO_ALPHA * (t - T_REF) + RHO_BETA * (s - S_REF))
+
+
+@dataclass
+class BaroclinicSolver:
+    """Level-stack momentum stepper on the tripolar C-grid."""
+
+    metrics: CGridMetrics
+    mask3d: np.ndarray          # (nlev, nlat, nlon) wet mask
+    dz: np.ndarray              # (nlev,) layer thicknesses, m
+    horizontal_viscosity: float = 1.0e4
+    # Rayleigh friction on every level (1/s): the equilibration mechanism
+    # standing in for the omitted momentum advection (~1.2-day timescale).
+    bottom_drag: float = 1.0e-5
+    mixing: MixingParams = field(default_factory=MixingParams)
+
+    def __post_init__(self) -> None:
+        if self.mask3d.shape[1:] != self.metrics.shape:
+            raise ValueError("mask3d must match the horizontal grid")
+        if self.dz.shape[0] != self.mask3d.shape[0]:
+            raise ValueError("dz must have one entry per level")
+        m = self.metrics
+        self.mask_u3 = self.mask3d & np.roll(self.mask3d, -1, axis=2)
+        mv = np.zeros_like(self.mask3d)
+        mv[:, :-1] = self.mask3d[:, :-1] & self.mask3d[:, 1:]
+        self.mask_v3 = mv
+        self.mask_u3 &= m.mask_u[None, :, :]
+        self.mask_v3 &= m.mask_v[None, :, :]
+
+    # -- pieces ---------------------------------------------------------------
+
+    def pressure(self, t: np.ndarray, s: np.ndarray) -> np.ndarray:
+        """Hydrostatic pressure anomaly (Pa) at level centers."""
+        rho_anom = linear_eos(t, s) - RHO_OCEAN
+        dz = self.dz.reshape(-1, 1, 1)
+        # Pressure at center k: g * (sum of anomalies above + half of own layer).
+        cum = np.cumsum(rho_anom * dz, axis=0)
+        return GRAVITY * (cum - 0.5 * rho_anom * dz)
+
+    def step(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        t: np.ndarray,
+        s: np.ndarray,
+        dt: float,
+        taux: Optional[np.ndarray] = None,
+        tauy: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance (u, v) one baroclinic substep; returns new (u, v)."""
+        m = self.metrics
+        p = self.pressure(t, s)
+
+        # Pressure-gradient acceleration per level.
+        du = np.stack([-grad_x(m, p[k]) / RHO_OCEAN for k in range(p.shape[0])])
+        dv = np.stack([-grad_y(m, p[k]) / RHO_OCEAN for k in range(p.shape[0])])
+
+        # Horizontal Laplacian friction (5-point, masked).
+        du += self.horizontal_viscosity * self._laplacian(u, self.mask_u3)
+        dv += self.horizontal_viscosity * self._laplacian(v, self.mask_v3)
+
+        # Surface stress enters the top layer; bottom drag the deepest wet layer.
+        if taux is not None:
+            du[0] += np.where(m.mask_u, taux / (RHO_OCEAN * self.dz[0]), 0.0)
+        if tauy is not None:
+            dv[0] += np.where(m.mask_v, tauy / (RHO_OCEAN * self.dz[0]), 0.0)
+        du -= self.bottom_drag * u
+        dv -= self.bottom_drag * v
+
+        u_star = u + dt * du
+        v_star = v + dt * dv
+
+        # Semi-implicit Coriolis rotation per level.
+        f_u = 0.5 * (m.f_c + np.roll(m.f_c, -1, axis=1))
+        f_v = np.zeros_like(m.f_c)
+        f_v[:-1] = 0.5 * (m.f_c[:-1] + m.f_c[1:])
+        fdt_u = (f_u * dt)[None]
+        fdt_v = (f_v * dt)[None]
+        v_at_u = self._v_to_u(v_star)
+        u_at_v = self._u_to_v(u_star)
+        u_new = (u_star + fdt_u * v_at_u) / (1.0 + fdt_u**2)
+        v_new = (v_star - fdt_v * u_at_v) / (1.0 + fdt_v**2)
+
+        # Implicit vertical friction with the Canuto-like coefficient.
+        rho = linear_eos(t, s)
+        ri = richardson_number(rho, u_new, v_new, self.dz, self.mixing)
+        kappa = canuto_kappa(ri, self.mixing)
+        u_new = implicit_vertical_diffusion(u_new, kappa, self.dz, dt, self.mask_u3)
+        v_new = implicit_vertical_diffusion(v_new, kappa, self.dz, dt, self.mask_v3)
+
+        u_new = np.where(self.mask_u3, u_new, 0.0)
+        v_new = np.where(self.mask_v3, v_new, 0.0)
+        return u_new, v_new
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _laplacian(self, f: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Masked 5-point Laplacian with metric scaling (per level)."""
+        m = self.metrics
+        fm = np.where(mask, f, 0.0)
+        east = np.roll(fm, -1, axis=2)
+        west = np.roll(fm, 1, axis=2)
+        north = np.concatenate([fm[:, 1:], fm[:, -1:]], axis=1)
+        south = np.concatenate([fm[:, :1], fm[:, :-1]], axis=1)
+        scale = (0.5 * (m.dxu + m.dyv)) ** 2
+        lap = (east + west + north + south - 4.0 * fm) / scale[None]
+        return np.where(mask, lap, 0.0)
+
+    @staticmethod
+    def _v_to_u(v: np.ndarray) -> np.ndarray:
+        v_south = np.concatenate([np.zeros_like(v[:, :1]), v[:, :-1]], axis=1)
+        east = np.roll(v, -1, axis=2)
+        east_south = np.roll(v_south, -1, axis=2)
+        return 0.25 * (v + v_south + east + east_south)
+
+    @staticmethod
+    def _u_to_v(u: np.ndarray) -> np.ndarray:
+        west = np.roll(u, 1, axis=2)
+        north = np.concatenate([u[:, 1:], u[:, -1:]], axis=1)
+        north_west = np.roll(north, 1, axis=2)
+        return 0.25 * (u + west + north + north_west)

@@ -1,0 +1,125 @@
+"""C-grid metrics and masked finite-volume operators on the tripolar grid.
+
+LICOM solves on an orthogonal curvilinear (tripolar) grid with Arakawa
+C-staggering: cell-center scalars (eta, T, S), zonal velocity on east
+faces, meridional velocity on north faces.  This module extracts the face
+lengths / center spacings / areas from the :class:`~repro.grids.tripolar.
+TripolarGrid` corner arrays and provides the masked divergence/gradient
+operators the barotropic and tracer solvers share.
+
+Boundary conventions: longitude is periodic; the southern edge is closed;
+the tripolar **seam** (northern edge between the two displaced poles) is
+treated as closed in this serial reference solver — both grid poles are
+land on the synthetic earth, and the fold *topology* is exercised by the
+parallel halo layer (see DESIGN.md, "Known simplifications").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..grids.sphere import arc_length
+from ..grids.tripolar import TripolarGrid
+
+__all__ = ["CGridMetrics", "divergence_c", "grad_x", "grad_y"]
+
+
+@dataclass
+class CGridMetrics:
+    """Face lengths, center spacings, areas, and staggered masks.
+
+    Index conventions for cell (j, i):
+
+    * ``u[j, i]`` lives on the **east** face, between centers (j,i), (j,i+1);
+    * ``v[j, i]`` lives on the **north** face, between centers (j,i), (j+1,i);
+    * east faces wrap periodically in i; the last row's north faces are
+      closed (seam), as is the first row's south edge.
+    """
+
+    area: np.ndarray       # (nlat, nlon) cell areas, m^2
+    dxu: np.ndarray        # (nlat, nlon) center spacing across east face, m
+    dyv: np.ndarray        # (nlat, nlon) center spacing across north face, m
+    ly_east: np.ndarray    # (nlat, nlon) east-face lengths, m
+    lx_north: np.ndarray   # (nlat, nlon) north-face lengths, m
+    mask_c: np.ndarray     # (nlat, nlon) True where cell is ocean
+    mask_u: np.ndarray     # (nlat, nlon) True where the east face is open
+    mask_v: np.ndarray     # (nlat, nlon) True where the north face is open
+    f_c: np.ndarray        # (nlat, nlon) Coriolis parameter at centers
+
+    @staticmethod
+    def build(grid: TripolarGrid) -> "CGridMetrics":
+        r = grid.radius
+        corners = grid.corners  # (nlat+1, nlon+1, 3)
+        centers = grid.centers
+
+        # East face of (j, i): corners (j, i+1) -> (j+1, i+1).
+        ly_east = r * arc_length(corners[:-1, 1:], corners[1:, 1:])
+        # North face of (j, i): corners (j+1, i) -> (j+1, i+1).
+        lx_north = r * arc_length(corners[1:, :-1], corners[1:, 1:])
+
+        # Center spacings (periodic wrap in i for dxu).
+        east_nbr = np.roll(centers, -1, axis=1)
+        dxu = r * arc_length(centers, east_nbr)
+        dyv = np.empty_like(dxu)
+        dyv[:-1] = r * arc_length(centers[:-1], centers[1:])
+        dyv[-1] = dyv[-2]  # seam row: nominal value (faces closed anyway)
+
+        mask_c = grid.mask
+        mask_u = mask_c & np.roll(mask_c, -1, axis=1)
+        mask_v = np.zeros_like(mask_c)
+        mask_v[:-1] = mask_c[:-1] & mask_c[1:]
+        # Seam faces (last row) stay closed: mask_v[-1] already False.
+
+        from ..utils.units import EARTH_OMEGA
+
+        f_c = 2.0 * EARTH_OMEGA * np.sin(grid.lat)
+
+        # Degenerate faces near the seam can have ~zero length; keep the
+        # metric strictly positive where the face is open.
+        dxu = np.maximum(dxu, 1.0)
+        dyv = np.maximum(dyv, 1.0)
+        area = np.maximum(grid.area, 1.0)
+        return CGridMetrics(
+            area=area,
+            dxu=dxu,
+            dyv=dyv,
+            ly_east=np.maximum(ly_east, 0.0),
+            lx_north=np.maximum(lx_north, 0.0),
+            mask_c=mask_c,
+            mask_u=mask_u,
+            mask_v=mask_v,
+            f_c=f_c,
+        )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.area.shape
+
+
+def divergence_c(m: CGridMetrics, flux_u: np.ndarray, flux_v: np.ndarray) -> np.ndarray:
+    """Divergence at centers of face-normal *transports* (m^3/s per face).
+
+    ``flux_u[j, i]`` is the transport through the east face of (j, i)
+    (positive eastward), ``flux_v`` through the north face (positive
+    northward); closed faces must carry zero flux (enforced here).
+    """
+    fu = np.where(m.mask_u, flux_u, 0.0)
+    fv = np.where(m.mask_v, flux_v, 0.0)
+    div = (fu - np.roll(fu, 1, axis=1)) + (fv - np.vstack([np.zeros((1, fv.shape[1])), fv[:-1]]))
+    return np.where(m.mask_c, div / m.area, 0.0)
+
+
+def grad_x(m: CGridMetrics, phi: np.ndarray) -> np.ndarray:
+    """x-gradient at east faces: (phi[j,i+1] - phi[j,i]) / dxu (periodic)."""
+    g = (np.roll(phi, -1, axis=1) - phi) / m.dxu
+    return np.where(m.mask_u, g, 0.0)
+
+
+def grad_y(m: CGridMetrics, phi: np.ndarray) -> np.ndarray:
+    """y-gradient at north faces: (phi[j+1,i] - phi[j,i]) / dyv."""
+    g = np.zeros_like(phi)
+    g[:-1] = (phi[1:] - phi[:-1]) / m.dyv[:-1]
+    return np.where(m.mask_v, g, 0.0)

@@ -1,0 +1,247 @@
+"""LICOM-like ocean component behind the CPL7 contract.
+
+Substep hierarchy per §6.1: **barotropic : baroclinic : tracer =
+2 s : 20 s : 20 s** — kept as exact ratios (10 barotropic substeps per
+baroclinic step, tracers at the baroclinic step), with the absolute step
+set by the barotropic CFL of the grid in use.
+
+The model runs either on the full (nlev, nlat, nlon) box or in
+**compressed mode** (§5.2.2), where every prognostic field is stored
+packed on wet points and unpacked only at the solver boundary — the memory
+ledger exposes the ~30-40 % resident-state saving.
+
+Boundary exchange: imports wind stress, net heat flux, and freshwater
+flux from the coupler; exports SST, SSH, surface currents, and the
+freezing-potential mask the sea-ice component consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..grids.tripolar import TripolarGrid
+from ..utils.timers import TimerRegistry
+from .barotropic import BarotropicSolver, BarotropicState
+from .baroclinic import BaroclinicSolver
+from .compress import Compressor
+from .metrics import CGridMetrics
+from .tracer import TracerSolver
+
+__all__ = ["LicomConfig", "LicomModel"]
+
+BAROTROPIC_SUBSTEPS = 10  # 20 s / 2 s
+
+T_FREEZE = -1.8  # deg C, seawater freezing point
+
+
+@dataclass
+class LicomConfig:
+    nlon: int = 96
+    nlat: int = 64
+    n_levels: int = 20
+    cfl: float = 0.6
+    compressed: bool = False
+    start_time: float = 0.0
+    initial_t_surface: float = 18.0   # deg C
+    initial_s: float = 35.0           # psu
+
+
+class LicomModel:
+    """The ocean component (init / run / finalize, import / export)."""
+
+    name = "ocn"
+
+    def __init__(
+        self,
+        config: LicomConfig | None = None,
+        timers: Optional[TimerRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else LicomConfig()
+        self.timers = timers if timers is not None else TimerRegistry()
+        self._initialized = False
+        self._finalized = False
+
+    # -- CPL7 contract -----------------------------------------------------------
+
+    def init(self) -> None:
+        cfg = self.config
+        self.grid = TripolarGrid.build(cfg.nlon, cfg.nlat, n_levels=cfg.n_levels)
+        self.metrics = CGridMetrics.build(self.grid)
+        self.mask3d = self.grid.levels_mask()
+        self.dz = np.diff(self.grid.z_interfaces)
+
+        self.barotropic = BarotropicSolver(self.metrics, self.grid.depth)
+        self.baroclinic = BaroclinicSolver(self.metrics, self.mask3d, self.dz)
+        self.tracers = TracerSolver(self.metrics, self.mask3d, self.dz)
+
+        self.dt_barotropic = self.barotropic.max_stable_dt(cfg.cfl)
+        self.dt_baroclinic = BAROTROPIC_SUBSTEPS * self.dt_barotropic
+        self.dt_tracer = self.dt_baroclinic
+
+        shape3 = self.mask3d.shape
+        # Initial stratification: warm surface decaying with depth, with a
+        # meridional anomaly that also decays with depth (a deep anomaly
+        # confined to the surface would leave a permanent abyssal pressure
+        # gradient that this advection-free baroclinic core cannot
+        # equilibrate).
+        z_mid = 0.5 * (self.grid.z_interfaces[:-1] + self.grid.z_interfaces[1:])
+        t_prof = 2.0 + (cfg.initial_t_surface - 2.0) * np.exp(-z_mid / 800.0)
+        merid = (cfg.initial_t_surface + 8.0) * np.cos(self.grid.lat) ** 2 - (
+            cfg.initial_t_surface - 2.0
+        )
+        decay = np.exp(-z_mid / 500.0)
+        self.t = np.where(
+            self.mask3d,
+            t_prof[:, None, None] + merid[None, :, :] * decay[:, None, None],
+            0.0,
+        )
+        self.s = np.where(self.mask3d, cfg.initial_s, 0.0)
+        self.u = np.zeros(shape3)
+        self.v = np.zeros(shape3)
+        self.bt = BarotropicState.zeros(self.metrics.shape)
+
+        self.compressor = Compressor(self.mask3d) if cfg.compressed else None
+
+        # Forcing slots (set by import_state).
+        self.taux = np.zeros(self.metrics.shape)
+        self.tauy = np.zeros(self.metrics.shape)
+        self.heat_flux = np.zeros(self.metrics.shape)
+        self.fresh_flux = np.zeros(self.metrics.shape)
+
+        self.time = cfg.start_time
+        self.n_steps = 0
+        self._initialized = True
+
+    def finalize(self) -> Dict[str, float]:
+        self._check_alive()
+        summary = {
+            "steps": float(self.n_steps),
+            "simulated_seconds": self.time - self.config.start_time,
+            "heat_content": self.tracers.content(self.t),
+            "salt_content": self.tracers.content(self.s),
+        }
+        self._finalized = True
+        return summary
+
+    # -- boundary exchange ----------------------------------------------------------
+
+    def import_state(self, fields: Dict[str, np.ndarray]) -> None:
+        """Receive atmosphere/ice forcing (already remapped to this grid)."""
+        self._check_alive()
+        shape = self.metrics.shape
+        for key, target in (
+            ("taux", "taux"), ("tauy", "tauy"),
+            ("heat_flux", "heat_flux"), ("fresh_flux", "fresh_flux"),
+        ):
+            if key in fields:
+                arr = np.asarray(fields[key])
+                if arr.shape != shape:
+                    raise ValueError(f"{key} must be (nlat, nlon)")
+                setattr(self, target, np.where(self.metrics.mask_c, arr, 0.0))
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        self._check_alive()
+        return {
+            "sst": self.t[0].copy(),
+            "sss": self.s[0].copy(),
+            "ssh": self.bt.eta.copy(),
+            "u_surf": self.u[0] + self.bt.u,
+            "v_surf": self.v[0] + self.bt.v,
+            "freezing": (self.t[0] <= T_FREEZE) & self.mask3d[0],
+        }
+
+    # -- stepping ---------------------------------------------------------------------
+
+    def step(self) -> None:
+        """One baroclinic step = 10 barotropic substeps + momentum + tracers."""
+        self._check_alive()
+        with self.timers.timed("ocn_run"):
+            with self.timers.timed("ocn_barotropic"):
+                for _ in range(BAROTROPIC_SUBSTEPS):
+                    self.bt, _ = self.barotropic.step(
+                        self.bt, self.dt_barotropic, self.taux, self.tauy
+                    )
+            with self.timers.timed("ocn_baroclinic"):
+                self.u, self.v = self.baroclinic.step(
+                    self.u, self.v, self.t, self.s, self.dt_baroclinic,
+                    self.taux, self.tauy,
+                )
+            with self.timers.timed("ocn_tracer"):
+                u_tot = self.u + self.bt.u[None]
+                v_tot = self.v + self.bt.v[None]
+                self.t, self.s = self.tracers.step(
+                    self.t, self.s, u_tot, v_tot, self.dt_tracer,
+                    surface_heat_flux=self.heat_flux,
+                    surface_fresh_flux=self.fresh_flux,
+                )
+                # Seawater cannot cool below freezing; the deficit is the
+                # ice-formation signal exported to the sea-ice component.
+                self.t = np.where(
+                    self.mask3d, np.maximum(self.t, T_FREEZE), self.t
+                )
+        self.time += self.dt_baroclinic
+        self.n_steps += 1
+
+    def run(self, n_steps: int) -> None:
+        for _ in range(n_steps):
+            self.step()
+
+    # -- restart I/O (subfile format, §5.2.5) --------------------------------------------
+
+    def save_restart(self, directory) -> None:
+        """Write the prognostic state as a subfile restart set."""
+        self._check_alive()
+        from ..io.restart import save_restart
+
+        save_restart(
+            directory,
+            fields={
+                "t": self.t, "s": self.s, "u": self.u, "v": self.v,
+                "eta": self.bt.eta, "bt_u": self.bt.u, "bt_v": self.bt.v,
+                "taux": self.taux, "tauy": self.tauy,
+                "heat_flux": self.heat_flux, "fresh_flux": self.fresh_flux,
+            },
+            scalars={"time": self.time, "n_steps": float(self.n_steps)},
+        )
+
+    def load_restart(self, directory) -> None:
+        """Restore the prognostic state bit-exactly from a restart set."""
+        self._check_alive()
+        from ..io.restart import load_restart
+
+        fields, scalars = load_restart(directory)
+        self.t = fields["t"]
+        self.s = fields["s"]
+        self.u = fields["u"]
+        self.v = fields["v"]
+        self.bt.eta = fields["eta"]
+        self.bt.u = fields["bt_u"]
+        self.bt.v = fields["bt_v"]
+        self.taux = fields["taux"]
+        self.tauy = fields["tauy"]
+        self.heat_flux = fields["heat_flux"]
+        self.fresh_flux = fields["fresh_flux"]
+        self.time = scalars["time"]
+        self.n_steps = int(scalars["n_steps"])
+
+    # -- compression ledger ------------------------------------------------------------
+
+    def memory_report(self) -> Dict[str, float]:
+        """Resident prognostic-state bytes, full vs compressed (§5.2.2)."""
+        n_fields = 4  # t, s, u, v
+        comp = self.compressor if self.compressor is not None else Compressor(self.mask3d)
+        full, packed = comp.memory_bytes(n_fields=n_fields)
+        return {
+            "full_bytes": float(full),
+            "packed_bytes": float(packed),
+            "reduction": comp.reduction,
+        }
+
+    def _check_alive(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("model not initialized (call init())")
+        if self._finalized:
+            raise RuntimeError("model already finalized")

@@ -1,0 +1,177 @@
+"""Distributed execution of the barotropic solver over the simulated MPI
+runtime — the end-to-end validation of the whole parallel stack.
+
+Each rank owns a :class:`~repro.parallel.decomp.Block2D` of the tripolar
+grid plus a 3-deep halo; every step exchanges (eta, u, v) halos through
+:class:`~repro.parallel.halo.StructuredHalo` and then runs the *same*
+serial :class:`~repro.ocn.barotropic.BarotropicSolver` arithmetic on the
+padded window, keeping only the interior.  Because every stencil reads at
+most 3 points away and the halos carry exact copies of the neighbor state,
+the distributed run is **bit-for-bit identical** to the serial run — the
+paper's §5.1 validation standard, tested in
+``tests/test_ocn_parallel_run.py``.
+
+The per-substep stabilization norm is computed with a fixed-order
+allreduce; it is a diagnostic only, so it does not perturb the state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..grids.tripolar import TripolarGrid
+from ..parallel.comm import SimComm, SimWorld
+from ..parallel.decomp import Block2D, factor_2d
+from ..parallel.halo import StructuredHalo
+from .barotropic import BarotropicSolver, BarotropicState
+from .metrics import CGridMetrics
+
+__all__ = ["distributed_barotropic_run", "local_window"]
+
+PAD = 3  # halo depth: enough for the two-stage forward-backward stencils
+
+
+def _window_rows(y0: int, y1: int, nlat: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Padded row indices (clamped) and a validity mask for out-of-range
+    rows (beyond the south edge / the seam)."""
+    rows = np.arange(y0 - PAD, y1 + PAD)
+    valid = (rows >= 0) & (rows < nlat)
+    return np.clip(rows, 0, nlat - 1), valid
+
+
+def local_window(
+    grid: TripolarGrid,
+    metrics: CGridMetrics,
+    block: Block2D,
+) -> Tuple[CGridMetrics, np.ndarray]:
+    """Metrics and depth restricted to a rank's padded window.
+
+    Columns wrap periodically; rows beyond the global domain are cloned
+    from the edge but fully masked, so no flux crosses them (matching the
+    serial solver's closed south edge and seam).
+    """
+    y0, y1 = block.y_range
+    x0, x1 = block.x_range
+    rows, row_valid = _window_rows(y0, y1, grid.nlat)
+    cols = np.arange(x0 - PAD, x1 + PAD) % grid.nlon
+
+    def slice2(arr: np.ndarray, fill=None) -> np.ndarray:
+        out = arr[np.ix_(rows, cols)].copy()
+        if fill is not None:
+            out[~row_valid, :] = fill
+        return out
+
+    masked = CGridMetrics(
+        area=slice2(metrics.area, fill=1.0),
+        dxu=slice2(metrics.dxu, fill=1.0),
+        dyv=slice2(metrics.dyv, fill=1.0),
+        ly_east=slice2(metrics.ly_east, fill=0.0),
+        lx_north=slice2(metrics.lx_north, fill=0.0),
+        mask_c=slice2(metrics.mask_c, fill=False),
+        mask_u=slice2(metrics.mask_u, fill=False),
+        mask_v=slice2(metrics.mask_v, fill=False),
+        f_c=slice2(metrics.f_c, fill=0.0),
+    )
+    # The global top row's north faces are closed; a padded window whose
+    # top halo rows are clones must keep them closed too (already False
+    # via the fill) — and the row *at* the seam keeps its serial mask.
+    depth = slice2(grid.depth, fill=0.0)
+    return masked, depth
+
+
+def distributed_barotropic_run(
+    grid: TripolarGrid,
+    n_steps: int,
+    n_ranks: int,
+    dt: Optional[float] = None,
+    taux: Optional[np.ndarray] = None,
+    initial_eta: Optional[np.ndarray] = None,
+) -> Tuple[BarotropicState, List[float]]:
+    """Run ``n_steps`` of the barotropic solver on ``n_ranks`` simulated
+    MPI ranks; returns the gathered global state and the per-step norms.
+
+    Requires ``grid.nlon`` divisible by the process-grid x extent (the
+    same constraint the tripolar fold exchange carries).
+    """
+    metrics = CGridMetrics.build(grid)
+    serial_solver = BarotropicSolver(metrics, grid.depth)
+    if dt is None:
+        dt = serial_solver.max_stable_dt()
+    px, py = factor_2d(n_ranks, aspect=grid.nlon / grid.nlat)
+    if grid.nlon % px:
+        raise ValueError(
+            f"nlon={grid.nlon} must divide evenly over px={px} ranks in x"
+        )
+
+    eta0 = initial_eta if initial_eta is not None else np.zeros(metrics.shape)
+
+    def program(comm: SimComm):
+        block = Block2D(grid.nlat, grid.nlon, py, px, comm.rank)
+        local_metrics, local_depth = local_window(grid, metrics, block)
+        solver = BarotropicSolver(local_metrics, local_depth)
+        halo = StructuredHalo(block, width=PAD, tripolar_fold=False)
+
+        y0, y1 = block.y_range
+        x0, x1 = block.x_range
+        ny, nx = block.shape
+        shape_pad = (ny + 2 * PAD, nx + 2 * PAD)
+
+        def padded_from_global(garr: np.ndarray) -> np.ndarray:
+            rows, row_valid = _window_rows(y0, y1, grid.nlat)
+            cols = np.arange(x0 - PAD, x1 + PAD) % grid.nlon
+            out = garr[np.ix_(rows, cols)].copy()
+            out[~row_valid, :] = 0.0
+            return out
+
+        state = BarotropicState(
+            eta=padded_from_global(eta0),
+            u=np.zeros(shape_pad),
+            v=np.zeros(shape_pad),
+        )
+        taux_pad = padded_from_global(taux) if taux is not None else None
+        norms: List[float] = []
+        interior = (slice(PAD, -PAD), slice(PAD, -PAD))
+
+        for _ in range(n_steps):
+            # Refresh halos from the owning ranks.
+            for field in (state.eta, state.u, state.v):
+                halo.exchange(comm, field)
+            new_state, _ = solver.step(state, dt, taux=taux_pad)
+            # Keep only the interior (halo rings are stencil-contaminated).
+            state.eta[interior] = new_state.eta[interior]
+            state.u[interior] = new_state.u[interior]
+            state.v[interior] = new_state.v[interior]
+
+            # Global stabilization norm: fixed-order reduction over ranks,
+            # same normalization as the serial solver (total area; eta is
+            # zero on land anyway).
+            m = local_metrics
+            local_sum = float(np.sum(m.area[interior] * state.eta[interior] ** 2))
+            local_area = float(np.sum(m.area[interior]))
+            total = comm.allreduce(np.array([local_sum, local_area]), op="sum")
+            norms.append(float(np.sqrt(total[0] / max(total[1], 1e-300))))
+
+        return (
+            block.y_range,
+            block.x_range,
+            state.eta[interior].copy(),
+            state.u[interior].copy(),
+            state.v[interior].copy(),
+            norms,
+        )
+
+    world = SimWorld(n_ranks, timeout=60.0)
+    results = world.run(program)
+
+    gathered = BarotropicState.zeros(metrics.shape)
+    norms = results[0][5]
+    for (yr, xr, eta, u, v, _n) in results:
+        ys = slice(yr[0], yr[1])
+        xs = slice(xr[0], xr[1])
+        gathered.eta[ys, xs] = eta
+        gathered.u[ys, xs] = u
+        gathered.v[ys, xs] = v
+    return gathered, norms

@@ -1,0 +1,164 @@
+"""Tracer (T, S) transport: upwind advection + implicit vertical diffusion
++ surface forcing — the 20 s tracer substep of LICOM.
+
+First-order upwind keeps tracers monotone (no spurious extrema — the
+property the test suite pins), and the flux form conserves tracer content
+exactly over the masked domain.  Vertical diffusion reuses the
+Canuto-like coefficients from :mod:`repro.ocn.mixing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..utils.units import CP_OCEAN, RHO_OCEAN
+from .metrics import CGridMetrics
+from .mixing import MixingParams, canuto_kappa, implicit_vertical_diffusion, richardson_number
+from .baroclinic import linear_eos
+
+__all__ = ["TracerSolver"]
+
+
+@dataclass
+class TracerSolver:
+    """Advection-diffusion stepper for level-stack tracers."""
+
+    metrics: CGridMetrics
+    mask3d: np.ndarray
+    dz: np.ndarray
+    horizontal_diffusivity: float = 5.0e2
+    advection_scheme: str = "upwind"   # or "muscl" (2nd order, limited)
+    mixing: MixingParams = field(default_factory=MixingParams)
+
+    def __post_init__(self) -> None:
+        if self.mask3d.shape[1:] != self.metrics.shape:
+            raise ValueError("mask3d must match the horizontal grid")
+        m = self.metrics
+        self.mask_u3 = (self.mask3d & np.roll(self.mask3d, -1, axis=2)) & m.mask_u[None]
+        mv = np.zeros_like(self.mask3d)
+        mv[:, :-1] = self.mask3d[:, :-1] & self.mask3d[:, 1:]
+        self.mask_v3 = mv & m.mask_v[None]
+
+    @staticmethod
+    def _face_values(c: np.ndarray, vel: np.ndarray, shift, scheme: str) -> np.ndarray:
+        """Upwind or minmod-limited second-order face reconstruction.
+
+        ``shift(a, k)`` must return the value at index i+k along the face
+        axis.  The face sits between cells i and i+1.
+        """
+        c_p1 = shift(c, 1)   # cell i+1 (downwind for vel > 0)
+        if scheme == "upwind":
+            return np.where(vel > 0, c, c_p1)
+        # MUSCL with the minmod limiter: face value = upwind cell + half of
+        # the limited slope at the upwind cell.  Reverts to first order at
+        # extrema, keeping the scheme essentially monotone.
+        c_m1 = shift(c, -1)  # cell i-1
+        c_p2 = shift(c, 2)   # cell i+2
+
+        def minmod(a, b):
+            return np.where(a * b > 0, np.sign(a) * np.minimum(np.abs(a), np.abs(b)), 0.0)
+
+        slope_i = minmod(c - c_m1, c_p1 - c)        # slope at cell i
+        slope_p1 = minmod(c_p1 - c, c_p2 - c_p1)    # slope at cell i+1
+        return np.where(vel > 0, c + 0.5 * slope_i, c_p1 - 0.5 * slope_p1)
+
+    def advect(
+        self, c: np.ndarray, u: np.ndarray, v: np.ndarray, dt: float,
+        scheme: str = "upwind",
+    ) -> np.ndarray:
+        """One flux-form advection step of tracer ``c`` by face velocities.
+
+        ``scheme`` is ``"upwind"`` (first order, the LICOM default here) or
+        ``"muscl"`` (second order with a minmod limiter — sharper fronts at
+        the same conservation guarantees).
+        """
+        if scheme not in ("upwind", "muscl"):
+            raise ValueError("scheme must be 'upwind' or 'muscl'")
+        m = self.metrics
+        dz = self.dz.reshape(-1, 1, 1)
+
+        def shift_x(a, k):
+            return np.roll(a, -k, axis=2)  # value at column i+k (periodic)
+
+        def shift_y(a, k):
+            # Value at row j+k, clamped at the closed y boundaries.
+            if k == 0:
+                return a
+            if k > 0:
+                pads = [a[:, -1:]] * k
+                return np.concatenate([a[:, k:]] + pads, axis=1)
+            k = -k
+            pads = [a[:, :1]] * k
+            return np.concatenate(pads + [a[:, :-k]], axis=1)
+
+        c_face_u = self._face_values(c, u, shift_x, scheme)
+        flux_u = np.where(self.mask_u3, u * c_face_u, 0.0) * m.ly_east[None] * dz
+
+        c_face_v = self._face_values(c, v, shift_y, scheme)
+        flux_v = np.where(self.mask_v3, v * c_face_v, 0.0) * m.lx_north[None] * dz
+
+        div = (flux_u - np.roll(flux_u, 1, axis=2)) + (
+            flux_v - np.concatenate([np.zeros_like(flux_v[:, :1]), flux_v[:, :-1]], axis=1)
+        )
+        vol = m.area[None] * dz
+        c_new = c - dt * div / vol
+        return np.where(self.mask3d, c_new, c)
+
+    def diffuse_horizontal(self, c: np.ndarray, dt: float) -> np.ndarray:
+        """Masked explicit horizontal diffusion (small coefficient)."""
+        m = self.metrics
+        cm = np.where(self.mask3d, c, 0.0)
+        east = np.roll(cm, -1, axis=2)
+        west = np.roll(cm, 1, axis=2)
+        north = np.concatenate([cm[:, 1:], cm[:, -1:]], axis=1)
+        south = np.concatenate([cm[:, :1], cm[:, :-1]], axis=1)
+        neigh = (
+            np.roll(self.mask3d, -1, axis=2).astype(float)
+            + np.roll(self.mask3d, 1, axis=2)
+            + np.concatenate([self.mask3d[:, 1:], self.mask3d[:, -1:]], axis=1)
+            + np.concatenate([self.mask3d[:, :1], self.mask3d[:, :-1]], axis=1)
+        )
+        scale = (0.5 * (m.dxu + m.dyv)) ** 2
+        lap = (east + west + north + south - neigh * cm) / scale[None]
+        out = c + dt * self.horizontal_diffusivity * lap
+        return np.where(self.mask3d, out, c)
+
+    def step(
+        self,
+        t: np.ndarray,
+        s: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        dt: float,
+        surface_heat_flux: Optional[np.ndarray] = None,   # W/m^2, positive down
+        surface_fresh_flux: Optional[np.ndarray] = None,  # kg/m^2/s (P - E)
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance (T, S) one tracer substep."""
+        t_new = self.diffuse_horizontal(self.advect(t, u, v, dt, self.advection_scheme), dt)
+        s_new = self.diffuse_horizontal(self.advect(s, u, v, dt, self.advection_scheme), dt)
+
+        rho = linear_eos(t_new, s_new)
+        ri = richardson_number(rho, u, v, self.dz, self.mixing)
+        kappa = canuto_kappa(ri, self.mixing)
+        t_new = implicit_vertical_diffusion(t_new, kappa, self.dz, dt, self.mask3d)
+        s_new = implicit_vertical_diffusion(s_new, kappa, self.dz, dt, self.mask3d)
+
+        surf = self.mask3d[0]
+        if surface_heat_flux is not None:
+            dT = surface_heat_flux * dt / (RHO_OCEAN * CP_OCEAN * self.dz[0])
+            t_new[0] = np.where(surf, t_new[0] + dT, t_new[0])
+        if surface_fresh_flux is not None:
+            # Freshwater dilutes salinity: dS = -S * F dt / (rho dz).
+            dS = -s_new[0] * surface_fresh_flux * dt / (RHO_OCEAN * self.dz[0])
+            s_new[0] = np.where(surf, s_new[0] + dS, s_new[0])
+        return t_new, s_new
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def content(self, c: np.ndarray) -> float:
+        """Volume integral of a tracer over the wet domain."""
+        vol = self.metrics.area[None] * self.dz.reshape(-1, 1, 1)
+        return float(np.sum(np.where(self.mask3d, c * vol, 0.0)))

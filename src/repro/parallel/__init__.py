@@ -1,0 +1,39 @@
+"""Simulated MPI runtime, decompositions, halo exchange, topology tools."""
+
+from .comm import CollectiveCost, Request, SimComm, SimWorld, TrafficLedger
+from .decomp import (
+    Block1D,
+    Block2D,
+    block_ranges,
+    factor_2d,
+    partition_cells_contiguous,
+    partition_cells_space_filling,
+)
+from .halo import GraphHalo, StructuredHalo, local_with_halo
+from .topology import (
+    Placement,
+    comm_graph_from_matrix,
+    greedy_locality_mapping,
+    traffic_split,
+)
+
+__all__ = [
+    "SimWorld",
+    "SimComm",
+    "Request",
+    "TrafficLedger",
+    "CollectiveCost",
+    "block_ranges",
+    "Block1D",
+    "Block2D",
+    "factor_2d",
+    "partition_cells_contiguous",
+    "partition_cells_space_filling",
+    "StructuredHalo",
+    "GraphHalo",
+    "local_with_halo",
+    "Placement",
+    "comm_graph_from_matrix",
+    "greedy_locality_mapping",
+    "traffic_split",
+]

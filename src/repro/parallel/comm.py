@@ -1,0 +1,570 @@
+"""A simulated MPI runtime executed with threads.
+
+The paper runs on up to 37.2 million MPI ranks.  This library splits that
+concern in two: *functional* parallel semantics are validated here with a
+real SPMD runtime (each rank is a thread; messages really move between
+ranks), while *performance at scale* is predicted by the analytic machine
+model in :mod:`repro.machine`, fed by the exact message counts/sizes this
+runtime records in its :class:`TrafficLedger`.
+
+The API deliberately mirrors mpi4py (``send/recv/isend/irecv``,
+``bcast/scatter/gather/allgather/allreduce/alltoall/barrier``), so the
+component code reads like ordinary MPI code.
+
+Example
+-------
+>>> from repro.parallel import SimWorld
+>>> def program(comm):
+...     import numpy as np
+...     x = np.array([float(comm.rank)])
+...     return comm.allreduce(x, op="sum")[0]
+>>> SimWorld(4).run(program)
+[6.0, 6.0, 6.0, 6.0]
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SimWorld", "SimComm", "Request", "TrafficLedger", "CollectiveCost"]
+
+ANY_TAG = -1
+
+
+@dataclass
+class CollectiveCost:
+    """Analytic message accounting for one collective call.
+
+    ``messages`` and ``bytes`` follow the standard algorithm models
+    (binomial-tree broadcast/reduce, recursive-doubling allreduce, pairwise
+    alltoall); the machine model converts them to time.
+    """
+
+    op: str
+    n_ranks: int
+    messages: int
+    bytes: int
+
+
+class TrafficLedger:
+    """Thread-safe record of every message the simulated world moved.
+
+    Point-to-point traffic is recorded per (src, dst) edge, which lets the
+    coupler benchmarks compare the all-to-all and non-blocking
+    point-to-point rearrangers on real traffic matrices, and lets the
+    topology module estimate fat-tree congestion.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.p2p_messages = 0
+        self.p2p_bytes = 0
+        self.edges: Dict[Tuple[int, int], int] = {}
+        self.collectives: List[CollectiveCost] = []
+
+    def record_p2p(self, src: int, dst: int, nbytes: int) -> None:
+        with self._lock:
+            self.p2p_messages += 1
+            self.p2p_bytes += nbytes
+            self.edges[(src, dst)] = self.edges.get((src, dst), 0) + nbytes
+
+    def record_collective(self, cost: CollectiveCost) -> None:
+        with self._lock:
+            self.collectives.append(cost)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self.p2p_bytes + sum(c.bytes for c in self.collectives)
+
+    @property
+    def total_messages(self) -> int:
+        with self._lock:
+            return self.p2p_messages + sum(c.messages for c in self.collectives)
+
+    def traffic_matrix(self, n_ranks: int) -> np.ndarray:
+        """Dense (n_ranks, n_ranks) byte matrix of point-to-point traffic."""
+        mat = np.zeros((n_ranks, n_ranks), dtype=np.int64)
+        with self._lock:
+            for (src, dst), nbytes in self.edges.items():
+                mat[src, dst] += nbytes
+        return mat
+
+
+def _payload_nbytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, bool)):
+        return 8
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(k) + _payload_nbytes(v) for k, v in obj.items())
+    return 64  # opaque Python object: nominal envelope size
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Value semantics for sends, like MPI buffer copies."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_copy_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+class _Mailbox:
+    """Per-rank inbound message store with condition-variable waiting."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._messages: deque = deque()  # (src, tag, payload)
+
+    def put(self, src: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._messages.append((src, tag, payload))
+            self._cond.notify_all()
+
+    def _match(self, src: Optional[int], tag: int):
+        for i, (msrc, mtag, payload) in enumerate(self._messages):
+            if (src is None or msrc == src) and (tag == ANY_TAG or mtag == tag):
+                del self._messages[i]
+                return msrc, mtag, payload
+        return None
+
+    def get(self, src: Optional[int], tag: int, timeout: float) -> Tuple[int, int, Any]:
+        deadline = None if timeout is None else (threading.TIMEOUT_MAX if timeout < 0 else timeout)
+        with self._cond:
+            found = self._match(src, tag)
+            while found is None:
+                if not self._cond.wait(timeout=deadline):
+                    raise TimeoutError(
+                        f"recv(src={src}, tag={tag}) timed out after {timeout}s"
+                    )
+                found = self._match(src, tag)
+            return found
+
+    def probe(self, src: Optional[int], tag: int) -> bool:
+        with self._cond:
+            for msrc, mtag, _ in self._messages:
+                if (src is None or msrc == src) and (tag == ANY_TAG or mtag == tag):
+                    return True
+            return False
+
+
+class Request:
+    """Handle for a non-blocking operation (like ``MPI.Request``)."""
+
+    def __init__(self, fn: Callable[[], Any], eager: bool = False) -> None:
+        self._fn = fn
+        self._done = False
+        self._result: Any = None
+        if eager:
+            self.wait()
+
+    def test(self) -> bool:
+        return self._done
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._result = self._fn()
+            self._done = True
+        return self._result
+
+    @staticmethod
+    def waitall(requests: Sequence["Request"]) -> List[Any]:
+        return [r.wait() for r in requests]
+
+
+class _WorldState:
+    """Shared state for a set of ranks: mailboxes, rendezvous, ledger."""
+
+    def __init__(self, n_ranks: int, timeout: float) -> None:
+        self.n_ranks = n_ranks
+        self.timeout = timeout
+        self.mailboxes = [_Mailbox() for _ in range(n_ranks)]
+        self.ledger = TrafficLedger()
+        self.barrier = threading.Barrier(n_ranks)
+        self._rendezvous_lock = threading.Lock()
+        self._slots: Dict[str, List[Any]] = {}
+
+    def exchange(self, key: str, rank: int, value: Any) -> List[Any]:
+        """All ranks deposit a value under ``key``; all get the full list.
+
+        This is the rendezvous primitive on which the collectives are
+        built.  Two barriers bracket the slot table so that consecutive
+        collectives with the same key cannot race.
+        """
+        with self._rendezvous_lock:
+            slots = self._slots.setdefault(key, [None] * self.n_ranks)
+        slots[rank] = value
+        self.barrier.wait()
+        result = list(slots)
+        self.barrier.wait()
+        if rank == 0:
+            with self._rendezvous_lock:
+                self._slots.pop(key, None)
+        return result
+
+
+class SimComm:
+    """Per-rank communicator handle (the analogue of an ``MPI.Comm``)."""
+
+    def __init__(self, world: _WorldState, rank: int, color_key: str = "world") -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.n_ranks
+        self._color_key = color_key
+        self._coll_seq = 0
+
+    # -- point to point ------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (buffered) send with value semantics."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range for size {self.size}")
+        payload = _copy_payload(obj)
+        self._world.ledger.record_p2p(self.rank, dest, _payload_nbytes(payload))
+        self._world.mailboxes[dest].put(self.rank, tag, payload)
+
+    def recv(self, source: Optional[int] = None, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; ``source=None`` means any source."""
+        _, _, payload = self._world.mailboxes[self.rank].get(
+            source, tag, self._world.timeout
+        )
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        # Buffered semantics: the copy happens immediately, delivery too —
+        # the Request exists so caller code matches real non-blocking MPI.
+        self.send(obj, dest, tag)
+        return Request(lambda: None, eager=True)
+
+    def irecv(self, source: Optional[int] = None, tag: int = ANY_TAG) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    def sendrecv(
+        self, obj: Any, dest: int, source: Optional[int] = None,
+        sendtag: int = 0, recvtag: int = ANY_TAG,
+    ) -> Any:
+        req = self.isend(obj, dest, sendtag)
+        out = self.recv(source, recvtag)
+        req.wait()
+        return out
+
+    def probe(self, source: Optional[int] = None, tag: int = ANY_TAG) -> bool:
+        return self._world.mailboxes[self.rank].probe(source, tag)
+
+    # -- collectives -----------------------------------------------------
+
+    def _key(self, op: str) -> str:
+        self._coll_seq += 1
+        return f"{self._color_key}:{op}:{self._coll_seq}"
+
+    def barrier(self) -> None:
+        self._world.exchange(self._key("barrier"), self.rank, None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        values = self._world.exchange(self._key("bcast"), self.rank, obj if self.rank == root else None)
+        payload = values[root]
+        if self.rank == root:
+            nbytes = _payload_nbytes(payload)
+            depth = max(1, math.ceil(math.log2(max(2, self.size))))
+            self._world.ledger.record_collective(
+                CollectiveCost("bcast", self.size, self.size - 1, nbytes * depth)
+            )
+            return payload
+        return _copy_payload(payload)
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("root must supply one object per rank")
+        values = self._world.exchange(self._key("scatter"), self.rank, objs if self.rank == root else None)
+        chunks = values[root]
+        if self.rank == root:
+            total = sum(_payload_nbytes(c) for i, c in enumerate(chunks) if i != root)
+            self._world.ledger.record_collective(
+                CollectiveCost("scatter", self.size, self.size - 1, total)
+            )
+            return chunks[root]
+        return _copy_payload(chunks[self.rank])
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        values = self._world.exchange(self._key("gather"), self.rank, obj)
+        if self.rank == root:
+            total = sum(_payload_nbytes(v) for i, v in enumerate(values) if i != root)
+            self._world.ledger.record_collective(
+                CollectiveCost("gather", self.size, self.size - 1, total)
+            )
+            return [_copy_payload(v) for v in values]
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        values = self._world.exchange(self._key("allgather"), self.rank, obj)
+        if self.rank == 0:
+            per = _payload_nbytes(obj)
+            self._world.ledger.record_collective(
+                CollectiveCost("allgather", self.size, self.size * (self.size - 1), per * (self.size - 1))
+            )
+        return [_copy_payload(v) for v in values]
+
+    _OPS: Dict[str, Callable] = {
+        "sum": lambda vals: _tree_reduce(vals, lambda a, b: a + b),
+        "max": lambda vals: _tree_reduce(vals, np.maximum),
+        "min": lambda vals: _tree_reduce(vals, np.minimum),
+        "prod": lambda vals: _tree_reduce(vals, lambda a, b: a * b),
+    }
+
+    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any:
+        if op not in self._OPS:
+            raise ValueError(f"unknown reduce op {op!r}; choose from {sorted(self._OPS)}")
+        values = self._world.exchange(self._key(f"reduce-{op}"), self.rank, obj)
+        if self.rank == root:
+            nbytes = _payload_nbytes(obj)
+            depth = max(1, math.ceil(math.log2(max(2, self.size))))
+            self._world.ledger.record_collective(
+                CollectiveCost(f"reduce-{op}", self.size, self.size - 1, nbytes * depth)
+            )
+            return self._OPS[op](values)
+        return None
+
+    def allreduce(self, obj: Any, op: str = "sum") -> Any:
+        if op not in self._OPS:
+            raise ValueError(f"unknown reduce op {op!r}; choose from {sorted(self._OPS)}")
+        values = self._world.exchange(self._key(f"allreduce-{op}"), self.rank, obj)
+        result = self._OPS[op](values)
+        if self.rank == 0:
+            nbytes = _payload_nbytes(obj)
+            depth = max(1, math.ceil(math.log2(max(2, self.size))))
+            # Recursive doubling: log2(P) rounds, one message each way/rank.
+            self._world.ledger.record_collective(
+                CollectiveCost(f"allreduce-{op}", self.size, self.size * depth, nbytes * self.size * depth)
+            )
+        return _copy_payload(result)
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Each rank supplies one object per destination rank."""
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs exactly one object per rank")
+        values = self._world.exchange(self._key("alltoall"), self.rank, list(objs))
+        out = [_copy_payload(values[src][self.rank]) for src in range(self.size)]
+        off_diag = sum(_payload_nbytes(o) for i, o in enumerate(objs) if i != self.rank)
+        self._world.ledger.record_collective(
+            CollectiveCost("alltoall", self.size, self.size - 1, off_diag)
+        )
+        return out
+
+    def split(self, color: int, key: Optional[int] = None) -> "SimComm":
+        """Partition the communicator by color (like ``MPI_Comm_split``).
+
+        The sub-communicator reuses the parent world's mailboxes via a rank
+        translation table, so p2p and collectives stay correct within the
+        group.
+        """
+        key = self.rank if key is None else key
+        entries = self._world.exchange(self._key("split"), self.rank, (color, key, self.rank))
+        members = sorted(
+            (k, wr) for (c, k, wr) in entries if c == color
+        )
+        world_ranks = [wr for _, wr in members]
+        return _SubComm(self._world, world_ranks, self.rank, f"{self._color_key}/c{color}")
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def ledger(self) -> TrafficLedger:
+        return self._world.ledger
+
+
+class _SubComm(SimComm):
+    """Communicator over a subset of world ranks (result of ``split``)."""
+
+    def __init__(self, world: _WorldState, world_ranks: List[int], my_world_rank: int, color_key: str) -> None:
+        self._world = world
+        self._world_ranks = world_ranks
+        self.rank = world_ranks.index(my_world_rank)
+        self.size = len(world_ranks)
+        self._color_key = color_key
+        self._coll_seq = 0
+        # P2p translates group ranks to world ranks; tags are offset so that
+        # subcomm traffic cannot be matched by world-comm receives or by a
+        # different split's subcomm (zlib.crc32 is process-stable and
+        # identical across ranks for the same color key).
+        import zlib
+
+        self._TAG_OFFSET = ((zlib.crc32(color_key.encode()) % 997) + 1) << 20
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        world_dest = self._world_ranks[dest]
+        payload = _copy_payload(obj)
+        self._world.ledger.record_p2p(
+            self._world_ranks[self.rank], world_dest, _payload_nbytes(payload)
+        )
+        self._world.mailboxes[world_dest].put(
+            self.rank, tag + self._TAG_OFFSET, payload
+        )
+
+    def recv(self, source: Optional[int] = None, tag: int = ANY_TAG) -> Any:
+        wtag = tag if tag == ANY_TAG else tag + self._TAG_OFFSET
+        my_world = self._world_ranks[self.rank]
+        _, _, payload = self._world.mailboxes[my_world].get(source, wtag, self._world.timeout)
+        return payload
+
+    # For subcomms we route collectives through gather-to-0 + bcast over p2p.
+    def _key(self, op: str) -> str:
+        self._coll_seq += 1
+        return f"{self._color_key}:{op}:{self._coll_seq}"
+
+    def _gather0(self, obj: Any, tag: int) -> Optional[List[Any]]:
+        if self.rank == 0:
+            out: List[Any] = [None] * self.size
+            out[0] = obj
+            for _ in range(self.size - 1):
+                r, payload = self.recv(tag=tag)
+                out[r] = payload
+            return out
+        self.send((self.rank, obj), 0, tag=tag)
+        return None
+
+    def _bcast0(self, obj: Any, tag: int) -> Any:
+        if self.rank == 0:
+            for dst in range(1, self.size):
+                self.send(obj, dst, tag=tag)
+            return obj
+        return self.recv(source=0, tag=tag)
+
+    def barrier(self) -> None:
+        self._gather0((self.rank, None), tag=901)
+        self._bcast0(None, tag=902)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if root != 0:
+            # Rotate through rank 0.
+            if self.rank == root:
+                self.send(obj, 0, tag=903)
+            if self.rank == 0:
+                obj = self.recv(source=root, tag=903)
+        return self._bcast0(obj if self.rank == 0 else None, tag=904)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        gathered = self._gather0(obj, tag=905)
+        if root == 0:
+            return gathered if self.rank == 0 else None
+        if self.rank == 0:
+            self.send(gathered, root, tag=906)
+            return None
+        if self.rank == root:
+            return self.recv(source=0, tag=906)
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        gathered = self._gather0(obj, tag=907)
+        return self._bcast0(gathered, tag=908)
+
+    def allreduce(self, obj: Any, op: str = "sum") -> Any:
+        values = self.allgather(obj)
+        return SimComm._OPS[op](values)
+
+    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any:
+        values = self.gather(obj, root=root)
+        if values is not None:
+            return SimComm._OPS[op](values)
+        return None
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs exactly one object per rank")
+        matrix = self.allgather(list(objs))
+        return [matrix[src][self.rank] for src in range(self.size)]
+
+    def split(self, color: int, key: Optional[int] = None):  # pragma: no cover
+        raise NotImplementedError("nested splits of subcommunicators are not supported")
+
+
+def _tree_reduce(values: Sequence[Any], op: Callable) -> Any:
+    """Fixed-order pairwise reduction: deterministic regardless of thread
+    arrival order (the bit-for-bit property the paper validates)."""
+    vals = [(_copy_payload(v)) for v in values]
+    while len(vals) > 1:
+        nxt = []
+        for i in range(0, len(vals) - 1, 2):
+            nxt.append(op(vals[i], vals[i + 1]))
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
+
+
+class SimWorld:
+    """Launches an SPMD program over ``n_ranks`` simulated MPI ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks (threads). Functional tests typically use 2–64.
+    timeout:
+        Seconds a blocking receive may wait before declaring deadlock.
+    """
+
+    def __init__(self, n_ranks: int, timeout: float = 30.0) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self._timeout = timeout
+        self._state: Optional[_WorldState] = None
+
+    @property
+    def ledger(self) -> TrafficLedger:
+        if self._state is None:
+            raise RuntimeError("world has not run yet")
+        return self._state.ledger
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank; return results.
+
+        Exceptions on any rank are re-raised in the caller (first failing
+        rank wins), after all threads have been joined.
+        """
+        state = _WorldState(self.n_ranks, self._timeout)
+        self._state = state
+        results: List[Any] = [None] * self.n_ranks
+        errors: List[Tuple[int, BaseException]] = []
+        errors_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            comm = SimComm(state, rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                with errors_lock:
+                    errors.append((rank, exc))
+                state.barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"simrank-{r}", daemon=True)
+            for r in range(self.n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            errors.sort(key=lambda e: e[0])
+            # Prefer the root cause over secondary BrokenBarrierErrors that
+            # other ranks see when the failing rank aborts the barrier.
+            primary = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
+            rank, exc = (primary or errors)[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results

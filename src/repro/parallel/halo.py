@@ -1,0 +1,242 @@
+"""Halo (ghost-cell) exchange for block-decomposed structured grids and
+index-list exchange for unstructured grids.
+
+Two exchangers are provided:
+
+* :class:`StructuredHalo` — width-``w`` halos on a 2-D block decomposition
+  with periodic longitude and an optional tripolar fold across the top row
+  (the LICOM grid's treatment of the two displaced north poles).
+* :class:`GraphHalo` — generic send/recv index lists, used by the
+  icosahedral atmosphere and by the ocean component after non-ocean point
+  compression rebuilds its communication topology.
+
+Both operate through a :class:`repro.parallel.comm.SimComm`, so every
+exchanged byte lands in the traffic ledger the machine model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .comm import Request, SimComm
+from .decomp import Block2D
+
+__all__ = ["StructuredHalo", "GraphHalo", "local_with_halo"]
+
+
+def local_with_halo(local: np.ndarray, width: int) -> np.ndarray:
+    """Allocate a halo-padded array with the local field in its interior."""
+    if local.ndim < 2:
+        raise ValueError("expected at least a 2-D (ny, nx) field")
+    ny, nx = local.shape[:2]
+    padded = np.zeros((ny + 2 * width, nx + 2 * width) + local.shape[2:], dtype=local.dtype)
+    padded[width : width + ny, width : width + nx] = local
+    return padded
+
+
+@dataclass
+class StructuredHalo:
+    """Halo exchanger for one rank of a 2-D block decomposition.
+
+    Parameters
+    ----------
+    block:
+        This rank's :class:`Block2D` placement.
+    width:
+        Halo width in grid points.
+    periodic_x:
+        Longitude wrap (on for global ocean grids).
+    tripolar_fold:
+        If True, the top global row exchanges with itself reversed in x —
+        the tripolar grid's seam between its two artificial north poles.
+    """
+
+    block: Block2D
+    width: int = 1
+    periodic_x: bool = True
+    tripolar_fold: bool = False
+
+    _TAG_BASE = 7000
+
+    def exchange(self, comm: SimComm, padded: np.ndarray) -> None:
+        """In-place halo update of a halo-padded local array.
+
+        The exchange is the standard two-phase scheme (x sweep then y
+        sweep) so that corner halos are filled without diagonal messages —
+        the same trick production models use to halve message count.
+        """
+        w = self.width
+        ny, nx = padded.shape[0] - 2 * w, padded.shape[1] - 2 * w
+        if ny != self.block.shape[0] or nx != self.block.shape[1]:
+            raise ValueError("padded array does not match block shape")
+
+        self._sweep_x(comm, padded, w)
+        self._sweep_y(comm, padded, w)
+
+    # -- internals ----------------------------------------------------------
+
+    def _post(self, comm: SimComm, dest: int, tag: int, buf: np.ndarray) -> Request:
+        return comm.isend(np.ascontiguousarray(buf), dest, tag=tag)
+
+    def _sweep_x(self, comm: SimComm, padded: np.ndarray, w: int) -> None:
+        left = self.block.neighbor(0, -1, periodic_x=self.periodic_x)
+        right = self.block.neighbor(0, +1, periodic_x=self.periodic_x)
+        reqs: List[Request] = []
+        if right is not None:
+            reqs.append(self._post(comm, right, self._TAG_BASE + 0, padded[:, -2 * w : -w]))
+        if left is not None:
+            reqs.append(self._post(comm, left, self._TAG_BASE + 1, padded[:, w : 2 * w]))
+        if left is not None:
+            padded[:, :w] = comm.recv(source=left, tag=self._TAG_BASE + 0)
+        if right is not None:
+            padded[:, -w:] = comm.recv(source=right, tag=self._TAG_BASE + 1)
+        Request.waitall(reqs)
+
+    def _sweep_y(self, comm: SimComm, padded: np.ndarray, w: int) -> None:
+        down = self.block.neighbor(-1, 0)   # toward j=0 (south)
+        up = self.block.neighbor(+1, 0)     # toward j=ny-1 (north)
+        reqs: List[Request] = []
+        if up is not None:
+            reqs.append(self._post(comm, up, self._TAG_BASE + 2, padded[-2 * w : -w, :]))
+        if down is not None:
+            reqs.append(self._post(comm, down, self._TAG_BASE + 3, padded[w : 2 * w, :]))
+        if down is not None:
+            padded[:w, :] = comm.recv(source=down, tag=self._TAG_BASE + 2)
+        if up is not None:
+            padded[-w:, :] = comm.recv(source=up, tag=self._TAG_BASE + 3)
+        Request.waitall(reqs)
+
+        if self.tripolar_fold and up is None:
+            self._fold(comm, padded, w)
+
+    def _fold(self, comm: SimComm, padded: np.ndarray, w: int) -> None:
+        """Tripolar seam: the top row maps to itself with x reversed.
+
+        A point at global longitude index i on the last row is adjacent
+        (across the seam) to the point at ``nxg - 1 - i``.  The partner
+        block is therefore the x-mirrored block in the top process row.
+        """
+        if self.block.nx % self.block.px:
+            raise ValueError(
+                "tripolar fold requires nx divisible by px so that mirrored "
+                "blocks align exactly"
+            )
+        iy, ix = self.block.coords
+        partner_ix = self.block.px - 1 - ix
+        partner = iy * self.block.px + partner_ix
+        # Send my top interior rows; receive partner's, reversed in x.
+        send = np.ascontiguousarray(padded[-2 * w : -w, w:-w][::-1, ::-1])
+        if partner == comm.rank:
+            padded[-w:, w:-w] = send
+        else:
+            req = comm.isend(send, partner, tag=self._TAG_BASE + 4)
+            padded[-w:, w:-w] = comm.recv(source=partner, tag=self._TAG_BASE + 4)
+            req.wait()
+
+
+class GraphHalo:
+    """Index-list halo exchange for unstructured or compressed grids.
+
+    Parameters
+    ----------
+    send_lists:
+        Mapping neighbor rank -> local indices whose values that neighbor
+        needs (into the *owned* portion of the local array).
+    recv_lists:
+        Mapping neighbor rank -> local indices (into the *halo* portion of
+        the local array) to be filled from that neighbor, in the order the
+        neighbor sends them.
+
+    The two maps must be mutually consistent across ranks: ``len(
+    send_lists[q])`` on rank p equals ``len(recv_lists[p])`` on rank q.
+    """
+
+    _TAG = 7100
+
+    def __init__(
+        self,
+        send_lists: Dict[int, np.ndarray],
+        recv_lists: Dict[int, np.ndarray],
+    ) -> None:
+        self.send_lists = {r: np.asarray(ix, dtype=np.int64) for r, ix in sorted(send_lists.items())}
+        self.recv_lists = {r: np.asarray(ix, dtype=np.int64) for r, ix in sorted(recv_lists.items())}
+
+    @property
+    def n_neighbors(self) -> int:
+        return len(set(self.send_lists) | set(self.recv_lists))
+
+    def bytes_per_exchange(self, itemsize: int = 8, n_fields: int = 1) -> int:
+        """Outgoing bytes per exchange — the machine model's halo term."""
+        n = sum(len(ix) for ix in self.send_lists.values())
+        return n * itemsize * n_fields
+
+    def exchange(self, comm: SimComm, values: np.ndarray) -> None:
+        """Fill the halo entries of ``values`` in place.
+
+        ``values`` holds owned entries followed by halo entries; the index
+        lists address it directly.
+        """
+        reqs = [
+            comm.isend(np.ascontiguousarray(values[ix]), nbr, tag=self._TAG)
+            for nbr, ix in self.send_lists.items()
+        ]
+        for nbr, ix in self.recv_lists.items():
+            values[ix] = comm.recv(source=nbr, tag=self._TAG)
+        Request.waitall(reqs)
+
+    @staticmethod
+    def from_owners(
+        owners: np.ndarray,
+        needed: Dict[int, np.ndarray],
+        rank: int,
+        global_to_local: Dict[int, int],
+        halo_global: Sequence[int],
+    ) -> "GraphHalo":
+        """Build exchange lists from an owner array and halo requirements.
+
+        Parameters
+        ----------
+        owners:
+            Global owner rank per global index.
+        needed:
+            For *every* rank r, the sorted global indices r needs as halo
+            (each rank can compute this locally from the mesh; passing the
+            full map keeps this a deterministic pure function for tests).
+        rank:
+            This rank.
+        global_to_local:
+            This rank's global->local index map for owned entries.
+        halo_global:
+            Global indices of this rank's halo entries, in local order
+            (owned entries come first in the local array).
+        """
+        send_lists: Dict[int, List[int]] = {}
+        for other, globs in needed.items():
+            if other == rank:
+                continue
+            mine = [g for g in np.asarray(globs) if owners[g] == rank]
+            if mine:
+                send_lists[other] = [global_to_local[g] for g in mine]
+
+        n_owned = len(global_to_local)
+        recv_lists: Dict[int, List[int]] = {}
+        for local_off, g in enumerate(halo_global):
+            owner = int(owners[g])
+            recv_lists.setdefault(owner, []).append(n_owned + local_off)
+        # Receive order must match the sender's send order (sorted by the
+        # sender's local index == sorted by global index for block owners);
+        # we therefore sort each recv list by the halo entry's global index.
+        for owner in recv_lists:
+            pairs = sorted(
+                zip([halo_global[i - n_owned] for i in recv_lists[owner]], recv_lists[owner])
+            )
+            recv_lists[owner] = [loc for _, loc in pairs]
+        for other in send_lists:
+            send_lists[other] = sorted(send_lists[other])
+        return GraphHalo(
+            {r: np.array(v, dtype=np.int64) for r, v in send_lists.items()},
+            {r: np.array(v, dtype=np.int64) for r, v in recv_lists.items()},
+        )

@@ -1,0 +1,55 @@
+"""Performance-portability layer: Kokkos-style Views/execution spaces/
+parallel dispatch, the hash-based kernel registry (Sunway TMP workaround),
+and the SWGOMP directive-style loop offload."""
+
+from .execspace import (
+    CPECluster,
+    ExecutionSpace,
+    GPUDevice,
+    HostThreads,
+    KernelStats,
+    Serial,
+)
+from .kernels import (
+    MDRangePolicy,
+    TileProfile,
+    parallel_for,
+    parallel_reduce,
+    parallel_scan,
+)
+from .registry import HybridDispatcher, KernelRegistry, kernel_hash
+from .swgomp import OffloadStats, TargetLoop, target
+from .view import (
+    Layout,
+    MemorySpace,
+    TransferLedger,
+    View,
+    create_mirror_view,
+    deep_copy,
+)
+
+__all__ = [
+    "ExecutionSpace",
+    "Serial",
+    "HostThreads",
+    "CPECluster",
+    "GPUDevice",
+    "KernelStats",
+    "MDRangePolicy",
+    "TileProfile",
+    "parallel_for",
+    "parallel_reduce",
+    "parallel_scan",
+    "KernelRegistry",
+    "kernel_hash",
+    "HybridDispatcher",
+    "target",
+    "TargetLoop",
+    "OffloadStats",
+    "View",
+    "Layout",
+    "MemorySpace",
+    "TransferLedger",
+    "create_mirror_view",
+    "deep_copy",
+]

@@ -1,0 +1,132 @@
+"""Execution spaces: where (and in what shape) a parallel kernel runs.
+
+The paper's portability claim is that the *same* kernels execute on a
+Sunway CG (1 MPE + 64 CPEs), on an ORISE GPU, or serially on a host CPU.
+We reproduce that contract: an :class:`ExecutionSpace` turns an iteration
+range into a set of **chunks** (what a CPE, a GPU thread block, or the
+single serial lane would own) and executes a vectorized functor over each
+chunk.  Because the chunks partition the index space and the functor is
+applied to disjoint slices, every space produces bit-identical results —
+the property tested by ``tests/test_pp_kernels.py`` and claimed in §5.3.
+
+Each space also carries the *cost parameters* the machine model uses to
+price a kernel on that hardware (lanes, per-lane throughput, launch
+overhead), so that "which backend is faster" is a modeled quantity, not a
+hard-coded answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ExecutionSpace",
+    "Serial",
+    "HostThreads",
+    "CPECluster",
+    "GPUDevice",
+    "KernelStats",
+]
+
+
+@dataclass
+class KernelStats:
+    """Per-space accumulated kernel launch statistics."""
+
+    launches: int = 0
+    iterations: int = 0
+
+    def record(self, n: int) -> None:
+        self.launches += 1
+        self.iterations += n
+
+
+@dataclass(frozen=True)
+class ExecutionSpace:
+    """Base class: a named set of parallel lanes with cost parameters.
+
+    Parameters
+    ----------
+    name:
+        Human-readable space name.
+    lanes:
+        Number of concurrent hardware lanes (CPEs, SIMT threads, ...).
+    flops_per_lane:
+        Sustained FLOP/s per lane — used only by the cost model.
+    launch_overhead_s:
+        Fixed kernel launch cost in modeled seconds.
+    """
+
+    name: str
+    lanes: int
+    flops_per_lane: float
+    launch_overhead_s: float
+
+    def chunks(self, n: int) -> Iterator[np.ndarray]:
+        """Partition ``range(n)`` into per-lane contiguous index chunks."""
+        if n < 0:
+            raise ValueError("iteration count must be >= 0")
+        lanes = min(self.lanes, max(1, n))
+        bounds = np.linspace(0, n, lanes + 1).astype(np.int64)
+        for k in range(lanes):
+            lo, hi = bounds[k], bounds[k + 1]
+            if hi > lo:
+                yield np.arange(lo, hi, dtype=np.int64)
+
+    def modeled_time(self, flops: float, n_launches: int = 1) -> float:
+        """Modeled seconds to execute ``flops`` spread over all lanes."""
+        if flops < 0:
+            raise ValueError("flops must be >= 0")
+        return n_launches * self.launch_overhead_s + flops / (
+            self.lanes * self.flops_per_lane
+        )
+
+
+def Serial() -> ExecutionSpace:
+    """Single host lane (the MPE-only baseline in the paper's Table 2)."""
+    return ExecutionSpace("Serial", lanes=1, flops_per_lane=3.2e9, launch_overhead_s=0.0)
+
+
+def HostThreads(n_threads: int = 8) -> ExecutionSpace:
+    """Multicore host backend (OpenMP on a commodity CPU)."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    return ExecutionSpace(
+        "HostThreads", lanes=n_threads, flops_per_lane=3.2e9, launch_overhead_s=2e-6
+    )
+
+
+@dataclass(frozen=True)
+class _CPEClusterSpace(ExecutionSpace):
+    """ExecutionSpace plus the CPE local-device-memory capacity."""
+
+    ldm_bytes: int = 256 * 1024
+
+
+def CPECluster(n_cpes: int = 64, ldm_bytes: int = 256 * 1024) -> ExecutionSpace:
+    """One Sunway SW26010P core group: 64 CPEs, 256 KB LDM each.
+
+    The LDM capacity bounds the tile size :func:`repro.pp.kernels.parallel_for`
+    may hand to one CPE when tiling is requested.
+    """
+    if n_cpes < 1:
+        raise ValueError("n_cpes must be >= 1")
+    return _CPEClusterSpace(
+        "CPECluster",
+        lanes=n_cpes,
+        flops_per_lane=1.1e10,
+        launch_overhead_s=5e-6,
+        ldm_bytes=ldm_bytes,
+    )
+
+
+def GPUDevice(n_threads: int = 4096) -> ExecutionSpace:
+    """One ORISE HIP accelerator (MI60-class SIMT device)."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    return ExecutionSpace(
+        "GPUDevice", lanes=n_threads, flops_per_lane=1.6e9, launch_overhead_s=1e-5
+    )

@@ -1,0 +1,228 @@
+"""Space-polymorphic parallel dispatch: ``parallel_for`` / ``parallel_reduce``
+with flat ranges and tiled multi-dimensional ranges (``MDRangePolicy``).
+
+The functor contract is **vectorized**: a flat-range functor receives a
+numpy index array (one chunk of the iteration space) and performs its work
+for all of them; an MDRange functor receives one tuple of index arrays per
+dimension (a tile, in ``np.ix_``-ready form).  Backends differ only in how
+they cut the index space — results are bit-identical across execution
+spaces because chunks are disjoint and ordered.
+
+``parallel_reduce`` combines per-chunk partial results with a fixed-order
+pairwise tree, so the reduction is deterministic for every space and lane
+count (the bit-for-bit validation property of §5.1).
+
+``MDRangePolicy`` supports the "finer-grained tile profiling" the paper
+attributes to its Kokkos port: pass ``profile=True`` and per-tile
+iteration counts/shapes are recorded on the returned :class:`TileProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .execspace import ExecutionSpace, KernelStats
+
+__all__ = [
+    "MDRangePolicy",
+    "TileProfile",
+    "parallel_for",
+    "parallel_reduce",
+    "parallel_scan",
+]
+
+
+@dataclass(frozen=True)
+class MDRangePolicy:
+    """A multi-dimensional iteration space with a tile shape.
+
+    Parameters
+    ----------
+    extents:
+        Iteration extents per dimension, e.g. ``(nz, ny, nx)``.
+    tile:
+        Tile shape; defaults to the full extent in every dimension but the
+        first (so tiles are "pencils" along the leading dimension, the
+        layout-friendly choice for LayoutRight data).
+    """
+
+    extents: Tuple[int, ...]
+    tile: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.extents or any(e < 0 for e in self.extents):
+            raise ValueError("extents must be a non-empty tuple of >= 0")
+        if self.tile is not None:
+            if len(self.tile) != len(self.extents):
+                raise ValueError("tile rank must match extents rank")
+            if any(t < 1 for t in self.tile):
+                raise ValueError("tile sizes must be >= 1")
+
+    @property
+    def effective_tile(self) -> Tuple[int, ...]:
+        if self.tile is not None:
+            return self.tile
+        return (1,) + tuple(max(1, e) for e in self.extents[1:])
+
+    def tiles(self) -> List[Tuple[np.ndarray, ...]]:
+        """All tiles, each a tuple of per-dimension index arrays."""
+        tile = self.effective_tile
+        per_dim: List[List[np.ndarray]] = []
+        for extent, t in zip(self.extents, tile):
+            starts = range(0, extent, t)
+            per_dim.append([np.arange(s, min(s + t, extent), dtype=np.int64) for s in starts])
+        out: List[Tuple[np.ndarray, ...]] = []
+
+        def rec(dim: int, prefix: Tuple[np.ndarray, ...]) -> None:
+            if dim == len(per_dim):
+                out.append(prefix)
+                return
+            for idx in per_dim[dim]:
+                rec(dim + 1, prefix + (idx,))
+
+        rec(0, ())
+        return out
+
+    @property
+    def n_iterations(self) -> int:
+        n = 1
+        for e in self.extents:
+            n *= e
+        return n
+
+
+@dataclass
+class TileProfile:
+    """Per-tile execution record (shape and iteration count)."""
+
+    tiles: List[Tuple[Tuple[int, ...], int]] = field(default_factory=list)
+
+    def record(self, shape: Tuple[int, ...]) -> None:
+        n = 1
+        for s in shape:
+            n *= s
+        self.tiles.append((shape, n))
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(n for _, n in self.tiles)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean tile size — 1.0 means perfectly uniform tiles."""
+        if not self.tiles:
+            return 0.0
+        sizes = [n for _, n in self.tiles]
+        return max(sizes) / (sum(sizes) / len(sizes))
+
+
+def parallel_for(
+    space: ExecutionSpace,
+    policy,
+    functor: Callable,
+    stats: Optional[KernelStats] = None,
+    profile: bool = False,
+) -> Optional[TileProfile]:
+    """Execute ``functor`` over an iteration space on ``space``.
+
+    ``policy`` is either an int ``n`` (flat range; functor receives an index
+    array) or an :class:`MDRangePolicy` (functor receives one index array
+    per dimension).  Returns a :class:`TileProfile` when ``profile=True``
+    and the policy is an MDRange.
+    """
+    if isinstance(policy, MDRangePolicy):
+        prof = TileProfile() if profile else None
+        for tile in policy.tiles():
+            functor(*tile)
+            if prof is not None:
+                prof.record(tuple(len(ix) for ix in tile))
+        if stats is not None:
+            stats.record(policy.n_iterations)
+        return prof
+    n = int(policy)
+    for chunk in space.chunks(n):
+        functor(chunk)
+    if stats is not None:
+        stats.record(n)
+    return None
+
+
+def parallel_reduce(
+    space: ExecutionSpace,
+    policy,
+    functor: Callable,
+    combine: Callable = np.add,
+    stats: Optional[KernelStats] = None,
+):
+    """Reduce per-chunk partial results with a deterministic pairwise tree.
+
+    ``functor(chunk_indices) -> partial`` for flat ranges, or
+    ``functor(*tile_indices) -> partial`` for MDRanges.  ``combine`` must be
+    associative-enough for the application (floating-point addition order is
+    fixed, so results are reproducible bit-for-bit on every space).
+    """
+    partials = []
+    if isinstance(policy, MDRangePolicy):
+        for tile in policy.tiles():
+            partials.append(functor(*tile))
+        n = policy.n_iterations
+    else:
+        n = int(policy)
+        for chunk in space.chunks(n):
+            partials.append(functor(chunk))
+    if stats is not None:
+        stats.record(n)
+    if not partials:
+        raise ValueError("empty iteration space has no reduction identity here")
+    return _tree_combine(partials, combine)
+
+
+def parallel_scan(
+    space: ExecutionSpace,
+    n: int,
+    values: np.ndarray,
+    stats: Optional[KernelStats] = None,
+) -> np.ndarray:
+    """Exclusive prefix sum over ``values`` (length ``n``).
+
+    Implemented chunk-wise like a two-pass GPU scan: per-chunk local scans,
+    then a serial scan of chunk totals, then offset application — the
+    dependency structure real backends use, with identical output.
+    """
+    values = np.asarray(values)
+    if values.shape[0] != n:
+        raise ValueError("values length must equal n")
+    out = np.empty_like(values)
+    chunk_list = list(space.chunks(n))
+    totals = []
+    for chunk in chunk_list:
+        v = values[chunk]
+        local = np.cumsum(v, axis=0)
+        out[chunk] = local - v  # exclusive
+        totals.append(local[-1] if len(v) else np.zeros_like(values[0]))
+    offset = np.zeros_like(values[0]) if n else None
+    for chunk, total in zip(chunk_list, totals):
+        out[chunk] += offset
+        offset = offset + total
+    if stats is not None:
+        stats.record(n)
+    return out
+
+
+def _tree_combine(partials: Sequence, combine: Callable):
+    vals = list(partials)
+    while len(vals) > 1:
+        nxt = []
+        for i in range(0, len(vals) - 1, 2):
+            nxt.append(combine(vals[i], vals[i + 1]))
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]

@@ -1,0 +1,129 @@
+"""SWGOMP: directive-style loop offload for the Fortran-side components.
+
+The paper's atmosphere/ice/land components are made portable with OpenMP
+``!$omp target`` directives, compiled for Sunway CPEs by the SWGOMP
+compiler plugin ("OpenMP-driven automatic loop space mapping on Sunway's
+computing processing elements").  This module reproduces the *programming
+model*: a decorator that declares a function to be a conflict-free loop
+over its first argument's leading extent, maps the loop space onto a target
+execution space in static/chunked schedules, and records offload
+statistics.
+
+Usage::
+
+    @target(schedule="static")
+    def saturate(q, qs):          # loop body, vectorized over rows
+        np.minimum(q, qs, out=q)
+
+    saturate.offload(space, q, qs)   # runs chunk-wise on `space`
+    saturate(q, qs)                  # plain call still works (host path)
+
+The decorated function must be **conflict-free**: chunk c only writes rows
+of its outputs indexed by chunk c (the same contract ``!$omp target`` teams
+require).  A debug validator (``validate=True``) checks this by comparing
+the offloaded result against a serial execution.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .execspace import ExecutionSpace, Serial
+
+__all__ = ["target", "OffloadStats", "TargetLoop"]
+
+
+@dataclass
+class OffloadStats:
+    """Accumulated offload accounting for one decorated loop."""
+
+    offloads: int = 0
+    rows: int = 0
+    chunks: int = 0
+
+    def record(self, n_rows: int, n_chunks: int) -> None:
+        self.offloads += 1
+        self.rows += n_rows
+        self.chunks += n_chunks
+
+
+class TargetLoop:
+    """A loop-shaped function that can execute on any execution space."""
+
+    def __init__(self, fn: Callable, schedule: str, chunk: Optional[int]) -> None:
+        if schedule not in ("static", "chunked"):
+            raise ValueError("schedule must be 'static' or 'chunked'")
+        if schedule == "chunked" and (chunk is None or chunk < 1):
+            raise ValueError("chunked schedule requires a positive chunk size")
+        self._fn = fn
+        self.schedule = schedule
+        self.chunk = chunk
+        self.stats = OffloadStats()
+        functools.update_wrapper(self, fn)
+
+    def __call__(self, *arrays: np.ndarray, **kwargs):
+        """Plain host execution (the un-offloaded Fortran path)."""
+        return self._fn(*arrays, **kwargs)
+
+    def _chunks(self, space: ExecutionSpace, n: int) -> List[slice]:
+        # Chunks are *slices* (views), so in-place writes by the loop body
+        # land in the caller's arrays — fancy-index chunks would copy.
+        if self.schedule == "static":
+            return [slice(int(ix[0]), int(ix[-1]) + 1) for ix in space.chunks(n)]
+        assert self.chunk is not None
+        return [slice(s, min(s + self.chunk, n)) for s in range(0, n, self.chunk)]
+
+    def offload(self, space: ExecutionSpace, *arrays: np.ndarray, validate: bool = False, **kwargs) -> None:
+        """Run the loop chunk-wise on ``space`` by row-slicing every array.
+
+        All positional arguments must share the same leading extent (the
+        loop dimension).  With ``validate=True`` the result is checked
+        against a serial reference execution — the debug mode used when
+        porting a loop whose conflict-freedom is uncertain.
+        """
+        if not arrays:
+            raise ValueError("offload needs at least one array argument")
+        n = arrays[0].shape[0]
+        for a in arrays[1:]:
+            if a.shape[0] != n:
+                raise ValueError(
+                    "all offloaded arrays must share the loop (leading) extent"
+                )
+        reference = None
+        if validate:
+            reference = [a.copy() for a in arrays]
+            self._fn(*reference, **kwargs)
+
+        chunks = self._chunks(space, n)
+        for idx in chunks:
+            self._fn(*(a[idx] for a in arrays), **kwargs)
+        self.stats.record(n, len(chunks))
+
+        if reference is not None:
+            for got, want in zip(arrays, reference):
+                if not np.array_equal(got, want):
+                    raise RuntimeError(
+                        f"loop {self.__name__!r} is not conflict-free: offloaded "
+                        "result differs from the serial reference"
+                    )
+
+
+def target(schedule: str = "static", chunk: Optional[int] = None) -> Callable[[Callable], TargetLoop]:
+    """Decorator marking a function as an ``!$omp target``-style loop.
+
+    Parameters
+    ----------
+    schedule:
+        ``"static"`` — one contiguous chunk per lane (SWGOMP's default
+        mapping); ``"chunked"`` — fixed ``chunk`` rows per dispatch (used
+        when per-row work is very uneven).
+    """
+
+    def deco(fn: Callable) -> TargetLoop:
+        return TargetLoop(fn, schedule, chunk)
+
+    return deco

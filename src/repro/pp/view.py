@@ -1,0 +1,173 @@
+"""Kokkos-style Views: multi-dimensional arrays with explicit layout and
+memory space.
+
+A ``View`` wraps a numpy array and tags it with
+
+* a **layout** — ``LayoutRight`` (C, rows contiguous: the CPU/CPE-friendly
+  layout) or ``LayoutLeft`` (Fortran, columns contiguous: the
+  coalesced-access GPU layout), and
+* a **memory space** — where the data "lives" in the simulated machine
+  (host DDR, CPE local device memory, GPU HBM).
+
+``create_mirror_view`` and ``deep_copy`` reproduce the Kokkos idioms the
+LICOMK++ port relies on; the byte volume of every host<->device copy is
+recorded so the machine model can charge PCIe/DMA time for it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Layout",
+    "MemorySpace",
+    "View",
+    "create_mirror_view",
+    "deep_copy",
+    "TransferLedger",
+]
+
+
+class Layout(enum.Enum):
+    """Index-to-memory mapping order."""
+
+    RIGHT = "LayoutRight"  # C order: last index fastest (CPU caches)
+    LEFT = "LayoutLeft"    # Fortran order: first index fastest (GPU coalescing)
+
+
+class MemorySpace(enum.Enum):
+    """Where a View's allocation lives in the simulated machine."""
+
+    HOST = "HostSpace"         # node DDR (MPE-visible)
+    CPE_LDM = "CPELocalSpace"  # Sunway CPE local device memory (256 KB scratch)
+    DEVICE = "DeviceSpace"     # GPU HBM (ORISE accelerators)
+
+
+class TransferLedger:
+    """Records host<->device copy volume for the machine cost model."""
+
+    def __init__(self) -> None:
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.copies = 0
+
+    def record(self, src_space: MemorySpace, dst_space: MemorySpace, nbytes: int) -> None:
+        self.copies += 1
+        if src_space is MemorySpace.HOST and dst_space is not MemorySpace.HOST:
+            self.h2d_bytes += nbytes
+        elif src_space is not MemorySpace.HOST and dst_space is MemorySpace.HOST:
+            self.d2h_bytes += nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+
+#: Process-wide default transfer ledger (tests may install their own).
+DEFAULT_TRANSFER_LEDGER = TransferLedger()
+
+
+@dataclass
+class View:
+    """A labeled, layout- and space-tagged array (Kokkos ``View``).
+
+    Construct with :meth:`View.alloc` or wrap an existing array with
+    :meth:`View.of`.  The underlying data is always available as ``.data``
+    (a numpy array whose memory order matches the layout tag).
+    """
+
+    label: str
+    data: np.ndarray
+    layout: Layout
+    space: MemorySpace
+
+    @staticmethod
+    def alloc(
+        label: str,
+        shape: Sequence[int],
+        dtype=np.float64,
+        layout: Layout = Layout.RIGHT,
+        space: MemorySpace = MemorySpace.HOST,
+    ) -> "View":
+        order = "C" if layout is Layout.RIGHT else "F"
+        return View(label, np.zeros(tuple(shape), dtype=dtype, order=order), layout, space)
+
+    @staticmethod
+    def of(
+        label: str,
+        array: np.ndarray,
+        space: MemorySpace = MemorySpace.HOST,
+    ) -> "View":
+        layout = Layout.LEFT if array.flags.f_contiguous and not array.flags.c_contiguous else Layout.RIGHT
+        return View(label, array, layout, space)
+
+    # -- ergonomics -------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self.data[idx] = value
+
+    def fill(self, value) -> None:
+        self.data.fill(value)
+
+    def relayout(self, layout: Layout) -> "View":
+        """Copy into the requested layout (no-op if already there)."""
+        if layout is self.layout:
+            return self
+        order = "C" if layout is Layout.RIGHT else "F"
+        return View(self.label, np.asarray(self.data, order=order).copy(order=order), layout, self.space)
+
+
+def create_mirror_view(view: View, space: MemorySpace) -> View:
+    """A View with the same extents in another memory space.
+
+    Like Kokkos, if the source already lives in the target space the source
+    itself is returned (zero-copy); otherwise a fresh allocation is made
+    (contents NOT copied — pair with :func:`deep_copy`).
+    """
+    if view.space is space:
+        return view
+    order = "C" if view.layout is Layout.RIGHT else "F"
+    mirror = View(
+        f"{view.label}::mirror",
+        np.zeros(view.shape, dtype=view.dtype, order=order),
+        view.layout,
+        space,
+    )
+    return mirror
+
+
+def deep_copy(
+    dst: View,
+    src: View,
+    ledger: Optional[TransferLedger] = None,
+) -> None:
+    """Copy ``src`` into ``dst`` (possibly across spaces and layouts).
+
+    Space-crossing copies are recorded in the transfer ledger, which the
+    ORISE machine model converts into PCIe/DMA time (16 GB/s per the paper's
+    hardware description).
+    """
+    if dst.shape != src.shape:
+        raise ValueError(f"shape mismatch: {dst.shape} vs {src.shape}")
+    dst.data[...] = src.data
+    if dst.space is not src.space:
+        (ledger or DEFAULT_TRANSFER_LEDGER).record(src.space, dst.space, src.nbytes)

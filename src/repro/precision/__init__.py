@@ -1,0 +1,25 @@
+"""Group-wise scaling FP64/FP32 mixed precision and acceptance metrics."""
+
+from .groupscale import GroupScaled32, quantize_roundtrip_error
+from .metrics import (
+    GRIST_REL_L2_THRESHOLD,
+    LICOM_RMSD_THRESHOLDS,
+    AcceptanceReport,
+    area_weighted_rmsd,
+    evaluate_licom_acceptance,
+    relative_l2,
+)
+from .policy import Precision, PrecisionPolicy
+
+__all__ = [
+    "GroupScaled32",
+    "quantize_roundtrip_error",
+    "Precision",
+    "PrecisionPolicy",
+    "relative_l2",
+    "area_weighted_rmsd",
+    "GRIST_REL_L2_THRESHOLD",
+    "LICOM_RMSD_THRESHOLDS",
+    "AcceptanceReport",
+    "evaluate_licom_acceptance",
+]

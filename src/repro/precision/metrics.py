@@ -1,0 +1,128 @@
+"""Mixed-precision acceptance metrics (§5.2.3).
+
+"For GRIST, we measured surface pressure and relative vorticity deviations
+using the relative L2 norm against double-precision baselines, with a 5 %
+error threshold for long-term stability.  For LICOM, which uses tripolar
+grids, we incorporated grid area into root mean square deviation (RMSD)
+calculations.  Averaging 30 days of daily data, RMSD values were 0.018 C
+for temperature, 0.0098 psu for salinity, and 0.0005 m for sea surface
+height."
+
+These exact thresholds are encoded here so the mixed-precision benchmark
+reports pass/fail against the paper's own acceptance criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "relative_l2",
+    "area_weighted_rmsd",
+    "GRIST_REL_L2_THRESHOLD",
+    "LICOM_RMSD_THRESHOLDS",
+    "AcceptanceReport",
+    "evaluate_licom_acceptance",
+]
+
+#: GRIST acceptance: relative L2 of surface pressure / vorticity < 5 %.
+GRIST_REL_L2_THRESHOLD = 0.05
+
+#: LICOM published 30-day RMSD values (paper's measured numbers; we accept
+#: anything at or below the same order).
+LICOM_RMSD_THRESHOLDS = {
+    "temperature": 0.018,   # deg C
+    "salinity": 0.0098,     # psu
+    "ssh": 0.0005,          # m
+}
+
+
+def relative_l2(test: np.ndarray, reference: np.ndarray) -> float:
+    """||test - reference||_2 / ||reference||_2."""
+    test = np.asarray(test, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if test.shape != reference.shape:
+        raise ValueError("shape mismatch")
+    denom = float(np.linalg.norm(reference.ravel()))
+    if denom == 0.0:
+        raise ValueError("reference norm is zero")
+    return float(np.linalg.norm((test - reference).ravel())) / denom
+
+
+def area_weighted_rmsd(
+    test: np.ndarray,
+    reference: np.ndarray,
+    area: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> float:
+    """sqrt( sum(area * (test-ref)^2) / sum(area) ) over (masked) cells.
+
+    The tripolar-grid form the paper uses: plain RMSD would overweight the
+    many small polar cells.
+    """
+    test = np.asarray(test, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    area = np.asarray(area, dtype=np.float64)
+    if test.shape != reference.shape:
+        raise ValueError("shape mismatch")
+    if area.shape != test.shape[-area.ndim :]:
+        raise ValueError("area must match the trailing (spatial) axes")
+    w = area.copy()
+    if mask is not None:
+        w = np.where(mask, w, 0.0)
+    total = w.sum() * (test.size / w.size)
+    if total <= 0:
+        raise ValueError("no weight in the masked region")
+    sq = (test - reference) ** 2 * w
+    return float(np.sqrt(sq.sum() / total))
+
+
+@dataclass(frozen=True)
+class AcceptanceReport:
+    """Measured-vs-threshold record for one acceptance variable."""
+
+    name: str
+    measured: float
+    threshold: float
+
+    @property
+    def passed(self) -> bool:
+        return self.measured <= self.threshold
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        return f"{self.name}: {self.measured:.3e} (<= {self.threshold:.3e}) {mark}"
+
+
+def evaluate_licom_acceptance(
+    daily_t: Sequence[np.ndarray],
+    daily_s: Sequence[np.ndarray],
+    daily_ssh: Sequence[np.ndarray],
+    ref_t: Sequence[np.ndarray],
+    ref_s: Sequence[np.ndarray],
+    ref_ssh: Sequence[np.ndarray],
+    area: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Dict[str, AcceptanceReport]:
+    """30-day-mean area-weighted RMSD for (T, S, SSH) vs FP64 reference."""
+    if not (len(daily_t) == len(ref_t) and len(daily_s) == len(ref_s) and len(daily_ssh) == len(ref_ssh)):
+        raise ValueError("test/reference day counts differ")
+
+    def mean_rmsd(tests, refs):
+        vals = [area_weighted_rmsd(a, b, area, mask) for a, b in zip(tests, refs)]
+        return float(np.mean(vals))
+
+    return {
+        "temperature": AcceptanceReport(
+            "temperature", mean_rmsd(daily_t, ref_t), LICOM_RMSD_THRESHOLDS["temperature"]
+        ),
+        "salinity": AcceptanceReport(
+            "salinity", mean_rmsd(daily_s, ref_s), LICOM_RMSD_THRESHOLDS["salinity"]
+        ),
+        "ssh": AcceptanceReport(
+            "ssh", mean_rmsd(daily_ssh, ref_ssh), LICOM_RMSD_THRESHOLDS["ssh"]
+        ),
+    }

@@ -1,0 +1,43 @@
+"""Shared utilities: timers, units/constants, deterministic RNG."""
+
+from .namelist import NamelistError, parse_namelist, read_namelist, write_namelist
+from .rng import derive_seed, seeded
+from .timers import TimerRegistry, TimingReport, get_timing
+from .units import (
+    DAYS_PER_YEAR,
+    EARTH_OMEGA,
+    EARTH_RADIUS,
+    GRAVITY,
+    SECONDS_PER_DAY,
+    SECONDS_PER_YEAR,
+    parallel_efficiency,
+    resolution_to_cell_km,
+    sdpd_from_sypd,
+    sypd_from_sdpd,
+    sypd_from_walltime,
+    walltime_from_sypd,
+)
+
+__all__ = [
+    "TimerRegistry",
+    "parse_namelist",
+    "read_namelist",
+    "write_namelist",
+    "NamelistError",
+    "TimingReport",
+    "get_timing",
+    "seeded",
+    "derive_seed",
+    "DAYS_PER_YEAR",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_YEAR",
+    "EARTH_RADIUS",
+    "EARTH_OMEGA",
+    "GRAVITY",
+    "sypd_from_walltime",
+    "walltime_from_sypd",
+    "sdpd_from_sypd",
+    "sypd_from_sdpd",
+    "parallel_efficiency",
+    "resolution_to_cell_km",
+]

@@ -1,0 +1,158 @@
+"""Fortran-namelist configuration files.
+
+CESM/CPL7 configure everything through Fortran namelists, and the paper's
+components inherit that culture ("large legacy codes").  This module
+parses and writes the `&group ... /` format so AP3ESM configurations can
+be driven from the same kind of file a CESM user would expect:
+
+    &ap3esm_nml
+      atm_level = 4
+      ocn_nlon = 96, ocn_nlat = 64
+      physics = 'conventional'          ! the AI suite plugs in at runtime
+      couple_ratio = 5
+    /
+
+Supported value types: integers, reals (including Fortran's ``1.d0``
+exponent form), logicals (``.true.``/``.false.``/T/F), quoted strings, and
+comma-separated lists of those.  ``!`` comments are stripped.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = ["parse_namelist", "read_namelist", "write_namelist", "NamelistError"]
+
+
+class NamelistError(ValueError):
+    """Raised for malformed namelist text."""
+
+
+_GROUP_RE = re.compile(r"&\s*([A-Za-z_]\w*)(.*?)(?:^|\s)/", re.DOTALL | re.MULTILINE)
+_ASSIGN_RE = re.compile(r"([A-Za-z_]\w*)\s*=\s*")
+
+
+def _parse_scalar(token: str) -> Any:
+    token = token.strip()
+    if not token:
+        raise NamelistError("empty value")
+    low = token.lower()
+    if low in (".true.", "t", ".t."):
+        return True
+    if low in (".false.", "f", ".f."):
+        return False
+    if (token[0] == token[-1] == "'" or token[0] == token[-1] == '"') and len(token) >= 2:
+        return token[1:-1]
+    # Fortran double-precision exponents: 1.5d3 -> 1.5e3.
+    numeric = re.sub(r"[dD]([+-]?\d+)$", r"e\1", token)
+    try:
+        return int(numeric)
+    except ValueError:
+        pass
+    try:
+        return float(numeric)
+    except ValueError:
+        raise NamelistError(f"cannot parse value {token!r}") from None
+
+
+def _split_values(text: str) -> List[str]:
+    """Split a value blob on commas, respecting quoted strings."""
+    parts: List[str] = []
+    buf = []
+    quote = None
+    for ch in text:
+        if quote:
+            buf.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            buf.append(ch)
+        elif ch == ",":
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    if buf and "".join(buf).strip():
+        parts.append("".join(buf))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def parse_namelist(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse namelist text into {group: {variable: value}}.
+
+    Scalar assignments give scalars; comma-separated assignments give
+    lists.  Duplicate variables within a group: the last wins (Fortran
+    semantics).
+    """
+    # Strip ! comments (not inside quotes — handled by a simple scan).
+    lines = []
+    for line in text.splitlines():
+        out = []
+        quote = None
+        for ch in line:
+            if quote:
+                out.append(ch)
+                if ch == quote:
+                    quote = None
+            elif ch in "'\"":
+                quote = ch
+                out.append(ch)
+            elif ch == "!":
+                break
+            else:
+                out.append(ch)
+        lines.append("".join(out))
+    clean = "\n".join(lines)
+
+    groups: Dict[str, Dict[str, Any]] = {}
+    matched_any = False
+    for gm in _GROUP_RE.finditer(clean):
+        matched_any = True
+        name = gm.group(1).lower()
+        body = gm.group(2)
+        vars_: Dict[str, Any] = {}
+        assigns = list(_ASSIGN_RE.finditer(body))
+        for i, am in enumerate(assigns):
+            key = am.group(1).lower()
+            end = assigns[i + 1].start() if i + 1 < len(assigns) else len(body)
+            raw = body[am.end() : end].strip().rstrip(",")
+            values = [_parse_scalar(v) for v in _split_values(raw)]
+            if not values:
+                raise NamelistError(f"variable {key!r} has no value")
+            vars_[key] = values[0] if len(values) == 1 else values
+        groups[name] = vars_
+    if not matched_any and clean.strip():
+        raise NamelistError("no namelist groups found (missing '&group ... /')")
+    return groups
+
+
+def read_namelist(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    return parse_namelist(Path(path).read_text())
+
+
+def _format_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return ".true." if value else ".false."
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)
+
+
+def write_namelist(path: Union[str, Path], groups: Dict[str, Dict[str, Any]]) -> None:
+    """Write {group: {var: value}} in namelist format (round-trips with
+    :func:`read_namelist`)."""
+    lines: List[str] = []
+    for name, vars_ in groups.items():
+        lines.append(f"&{name}")
+        for key, value in vars_.items():
+            if isinstance(value, (list, tuple)):
+                rendered = ", ".join(_format_scalar(v) for v in value)
+            else:
+                rendered = _format_scalar(value)
+            lines.append(f"  {key} = {rendered}")
+        lines.append("/")
+        lines.append("")
+    Path(path).write_text("\n".join(lines))

@@ -1,0 +1,33 @@
+"""Deterministic random-number helpers.
+
+Every stochastic piece of the library (synthetic initial states, AI-physics
+training data, workload generators) draws from generators created here so
+that tests and benchmarks are reproducible bit-for-bit across runs — the
+same property the paper relies on for its bit-for-bit coupled-model
+validation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["seeded", "derive_seed"]
+
+
+def derive_seed(*parts: object) -> int:
+    """Derive a stable 63-bit seed from arbitrary labeled parts.
+
+    Hashing (rather than summing) keeps distinct label tuples statistically
+    independent: ``derive_seed("atm", 3)`` and ``derive_seed("ocn", 3)``
+    share no structure.
+    """
+    payload = "\x1f".join(repr(p) for p in parts).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+def seeded(*parts: object) -> np.random.Generator:
+    """A numpy Generator deterministically seeded from labeled parts."""
+    return np.random.default_rng(derive_seed(*parts))

@@ -1,0 +1,239 @@
+"""GPTL-style hierarchical timer registry.
+
+The paper measures all performance with "timers from the GPTL in Coupler 7,
+with the maximum value across all MPI ranks recorded", and derives SYPD with
+the ``getTiming`` script.  This module reproduces that machinery:
+
+* :class:`TimerRegistry` — named, nestable start/stop timers with call
+  counts, accumulated wall time, and parent/child structure (like GPTL).
+* :func:`get_timing` — the ``getTiming`` equivalent: given per-rank timer
+  registries and the simulated interval, reports max-across-ranks wall time
+  and the derived SYPD/SDPD.
+
+Timers accept an injectable clock so that simulated executions (where
+"wall time" comes from the machine performance model rather than the host
+CPU) use exactly the same accounting path as real runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "TimerNode",
+    "TimerRegistry",
+    "TimingReport",
+    "get_timing",
+]
+
+
+@dataclass
+class TimerNode:
+    """Accumulated statistics for one named timer."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+    children: Dict[str, "TimerNode"] = field(default_factory=dict)
+    _started_at: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        self.min = min(self.min, elapsed)
+        self.max = max(self.max, elapsed)
+
+
+class TimerRegistry:
+    """A GPTL-like registry of nestable named timers.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time in seconds.
+        Defaults to :func:`time.perf_counter`.  Simulated runs pass the
+        virtual clock of the machine model.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._root = TimerNode(name="<root>")
+        self._stack: List[TimerNode] = [self._root]
+
+    # -- core API ----------------------------------------------------------
+
+    def start(self, name: str) -> None:
+        """Start (or resume) the timer ``name`` nested under the current one."""
+        if any(n.name == name for n in self._stack[1:]):
+            raise RuntimeError(f"timer {name!r} already running")
+        parent = self._stack[-1]
+        node = parent.children.get(name)
+        if node is None:
+            node = TimerNode(name=name)
+            parent.children[name] = node
+        if node.running:
+            raise RuntimeError(f"timer {name!r} already running")
+        node._started_at = self._clock()
+        self._stack.append(node)
+
+    def stop(self, name: str) -> float:
+        """Stop timer ``name``; it must be the innermost running timer."""
+        node = self._stack[-1]
+        if node is self._root or node.name != name:
+            raise RuntimeError(
+                f"timer nesting violation: tried to stop {name!r}, "
+                f"innermost is {node.name!r}"
+            )
+        assert node._started_at is not None
+        elapsed = self._clock() - node._started_at
+        node._started_at = None
+        node.record(elapsed)
+        self._stack.pop()
+        return elapsed
+
+    def timed(self, name: str):
+        """Context manager form: ``with registry.timed("atm_run"): ...``."""
+        registry = self
+
+        class _Ctx:
+            def __enter__(self) -> None:
+                registry.start(name)
+
+            def __exit__(self, *exc) -> None:
+                registry.stop(name)
+
+        return _Ctx()
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Directly credit ``elapsed`` seconds to a top-level timer.
+
+        Used by the machine performance model, which computes durations
+        analytically instead of measuring them.
+        """
+        node = self._root.children.get(name)
+        if node is None:
+            node = TimerNode(name=name)
+            self._root.children[name] = node
+        node.record(elapsed)
+
+    # -- queries -----------------------------------------------------------
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for ``name``, searched depth-first."""
+        node = self._find(self._root, name)
+        if node is None:
+            raise KeyError(name)
+        return node.total
+
+    def names(self) -> List[str]:
+        out: List[str] = []
+
+        def walk(node: TimerNode) -> None:
+            for child in node.children.values():
+                out.append(child.name)
+                walk(child)
+
+        walk(self._root)
+        return out
+
+    def _find(self, node: TimerNode, name: str) -> Optional[TimerNode]:
+        for child in node.children.values():
+            if child.name == name:
+                return child
+            found = self._find(child, name)
+            if found is not None:
+                return found
+        return None
+
+    def report(self, indent: int = 2) -> str:
+        """Human-readable nested report (like ``gptl`` output)."""
+        lines = [f"{'timer':<40}{'calls':>8}{'total(s)':>14}{'mean(s)':>14}"]
+
+        def walk(node: TimerNode, depth: int) -> None:
+            for child in node.children.values():
+                pad = " " * (indent * depth)
+                lines.append(
+                    f"{pad + child.name:<40}{child.count:>8}"
+                    f"{child.total:>14.6f}{child.mean:>14.6f}"
+                )
+                walk(child, depth + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of :func:`get_timing`: the ``getTiming``-script equivalent."""
+
+    timer: str
+    n_ranks: int
+    max_seconds: float
+    min_seconds: float
+    mean_seconds: float
+    simulated_days: float
+    sypd: float
+    sdpd: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.timer}: max {self.max_seconds:.4f}s over {self.n_ranks} "
+            f"ranks for {self.simulated_days:.2f} simulated days "
+            f"-> {self.sypd:.3f} SYPD ({self.sdpd:.1f} SDPD)"
+        )
+
+
+def get_timing(
+    registries: Iterable[TimerRegistry],
+    timer: str,
+    simulated_days: float,
+) -> TimingReport:
+    """Aggregate per-rank timers into an SYPD figure.
+
+    Mirrors the paper's measurement mechanism: "Wall-clock time measurements
+    are obtained using timers ... with the maximum value across all MPI ranks
+    recorded to account for potential load imbalance."
+
+    Parameters
+    ----------
+    registries:
+        One :class:`TimerRegistry` per (simulated) MPI rank.
+    timer:
+        Name of the timer covering the model run loop.
+    simulated_days:
+        Length of the simulated interval in model days.
+    """
+    totals = [reg.total(timer) for reg in registries]
+    if not totals:
+        raise ValueError("no registries supplied")
+    if simulated_days <= 0:
+        raise ValueError("simulated_days must be positive")
+    max_s = max(totals)
+    if max_s <= 0:
+        raise ValueError(f"timer {timer!r} accumulated no time")
+    seconds_per_day = 86400.0
+    days_per_year = 365.0
+    # SYPD = simulated years per wall-clock day.
+    sypd = (simulated_days / days_per_year) / (max_s / seconds_per_day)
+    return TimingReport(
+        timer=timer,
+        n_ranks=len(totals),
+        max_seconds=max_s,
+        min_seconds=min(totals),
+        mean_seconds=sum(totals) / len(totals),
+        simulated_days=simulated_days,
+        sypd=sypd,
+        sdpd=sypd * days_per_year,
+    )

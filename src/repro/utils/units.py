@@ -1,0 +1,110 @@
+"""Units, conversions, and physical constants shared across components.
+
+The paper's headline metric is SYPD (simulated years per day); some prior
+work it compares against reports SDPD (simulated days per day).  This module
+keeps every conversion in one place so that benchmarks and the machine model
+cannot disagree about what a "year" is (365 days, following the CESM timing
+convention used by ``getTiming``).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "DAYS_PER_YEAR",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_YEAR",
+    "EARTH_RADIUS",
+    "EARTH_OMEGA",
+    "GRAVITY",
+    "RHO_OCEAN",
+    "RHO_AIR",
+    "CP_AIR",
+    "CP_OCEAN",
+    "LATENT_HEAT_VAPORIZATION",
+    "LATENT_HEAT_FUSION",
+    "RHO_ICE",
+    "STEFAN_BOLTZMANN",
+    "KARMAN",
+    "sypd_from_walltime",
+    "walltime_from_sypd",
+    "sdpd_from_sypd",
+    "sypd_from_sdpd",
+    "parallel_efficiency",
+    "resolution_to_cell_km",
+]
+
+DAYS_PER_YEAR = 365.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_YEAR = DAYS_PER_YEAR * SECONDS_PER_DAY
+
+# Physical constants (SI).
+EARTH_RADIUS = 6.371e6          # m
+EARTH_OMEGA = 7.292e-5          # rad/s
+GRAVITY = 9.80616               # m/s^2
+RHO_OCEAN = 1026.0              # kg/m^3
+RHO_AIR = 1.225                 # kg/m^3
+CP_AIR = 1004.64                # J/(kg K)
+CP_OCEAN = 3996.0               # J/(kg K)
+LATENT_HEAT_VAPORIZATION = 2.501e6   # J/kg
+LATENT_HEAT_FUSION = 3.337e5         # J/kg
+RHO_ICE = 917.0                 # kg/m^3
+STEFAN_BOLTZMANN = 5.670374419e-8    # W/(m^2 K^4)
+KARMAN = 0.4
+
+
+def sypd_from_walltime(simulated_seconds: float, wall_seconds: float) -> float:
+    """Simulated-years-per-day from a simulated interval and its wall time."""
+    if wall_seconds <= 0:
+        raise ValueError("wall_seconds must be positive")
+    if simulated_seconds <= 0:
+        raise ValueError("simulated_seconds must be positive")
+    return (simulated_seconds / SECONDS_PER_YEAR) / (wall_seconds / SECONDS_PER_DAY)
+
+
+def walltime_from_sypd(sypd: float, simulated_seconds: float = SECONDS_PER_YEAR) -> float:
+    """Wall seconds needed to simulate ``simulated_seconds`` at a given SYPD."""
+    if sypd <= 0:
+        raise ValueError("sypd must be positive")
+    return (simulated_seconds / SECONDS_PER_YEAR) * SECONDS_PER_DAY / sypd
+
+
+def sdpd_from_sypd(sypd: float) -> float:
+    """Simulated-days-per-day from simulated-years-per-day."""
+    return sypd * DAYS_PER_YEAR
+
+
+def sypd_from_sdpd(sdpd: float) -> float:
+    """Simulated-years-per-day from simulated-days-per-day."""
+    return sdpd / DAYS_PER_YEAR
+
+
+def parallel_efficiency(
+    base_throughput: float,
+    base_resources: float,
+    throughput: float,
+    resources: float,
+) -> float:
+    """Strong-scaling parallel efficiency relative to a baseline point.
+
+    Matches the paper's convention: efficiency = (speedup achieved) /
+    (resource growth), with the smallest-scale run of each curve as 100 %.
+    """
+    if min(base_throughput, base_resources, throughput, resources) <= 0:
+        raise ValueError("all inputs must be positive")
+    speedup = throughput / base_throughput
+    growth = resources / base_resources
+    return speedup / growth
+
+
+def resolution_to_cell_km(n_cells: int, fraction_of_sphere: float = 1.0) -> float:
+    """Nominal horizontal resolution (km) from a global cell count.
+
+    Uses the square root of mean cell area over the (fractional) sphere,
+    the convention used when quoting "1-km" global grids.
+    """
+    if n_cells <= 0:
+        raise ValueError("n_cells must be positive")
+    area = 4.0 * math.pi * EARTH_RADIUS**2 * fraction_of_sphere
+    return math.sqrt(area / n_cells) / 1000.0

@@ -1,0 +1,24 @@
+"""Shared fixtures: grid construction is the slow part of the suite, so
+the meshes are built once per session."""
+
+import pytest
+
+from repro.grids import IcosahedralGrid, TripolarGrid
+
+
+@pytest.fixture(scope="session")
+def icos3():
+    """Level-3 icosahedral grid: 642 cells (~890 km spacing)."""
+    return IcosahedralGrid.build(3)
+
+
+@pytest.fixture(scope="session")
+def icos4():
+    """Level-4 icosahedral grid: 2562 cells (~450 km spacing)."""
+    return IcosahedralGrid.build(4)
+
+
+@pytest.fixture(scope="session")
+def tripolar_small():
+    """96 x 64 tripolar ocean grid with 20 levels."""
+    return TripolarGrid.build(96, 64, n_levels=20)

@@ -1,0 +1,199 @@
+"""Gradient checks (finite differences) and behavior tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.ai import (
+    Conv1d,
+    Dense,
+    Flatten,
+    LayerNorm,
+    ReLU,
+    ResidualDense,
+    ResUnit,
+    Sequential,
+    Tanh,
+)
+
+
+def _loss_and_grad(layer, x):
+    """Scalar loss = sum(forward(x) * c) for a fixed random c."""
+    rng = np.random.default_rng(42)
+    y = layer.forward(x)
+    c = rng.standard_normal(y.shape)
+    loss = float(np.sum(y * c))
+    layer_params = layer.parameters()
+    for p in layer_params:
+        p.zero_grad()
+    gx = layer.backward(c)
+    return loss, gx, c
+
+
+def _check_input_grad(layer, x, eps=1e-6, tol=1e-5):
+    _, gx, c = _loss_and_grad(layer, x)
+    rng = np.random.default_rng(0)
+    # Probe a handful of random input entries.
+    flat = x.reshape(-1)
+    idx = rng.choice(flat.size, size=min(10, flat.size), replace=False)
+    for i in idx:
+        xp = flat.copy()
+        xm = flat.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        yp = layer.forward(xp.reshape(x.shape))
+        ym = layer.forward(xm.reshape(x.shape))
+        num = float(np.sum((yp - ym) * c)) / (2 * eps)
+        assert num == pytest.approx(gx.reshape(-1)[i], rel=tol, abs=1e-7)
+
+
+def _check_param_grads(layer, x, eps=1e-6, tol=1e-5):
+    _, _, c = _loss_and_grad(layer, x)
+    rng = np.random.default_rng(1)
+    for p in layer.parameters():
+        flat = p.value.reshape(-1)
+        g = p.grad.reshape(-1)
+        idx = rng.choice(flat.size, size=min(8, flat.size), replace=False)
+        for i in idx:
+            orig = flat[i]
+            flat[i] = orig + eps
+            yp = float(np.sum(layer.forward(x) * c))
+            flat[i] = orig - eps
+            ym = float(np.sum(layer.forward(x) * c))
+            flat[i] = orig
+            num = (yp - ym) / (2 * eps)
+            assert num == pytest.approx(g[i], rel=tol, abs=1e-7)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDense:
+    def test_shapes(self, rng):
+        layer = Dense(5, 3)
+        y = layer.forward(rng.standard_normal((4, 5)))
+        assert y.shape == (4, 3)
+        assert layer.n_params == 5 * 3 + 3
+
+    def test_gradients(self, rng):
+        layer = Dense(6, 4)
+        x = rng.standard_normal((3, 6))
+        _check_input_grad(layer, x)
+        _check_param_grads(layer, x)
+
+
+class TestConv1d:
+    def test_shapes_same_padding(self, rng):
+        layer = Conv1d(2, 5, kernel=3)
+        y = layer.forward(rng.standard_normal((4, 2, 30)))
+        assert y.shape == (4, 5, 30)
+
+    def test_odd_kernel_required(self):
+        with pytest.raises(ValueError):
+            Conv1d(1, 1, kernel=2)
+
+    def test_requires_3d(self, rng):
+        with pytest.raises(ValueError):
+            Conv1d(2, 2).forward(rng.standard_normal((4, 2)))
+
+    def test_matches_numpy_correlate(self, rng):
+        """Single-channel conv equals scipy-style 'same' correlation."""
+        layer = Conv1d(1, 1, kernel=3)
+        x = rng.standard_normal((1, 1, 16))
+        w = layer.w.value[0, 0]
+        y = layer.forward(x)[0, 0]
+        ref = np.correlate(np.pad(x[0, 0], 1), w, mode="valid") + layer.b.value[0]
+        assert np.allclose(y, ref)
+
+    def test_gradients(self, rng):
+        layer = Conv1d(2, 3, kernel=3)
+        x = rng.standard_normal((2, 2, 9))
+        _check_input_grad(layer, x)
+        _check_param_grads(layer, x)
+
+    def test_kernel1_gradients(self, rng):
+        layer = Conv1d(3, 2, kernel=1)
+        x = rng.standard_normal((2, 3, 7))
+        _check_input_grad(layer, x)
+        _check_param_grads(layer, x)
+
+
+class TestActivations:
+    def test_relu_forward_backward(self, rng):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.5, 2.0]])
+        assert np.array_equal(layer.forward(x), [[0.0, 0.5, 2.0]])
+        g = layer.backward(np.ones_like(x))
+        assert np.array_equal(g, [[0.0, 1.0, 1.0]])
+
+    def test_tanh_gradient(self, rng):
+        layer = Tanh()
+        x = rng.standard_normal((3, 5))
+        _check_input_grad(layer, x)
+
+
+class TestLayerNorm:
+    def test_normalizes(self, rng):
+        layer = LayerNorm(8)
+        y = layer.forward(rng.standard_normal((10, 8)) * 5 + 3)
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-10)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients(self, rng):
+        layer = LayerNorm(6)
+        x = rng.standard_normal((4, 6))
+        _check_input_grad(layer, x, tol=1e-4)
+        _check_param_grads(layer, x, tol=1e-4)
+
+
+class TestResUnits:
+    def test_res_unit_gradients(self, rng):
+        layer = ResUnit(3, kernel=3)
+        x = rng.standard_normal((2, 3, 8))
+        _check_input_grad(layer, x, tol=1e-4)
+        _check_param_grads(layer, x, tol=1e-4)
+
+    def test_residual_dense_gradients(self, rng):
+        layer = ResidualDense(5)
+        x = rng.standard_normal((3, 5))
+        _check_input_grad(layer, x, tol=1e-4)
+        _check_param_grads(layer, x, tol=1e-4)
+
+    def test_identity_at_zero_weights(self, rng):
+        layer = ResUnit(2)
+        layer.conv2.w.value[:] = 0.0
+        layer.conv2.b.value[:] = 0.0
+        x = rng.standard_normal((1, 2, 6))
+        assert np.allclose(layer.forward(x), x)
+
+
+class TestFlattenSequential:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4))
+        y = layer.forward(x)
+        assert y.shape == (2, 12)
+        assert layer.backward(y).shape == x.shape
+
+    def test_sequential_composes(self, rng):
+        net = Sequential([Dense(4, 8), ReLU(), Dense(8, 2)])
+        x = rng.standard_normal((5, 4))
+        assert net.forward(x).shape == (5, 2)
+        _check_input_grad(net, x, tol=1e-4)
+
+    def test_zero_grad(self, rng):
+        net = Sequential([Dense(3, 3)])
+        x = rng.standard_normal((2, 3))
+        net.forward(x)
+        net.backward(np.ones((2, 3)))
+        assert np.any(net.parameters()[0].grad != 0)
+        net.zero_grad()
+        assert np.all(net.parameters()[0].grad == 0)
+
+    def test_deterministic_init(self):
+        a = Dense(4, 4, rng_key="k1")
+        b = Dense(4, 4, rng_key="k1")
+        c = Dense(4, 4, rng_key="k2")
+        assert np.array_equal(a.w.value, b.w.value)
+        assert not np.array_equal(a.w.value, c.w.value)

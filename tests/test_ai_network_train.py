@@ -1,0 +1,201 @@
+"""Tests for the §5.2.1 architectures and the training harness."""
+
+import numpy as np
+import pytest
+
+from repro.ai import (
+    Adam,
+    SGD,
+    Normalizer,
+    Sequential,
+    Trainer,
+    build_radiation_mlp,
+    build_tendency_cnn,
+    clip_grad_norm,
+    mse_loss,
+    split_by_days,
+)
+from repro.ai.layers import Dense
+
+
+class TestArchitectures:
+    def test_tendency_cnn_is_11_layers_500k_params(self):
+        """Paper: 'five ResUnits within an 11-layer deep CNN totaling
+        approximately 5e5 trainable parameters'."""
+        net = build_tendency_cnn()
+        # 1 stem + 5 ResUnits x 2 convs = 11 (the 1x1 head is a projection).
+        assert net.n_conv_layers() == 11 + 1
+        assert net.n_params == pytest.approx(5e5, rel=0.05)
+
+    def test_tendency_cnn_shapes(self):
+        net = build_tendency_cnn(levels=30)
+        x = np.random.default_rng(0).standard_normal((3, 5, 30))
+        y = net.forward(x)
+        assert y.shape == (3, 4, 30)
+
+    def test_tendency_cnn_level_independent(self):
+        """Convolutional: the same net runs on any vertical extent —
+        the 'resolution-adaptive' property."""
+        net = build_tendency_cnn(levels=30)
+        for levels in (10, 30, 50):
+            x = np.zeros((1, 5, levels))
+            assert net.forward(x).shape == (1, 4, levels)
+
+    def test_radiation_mlp_shapes(self):
+        net = build_radiation_mlp(levels=30)
+        x = np.random.default_rng(0).standard_normal((4, 5 * 30 + 2))
+        y = net.forward(x)
+        assert y.shape == (4, 2)
+
+    def test_radiation_mlp_has_7_dense_layers(self):
+        net = build_radiation_mlp()
+
+        def count(layer):
+            if isinstance(layer, Dense):
+                return 1
+            if hasattr(layer, "fc1"):
+                return 2
+            if isinstance(layer, Sequential):
+                return sum(count(l) for l in layer.layers)
+            return 0
+
+        assert count(net) == 7
+
+
+class TestOptim:
+    def test_sgd_reduces_quadratic(self):
+        layer = Dense(1, 1)
+        opt = SGD(layer.parameters(), lr=0.1)
+        x = np.ones((8, 1))
+        target = np.full((8, 1), 3.0)
+        losses = []
+        for _ in range(100):
+            pred = layer.forward(x)
+            loss, grad = mse_loss(pred, target)
+            opt.zero_grad()
+            layer.backward(grad)
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < 1e-3 * losses[0] + 1e-10
+
+    def test_adam_reduces_quadratic(self):
+        layer = Dense(2, 1)
+        opt = Adam(layer.parameters(), lr=0.05)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 2))
+        target = x @ np.array([[1.5], [-2.0]]) + 0.3
+        for _ in range(300):
+            pred = layer.forward(x)
+            loss, grad = mse_loss(pred, target)
+            opt.zero_grad()
+            layer.backward(grad)
+            opt.step()
+        assert loss < 1e-4
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.0)
+
+    def test_clip_grad_norm(self):
+        layer = Dense(4, 4)
+        for p in layer.parameters():
+            p.grad[:] = 10.0
+        pre = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        assert pre > 1.0
+        total = np.sqrt(sum(np.sum(p.grad**2) for p in layer.parameters()))
+        assert total == pytest.approx(1.0, rel=1e-9)
+        with pytest.raises(ValueError):
+            clip_grad_norm(layer.parameters(), 0.0)
+
+
+class TestSplit:
+    def test_split_matches_paper_protocol(self):
+        """80 days, 7:1 train:test, 3 random validation steps/day."""
+        split = split_by_days(80, steps_per_day=8)
+        n_test_days = len(split.test) // 8
+        n_train_days = 80 - n_test_days
+        assert n_train_days / n_test_days == pytest.approx(7.0, rel=0.05)
+        assert len(split.validation) == n_train_days * 3
+        # Disjoint.
+        assert not set(split.train) & set(split.validation)
+        assert not set(split.train) & set(split.test)
+        assert not set(split.validation) & set(split.test)
+
+    def test_split_day_wise_no_leakage(self):
+        """All steps of a day land on the same side of the split."""
+        split = split_by_days(16, steps_per_day=4)
+        test_days = set(i // 4 for i in split.test)
+        train_days = set(i // 4 for i in np.concatenate([split.train, split.validation]))
+        assert not test_days & train_days
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            split_by_days(1, 4)
+        with pytest.raises(ValueError):
+            split_by_days(10, 4, val_steps_per_day=5)
+        with pytest.raises(ValueError):
+            split_by_days(10, 4, train_fraction=1.5)
+
+
+class TestNormalizer:
+    def test_fit_apply_invert(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((100, 3, 10)) * np.array([1.0, 5.0, 0.1])[None, :, None]
+        norm = Normalizer.fit(x)
+        xn = norm.apply(x)
+        assert np.allclose(xn.mean(axis=(0, 2)), 0.0, atol=1e-10)
+        assert np.allclose(xn.std(axis=(0, 2)), 1.0, atol=1e-10)
+        assert np.allclose(norm.invert(xn), x)
+
+    def test_constant_channel_safe(self):
+        x = np.ones((10, 2, 4))
+        norm = Normalizer.fit(x)
+        assert np.all(np.isfinite(norm.apply(x)))
+
+
+class TestTrainer:
+    def test_training_reduces_loss_small_cnn(self):
+        """A small tendency CNN must fit a synthetic column mapping."""
+        rng = np.random.default_rng(3)
+        net = build_tendency_cnn(levels=10, width=8, n_res_units=1)
+        x = rng.standard_normal((64, 5, 10))
+        # Learnable target: smoothed input channels.
+        y = np.stack(
+            [x[:, c] + 0.5 * np.roll(x[:, c], 1, axis=-1) for c in range(4)], axis=1
+        )
+        trainer = Trainer(net, lr=3e-3, batch_size=16)
+        hist = trainer.fit(x, y, epochs=20)
+        assert hist["train"][-1] < 0.5 * hist["train"][0]
+
+    def test_validation_tracked(self):
+        rng = np.random.default_rng(4)
+        net = build_radiation_mlp(levels=4, width=16)
+        x = rng.standard_normal((40, 22))
+        y = x[:, :2] * 2.0
+        trainer = Trainer(net, lr=1e-3, batch_size=8)
+        hist = trainer.fit(x[:32], y[:32], epochs=3, x_val=x[32:], y_val=y[32:])
+        assert len(hist["val"]) == 3
+
+    def test_predict_in_physical_units(self):
+        rng = np.random.default_rng(5)
+        net = Sequential([Dense(3, 1)])
+        x = rng.standard_normal((200, 3))
+        y = (x @ np.array([[2.0], [0.0], [-1.0]])) * 100.0 + 400.0
+        trainer = Trainer(net, lr=3e-2, batch_size=50)
+        trainer.fit(x, y, epochs=200)
+        pred = trainer.predict(x)
+        # R^2-style check in physical units.
+        ss_res = np.sum((pred - y) ** 2)
+        ss_tot = np.sum((y - y.mean()) ** 2)
+        assert 1.0 - ss_res / ss_tot > 0.95
+
+    def test_fit_rejects_bad_input(self):
+        trainer = Trainer(Sequential([Dense(2, 1)]))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((3, 2)), np.zeros((4, 1)))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((0, 2)), np.zeros((0, 1)))

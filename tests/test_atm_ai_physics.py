@@ -1,0 +1,134 @@
+"""Tests for the AI physics suite: training protocol, skill, and the
+drop-in replacement contract (slow nets kept tiny)."""
+
+import numpy as np
+import pytest
+
+from repro.atm import (
+    AIPhysicsSuite,
+    ConventionalPhysics,
+    generate_training_archive,
+    synthetic_columns,
+)
+
+
+@pytest.fixture(scope="module")
+def small_archive():
+    """A miniature training archive (small CNN-friendly)."""
+    return generate_training_archive(
+        n_days=16, steps_per_day=4, ncol_per_step=16, nlev=10
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_suite(small_archive):
+    return AIPhysicsSuite.train(small_archive, epochs=40, width=32, lr=3e-3)
+
+
+class TestArchive:
+    def test_archive_shapes(self, small_archive):
+        n = 16 * 4 * 16
+        assert small_archive["x_column"].shape == (n, 5, 10)
+        assert small_archive["y_tendency"].shape == (n, 4, 10)
+        assert small_archive["x_radiation"].shape == (n, 5 * 10 + 2)
+        assert small_archive["y_radiation"].shape == (n, 2)
+
+    def test_archive_deterministic(self):
+        a = generate_training_archive(n_days=2, steps_per_day=2, ncol_per_step=4, nlev=8)
+        b = generate_training_archive(n_days=2, steps_per_day=2, ncol_per_step=4, nlev=8)
+        assert np.array_equal(a["x_column"], b["x_column"])
+        assert np.array_equal(a["y_tendency"], b["y_tendency"])
+
+    def test_targets_are_conventional_physics(self, small_archive):
+        """The supervision really is the conventional suite's output."""
+        cols = synthetic_columns(16, 10, season=0, step=0, seed=0)
+        tend = ConventionalPhysics().compute(cols, 120.0)
+        assert np.allclose(small_archive["y_tendency"][:16, 2], tend.dt)
+        assert np.allclose(small_archive["y_radiation"][:16, 0], tend.gsw)
+
+    def test_seasonal_coverage(self, small_archive):
+        """Radiation targets vary across the archive (seasons shift sun)."""
+        gsw = small_archive["y_radiation"][:, 0]
+        assert gsw.std() > 10.0
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained_suite):
+        hist = trained_suite.tendency_trainer.history["train"]
+        assert hist[-1] < hist[0]
+
+    def test_validation_tracked(self, trained_suite):
+        assert len(trained_suite.tendency_trainer.history["val"]) > 0
+
+    def test_radiation_skill_positive(self, trained_suite, small_archive):
+        idx = np.arange(len(small_archive["x_radiation"]))
+        skill = trained_suite.skill(small_archive, idx)
+        assert skill["radiation"] > 0.5
+        assert skill["tendency"] > 0.2
+
+
+class TestInference:
+    def test_compute_matches_physics_interface(self, trained_suite):
+        cols = synthetic_columns(16, 10, season=2, step=1)
+        tend = trained_suite.compute(cols, 120.0)
+        assert tend.dt.shape == (16, 10)
+        assert tend.gsw.shape == (16,)
+        assert np.all(tend.gsw >= 0)
+        assert np.all(tend.precip >= 0)
+        assert np.all((tend.cloud_fraction >= 0) & (tend.cloud_fraction <= 1))
+
+    def test_resolution_adaptive_runs_on_other_column_counts(self, trained_suite):
+        """Trained at one (horizontal) sampling, runs on any batch size —
+        and, being convolutional, on any vertical extent too."""
+        for ncol in (1, 5, 40):
+            cols = synthetic_columns(ncol, 10, season=0, step=0)
+            tend = trained_suite.compute(cols, 120.0)
+            assert tend.dt.shape == (ncol, 10)
+
+    def test_tendencies_correlate_with_truth(self, trained_suite):
+        cols = synthetic_columns(64, 10, season=3, step=2, seed=99)
+        truth = ConventionalPhysics().compute(cols, 120.0)
+        pred = trained_suite.compute(cols, 120.0)
+        # Temperature tendency correlation on unseen data.
+        c = np.corrcoef(pred.dt.ravel(), truth.dt.ravel())[0, 1]
+        assert c > 0.4
+
+    def test_ai_inference_cheaper_than_conventional_per_flop_model(self, trained_suite):
+        """Structural check of the cost asymmetry: AI inference is matmul
+        dominated; conventional physics does multi-sweep branchy work.
+        (Wall-clock comparison is done in the benchmark, not here.)"""
+        n_params = trained_suite.tendency_trainer.model.n_params
+        assert n_params < 2e5  # the small test net
+
+
+class TestSerialization:
+    def test_save_load_roundtrip_bitwise(self, trained_suite, tmp_path):
+        path = tmp_path / "suite.npz"
+        trained_suite.save(path)
+        loaded = AIPhysicsSuite.load(path)
+        cols = synthetic_columns(16, 10, season=2, step=1)
+        a = trained_suite.compute(cols, 120.0)
+        b = loaded.compute(cols, 120.0)
+        assert np.array_equal(a.dt, b.dt)
+        assert np.array_equal(a.gsw, b.gsw)
+        assert np.array_equal(a.precip, b.precip)
+
+    def test_untrained_suite_cannot_save(self, tmp_path):
+        from repro.ai import Trainer, build_radiation_mlp, build_tendency_cnn
+
+        fresh = AIPhysicsSuite(
+            tendency_trainer=Trainer(build_tendency_cnn(levels=10, width=8, n_res_units=1)),
+            radiation_trainer=Trainer(build_radiation_mlp(levels=10)),
+        )
+        with pytest.raises(RuntimeError, match="train"):
+            fresh.save(tmp_path / "x.npz")
+
+    def test_state_dict_shape_mismatch_detected(self, tmp_path):
+        from repro.ai import build_tendency_cnn
+        from repro.ai.serialize import load_model, save_model
+
+        small = build_tendency_cnn(levels=10, width=8, n_res_units=1)
+        big = build_tendency_cnn(levels=10, width=16, n_res_units=1)
+        save_model(tmp_path / "m.npz", small)
+        with pytest.raises(ValueError, match="mismatch"):
+            load_model(tmp_path / "m.npz", big)

@@ -1,0 +1,125 @@
+"""Tests for the shallow-water dycore: conservation and accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.atm import (
+    ShallowWaterDycore,
+    SWEState,
+    isolated_mountain,
+    williamson_tc2,
+)
+
+
+@pytest.fixture(scope="module")
+def dycore4(icos4):
+    return ShallowWaterDycore(icos4)
+
+
+def _run(dycore, state, hours, cfl=0.4):
+    dt = dycore.max_stable_dt(state, cfl=cfl)
+    n = int(hours * 3600.0 / dt) + 1
+    for _ in range(n):
+        state = dycore.step_rk4(state, dt)
+    return state, n * dt
+
+
+class TestTC2:
+    def test_initial_state_is_balanced(self, icos4, dycore4):
+        """One step of TC2 changes the state only at truncation level."""
+        s0 = williamson_tc2(icos4)
+        dt = dycore4.max_stable_dt(s0, cfl=0.4)
+        s1 = dycore4.step_rk4(s0, dt)
+        assert np.abs(s1.h - s0.h).max() / s0.h.mean() < 1e-3
+        # Max truncation sits at the pentagon edges (TRSK property).
+        assert np.abs(s1.u - s0.u).max() < 0.5
+        assert np.sqrt(np.mean((s1.u - s0.u) ** 2)) < 0.1
+
+    def test_steady_state_error_small_after_a_day(self, icos4, dycore4):
+        s0 = williamson_tc2(icos4)
+        s, _ = _run(dycore4, s0.copy(), hours=24)
+        rel_h = np.abs(s.h - s0.h).max() / s0.h.mean()
+        assert rel_h < 0.02
+
+    def test_error_decreases_with_resolution(self, icos3, icos4):
+        errs = {}
+        for grid in (icos3, icos4):
+            dy = ShallowWaterDycore(grid)
+            s0 = williamson_tc2(grid)
+            s, _ = _run(dy, s0.copy(), hours=12)
+            errs[grid.level] = np.sqrt(
+                np.sum(grid.area_cell * (s.h - s0.h) ** 2) / np.sum(grid.area_cell)
+            )
+        assert errs[4] < 0.6 * errs[3]
+
+
+class TestInvariants:
+    def test_mass_conserved_to_roundoff(self, icos4, dycore4):
+        s = williamson_tc2(icos4)
+        m0 = dycore4.total_mass(s)
+        s, _ = _run(dycore4, s, hours=12)
+        assert dycore4.total_mass(s) == pytest.approx(m0, rel=1e-13)
+
+    def test_energy_drift_bounded(self, icos4, dycore4):
+        s = williamson_tc2(icos4)
+        e0 = dycore4.total_energy(s)
+        s, _ = _run(dycore4, s, hours=24)
+        assert abs(dycore4.total_energy(s) - e0) / e0 < 1e-4
+
+    def test_mass_conserved_from_random_state(self, icos4, dycore4):
+        rng = np.random.default_rng(0)
+        s = SWEState(
+            h=2000.0 + 100.0 * rng.standard_normal(icos4.n_cells),
+            u=5.0 * rng.standard_normal(icos4.n_edges),
+        )
+        m0 = dycore4.total_mass(s)
+        dt = dycore4.max_stable_dt(s, cfl=0.3)
+        for _ in range(20):
+            s = dycore4.step_rk4(s, dt)
+        assert dycore4.total_mass(s) == pytest.approx(m0, rel=1e-13)
+
+    def test_enstrophy_defined_positive(self, icos4, dycore4):
+        s = williamson_tc2(icos4)
+        assert dycore4.total_enstrophy(s) > 0
+
+
+class TestMountain:
+    def test_tc5_generates_waves(self, icos3):
+        """Flow over the mountain must break zonal symmetry downstream."""
+        state, b = isolated_mountain(icos3)
+        dy = ShallowWaterDycore(icos3, terrain=b)
+        m0 = dy.total_mass(state)
+        s, _ = _run(dy, state, hours=48)
+        assert dy.total_mass(s) == pytest.approx(m0, rel=1e-12)
+        # Meridional velocity (absent initially outside the mountain) grows.
+        v_proxy = np.abs(s.u - state.u).max()
+        assert v_proxy > 1.0
+
+    def test_terrain_must_be_cell_field(self, icos3):
+        with pytest.raises(ValueError):
+            ShallowWaterDycore(icos3, terrain=np.zeros(5))
+
+
+class TestDiffusion:
+    def test_diffusion_damps_noise(self, icos4):
+        rng = np.random.default_rng(1)
+        noise = SWEState(
+            h=np.full(icos4.n_cells, 2000.0),
+            u=rng.standard_normal(icos4.n_edges),
+        )
+        dy_visc = ShallowWaterDycore(icos4, diffusion=1e6)
+        dy_free = ShallowWaterDycore(icos4, diffusion=0.0)
+        dt = 60.0
+        s_v, s_f = noise.copy(), noise.copy()
+        for _ in range(10):
+            s_v = dy_visc.step_rk4(s_v, dt)
+            s_f = dy_free.step_rk4(s_f, dt)
+        assert np.abs(s_v.u).std() < np.abs(s_f.u).std()
+
+
+def test_max_stable_dt_scales_with_resolution(icos3, icos4):
+    s3 = williamson_tc2(icos3)
+    s4 = williamson_tc2(icos4)
+    dt3 = ShallowWaterDycore(icos3).max_stable_dt(s3)
+    dt4 = ShallowWaterDycore(icos4).max_stable_dt(s4)
+    assert dt3 == pytest.approx(2 * dt4, rel=0.2)

@@ -1,0 +1,119 @@
+"""Tests for the semi-implicit dycore (the paper's method class)."""
+
+import numpy as np
+import pytest
+
+from repro.atm import ShallowWaterDycore, SWEState, williamson_tc2
+from repro.atm.semi_implicit import SemiImplicitDycore, helmholtz_solve
+from repro.grids import trsk
+
+
+class TestHelmholtzSolver:
+    def test_identity_when_coefficient_zero(self, icos4):
+        rng = np.random.default_rng(0)
+        rhs = rng.standard_normal(icos4.n_cells)
+        x, n_iter = helmholtz_solve(icos4, 0.0, rhs)
+        assert np.allclose(x, rhs, atol=1e-12)
+
+    def test_residual_small(self, icos4):
+        rng = np.random.default_rng(1)
+        rhs = rng.standard_normal(icos4.n_cells)
+        coeff = 1e11  # (theta dt)^2 g H at big dt
+        x, n_iter = helmholtz_solve(icos4, coeff, rhs, tol=1e-12)
+        res = x - coeff * trsk.divergence(icos4, trsk.gradient(icos4, x)) - rhs
+        assert np.abs(res).max() < 1e-9 * np.abs(rhs).max()
+        assert 0 < n_iter < 2000
+
+    def test_smooth_rhs_converges_fast(self, icos4):
+        rhs = np.sin(2 * icos4.lon_cell) * np.cos(icos4.lat_cell)
+        _, n_iter = helmholtz_solve(icos4, 1e10, rhs)
+        assert n_iter < 200
+
+    def test_negative_coefficient_rejected(self, icos4):
+        with pytest.raises(ValueError):
+            helmholtz_solve(icos4, -1.0, np.zeros(icos4.n_cells))
+
+
+class TestSemiImplicitStepping:
+    def test_theta_validation(self, icos4):
+        with pytest.raises(ValueError):
+            SemiImplicitDycore(icos4, theta=0.3)
+        with pytest.raises(ValueError):
+            SemiImplicitDycore(icos4, theta=1.2)
+
+    def test_stable_beyond_explicit_cfl(self, icos4):
+        """The whole point: 5x the explicit gravity-wave limit, stable."""
+        explicit = ShallowWaterDycore(icos4)
+        si = SemiImplicitDycore(icos4, theta=0.55)
+        s = williamson_tc2(icos4)
+        dt = 5.0 * explicit.max_stable_dt(s, cfl=0.4)
+        for _ in range(20):
+            s = si.step(s, dt)
+        assert np.isfinite(s.h).all()
+        assert np.abs(s.u).max() < 100.0
+
+    def test_explicit_blows_up_at_that_dt(self, icos4):
+        """Control: the explicit stepper is unstable at the same dt."""
+        explicit = ShallowWaterDycore(icos4)
+        s = williamson_tc2(icos4)
+        dt = 5.0 * explicit.max_stable_dt(s, cfl=0.4)
+        with np.errstate(all="ignore"):
+            for _ in range(20):
+                s = explicit.step_rk4(s, dt)
+        assert (not np.isfinite(s.h).all()) or np.abs(s.u).max() > 1e3
+
+    def test_mass_conserved_to_roundoff(self, icos4):
+        si = SemiImplicitDycore(icos4)
+        s = williamson_tc2(icos4)
+        m0 = si.total_mass(s)
+        dt = 3000.0
+        for _ in range(10):
+            s = si.step(s, dt)
+        assert si.total_mass(s) == pytest.approx(m0, rel=1e-12)
+
+    def test_tc2_error_small_after_a_day(self, icos4):
+        si = SemiImplicitDycore(icos4, theta=0.55)
+        s0 = williamson_tc2(icos4)
+        s = s0.copy()
+        dt = 4000.0
+        for _ in range(int(86400 / dt) + 1):
+            s = si.step(s, dt)
+        assert np.abs(s.h - s0.h).max() / s0.h.mean() < 0.03
+
+    def test_converges_to_explicit_at_small_dt(self, icos4):
+        """As dt -> 0, semi-implicit and explicit trajectories agree."""
+        explicit = ShallowWaterDycore(icos4)
+        si = SemiImplicitDycore(icos4, theta=0.5)
+        s0 = williamson_tc2(icos4)
+        dt = 0.1 * explicit.max_stable_dt(s0, cfl=0.4)
+        se = s0.copy()
+        ss = s0.copy()
+        for _ in range(10):
+            se = explicit.step_rk4(se, dt)
+            ss = si.step(ss, dt)
+        # Relative to how much the state moved, the schemes agree closely.
+        moved = np.abs(se.h - s0.h).max()
+        assert np.abs(ss.h - se.h).max() < 0.2 * max(moved, 1e-9)
+
+    def test_cg_iteration_count_exposed(self, icos4):
+        si = SemiImplicitDycore(icos4)
+        s = williamson_tc2(icos4)
+        si.step(s, 3000.0)
+        assert si.last_cg_iterations > 0
+
+    def test_larger_theta_damps_gravity_waves(self, icos3):
+        """theta = 1 (backward Euler) damps a gravity-wave pulse faster
+        than theta = 0.5 (trapezoidal, neutral)."""
+        s0 = SWEState(
+            h=np.full(icos3.n_cells, 2000.0), u=np.zeros(icos3.n_edges)
+        )
+        s0.h[0] += 100.0  # a pulse
+        dt = 2000.0
+        energies = {}
+        for theta in (0.5, 1.0):
+            si = SemiImplicitDycore(icos3, theta=theta)
+            s = s0.copy()
+            for _ in range(30):
+                s = si.step(s, dt)
+            energies[theta] = si.total_energy(s)
+        assert energies[1.0] < energies[0.5]

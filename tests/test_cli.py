@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_commands():
+    parser = build_parser()
+    for cmd in ("info", "run-coupled", "typhoon", "scaling", "train-ai"):
+        args = parser.parse_args([cmd])
+        assert args.command == cmd
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info_runs(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "AP3ESM" in out
+    assert "1v1" in out and "25v10" in out
+
+
+def test_scaling_single_curve(capsys):
+    assert main(["scaling", "--curve", "atm_3km_mpe"]) == 0
+    out = capsys.readouterr().out
+    assert "3 km ATM MPE" in out
+    assert "anchor" in out
+
+
+def test_scaling_unknown_curve(capsys):
+    assert main(["scaling", "--curve", "nope"]) == 2
+    assert "unknown curve" in capsys.readouterr().err
+
+
+def test_run_coupled_short(capsys, tmp_path):
+    rc = main([
+        "run-coupled", "--days", "0.1", "--atm-level", "3",
+        "--ocn-nlon", "48", "--ocn-nlat", "32", "--ocn-levels", "5",
+        "--restart-dir", str(tmp_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SYPD" in out
+    assert (tmp_path / "atm" / "restart.json").exists()
+    assert (tmp_path / "ocn" / "restart.json").exists()
+
+
+def test_typhoon_short(capsys):
+    assert main(["typhoon", "--hours", "2", "--atm-level", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Vmax" in out
+    assert "eye radius" in out

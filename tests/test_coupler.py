@@ -1,0 +1,321 @@
+"""Tests for the coupler primitives: GSMap, AttrVect, Router, rearranger,
+clocks, and field pruning."""
+
+import numpy as np
+import pytest
+
+from repro.coupler import (
+    AttrVect,
+    Clock,
+    FieldRegistry,
+    GlobalSegMap,
+    Rearranger,
+    Router,
+)
+from repro.parallel import SimWorld
+
+
+def _two_maps(gsize=24, n_pes=3):
+    """Source: contiguous blocks; destination: round-robin stripes."""
+    src_owner = np.repeat(np.arange(n_pes), gsize // n_pes)
+    dst_owner = np.arange(gsize) % n_pes
+    return GlobalSegMap.from_owners(src_owner), GlobalSegMap.from_owners(dst_owner)
+
+
+class TestGSMap:
+    def test_from_owners_runs(self):
+        gsmap = GlobalSegMap.from_owners(np.array([0, 0, 1, 1, 1, 0]))
+        assert gsmap.n_segments == 3
+        assert gsmap.covered == 6
+        assert gsmap.owner(0) == 0
+        assert gsmap.owner(3) == 1
+        assert gsmap.owner(5) == 0
+
+    def test_holes_supported(self):
+        gsmap = GlobalSegMap.from_owners(np.array([0, -1, -1, 1]))
+        assert gsmap.covered == 2
+        assert gsmap.owner(1) == -1
+
+    def test_local_indices_ascending(self):
+        gsmap = GlobalSegMap.from_owners(np.array([1, 0, 1, 0, 1]))
+        assert np.array_equal(gsmap.local_indices(1), [0, 2, 4])
+        assert np.array_equal(gsmap.local_indices(0), [1, 3])
+        assert gsmap.local_indices(7).size == 0
+
+    def test_owner_array_roundtrip(self):
+        owners = np.array([2, 2, 0, 1, 1, -1, 0])
+        gsmap = GlobalSegMap.from_owners(owners)
+        assert np.array_equal(gsmap.owner_array(), owners)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalSegMap(10, [0, 2], [3, 3], [0, 1])  # overlap
+        with pytest.raises(ValueError):
+            GlobalSegMap(4, [0], [5], [0])  # out of range
+        with pytest.raises(ValueError):
+            GlobalSegMap(4, [0], [0], [0])  # zero length
+
+    def test_offline_save_load(self, tmp_path):
+        src, _ = _two_maps()
+        path = tmp_path / "gsmap.npz"
+        src.save(path)
+        loaded = GlobalSegMap.load(path)
+        assert np.array_equal(loaded.owner_array(), src.owner_array())
+
+    def test_build_cost_scales_with_pes(self):
+        a = GlobalSegMap.from_owners(np.arange(100) % 4)
+        cost = a.build_cost()
+        assert cost["allgather_bytes"] == cost["table_bytes_per_rank"] * 4
+
+
+class TestAttrVect:
+    def test_zeros_and_set_get(self):
+        av = AttrVect.zeros(["t", "s"], 5)
+        av.set("t", np.arange(5.0))
+        assert np.array_equal(av.get("t"), np.arange(5.0))
+        assert av.lsize == 5 and av.n_fields == 2
+        assert "t" in av and "x" not in av
+
+    def test_from_dict_roundtrip(self):
+        av = AttrVect.from_dict({"a": np.ones(3), "b": np.zeros(3)})
+        d = av.to_dict()
+        assert set(d) == {"a", "b"}
+
+    def test_subset_prunes(self):
+        av = AttrVect.from_dict({"a": np.ones(3), "b": np.zeros(3), "c": np.full(3, 2.0)})
+        sub = av.subset(["c", "a"])
+        assert sub.fields == ["c", "a"]
+        assert np.array_equal(sub.get("c"), np.full(3, 2.0))
+        with pytest.raises(KeyError):
+            av.subset(["zz"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttrVect(["a", "a"], np.zeros((2, 3)))
+        av = AttrVect.zeros(["a"], 4)
+        with pytest.raises(ValueError):
+            av.set("a", np.zeros(3))
+        with pytest.raises(KeyError):
+            av.get("nope")
+
+    def test_permute(self):
+        av = AttrVect.from_dict({"x": np.array([10.0, 20.0, 30.0])})
+        out = av.permute(np.array([2, 0, 1]))
+        assert np.array_equal(out.get("x"), [30.0, 10.0, 20.0])
+
+
+class TestRouter:
+    def test_build_covers_all_points(self):
+        src, dst = _two_maps()
+        router = Router.build(src, dst)
+        assert router.total_points() == 24
+
+    def test_transfer_lists_consistent(self):
+        src, dst = _two_maps()
+        router = Router.build(src, dst)
+        for (p, q), s_idx in router.send.items():
+            assert len(s_idx) == len(router.recv[(p, q)])
+
+    def test_identity_maps_self_pairs_only(self):
+        owners = np.arange(12) % 4
+        gsmap = GlobalSegMap.from_owners(owners)
+        router = Router.build(gsmap, gsmap)
+        assert all(p == q for (p, q) in router.send)
+
+    def test_holes_skipped(self):
+        src = GlobalSegMap.from_owners(np.array([0, 0, -1, 1]))
+        dst = GlobalSegMap.from_owners(np.array([1, 1, 1, 0]))
+        router = Router.build(src, dst)
+        assert router.total_points() == 3  # the hole carries nothing
+
+    def test_gsize_mismatch(self):
+        a = GlobalSegMap.from_owners(np.zeros(4, dtype=int))
+        b = GlobalSegMap.from_owners(np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            Router.build(a, b)
+
+    def test_offline_save_load(self, tmp_path):
+        src, dst = _two_maps()
+        router = Router.build(src, dst)
+        path = tmp_path / "router.npz"
+        router.save(path)
+        loaded = Router.load(path)
+        assert loaded.n_pairs == router.n_pairs
+        for key in router.send:
+            assert np.array_equal(loaded.send[key], router.send[key])
+            assert np.array_equal(loaded.recv[key], router.recv[key])
+
+    def test_memory_accounting(self):
+        src, dst = _two_maps()
+        router = Router.build(src, dst)
+        assert router.memory_bytes() == 2 * router.total_points() * 8
+
+
+class TestRearranger:
+    @pytest.mark.parametrize("method", ["p2p", "alltoall"])
+    def test_rearrange_is_lossless_permutation(self, method):
+        gsize, n_pes = 24, 3
+        src, dst = _two_maps(gsize, n_pes)
+        router = Router.build(src, dst)
+        rearranger = Rearranger(router, method=method)
+        gfield = np.arange(gsize, dtype=float) * 3.0
+
+        def program(comm):
+            me = comm.rank
+            src_av = AttrVect.from_dict({"f": gfield[src.local_indices(me)]})
+            dst_lsize = len(dst.local_indices(me))
+            out = rearranger.rearrange(comm, src_av, dst_lsize)
+            return out.get("f")
+
+        results = SimWorld(n_pes).run(program)
+        for pe, got in enumerate(results):
+            assert np.array_equal(got, gfield[dst.local_indices(pe)])
+
+    def test_methods_agree(self):
+        src, dst = _two_maps()
+        router = Router.build(src, dst)
+        gfield = np.random.default_rng(0).standard_normal(24)
+
+        def run(method):
+            rearranger = Rearranger(router, method=method)
+
+            def program(comm):
+                me = comm.rank
+                av = AttrVect.from_dict({"f": gfield[src.local_indices(me)]})
+                return rearranger.rearrange(comm, av, len(dst.local_indices(me))).get("f")
+
+            return SimWorld(3).run(program)
+
+        a = run("p2p")
+        b = run("alltoall")
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_p2p_sends_fewer_messages(self):
+        """The §5.2.4 claim: sparse p2p beats dense all-to-all traffic."""
+        gsize, n_pes = 64, 8
+        # Nearly-aligned decompositions: each rank overlaps only 2 others.
+        src_owner = np.repeat(np.arange(n_pes), gsize // n_pes)
+        dst_owner = np.roll(src_owner, 3)
+        src = GlobalSegMap.from_owners(src_owner)
+        dst = GlobalSegMap.from_owners(dst_owner)
+        router = Router.build(src, dst)
+        counts = Rearranger(router).message_counts(n_pes)
+        assert counts["p2p_messages_per_rank_max"] < counts["alltoall_messages_per_rank"]
+
+        def run(method):
+            world = SimWorld(n_pes)
+            rearranger = Rearranger(router, method=method)
+            gfield = np.arange(gsize, dtype=float)
+
+            def program(comm):
+                me = comm.rank
+                av = AttrVect.from_dict({"f": gfield[src.local_indices(me)]})
+                rearranger.rearrange(comm, av, len(dst.local_indices(me)))
+
+            world.run(program)
+            return world.ledger.total_messages
+
+        assert run("p2p") < run("alltoall")
+
+    def test_multifield_rearrange(self):
+        src, dst = _two_maps()
+        router = Router.build(src, dst)
+        rearranger = Rearranger(router)
+        f1 = np.arange(24.0)
+        f2 = np.arange(24.0) ** 2
+
+        def program(comm):
+            me = comm.rank
+            av = AttrVect.from_dict({
+                "a": f1[src.local_indices(me)],
+                "b": f2[src.local_indices(me)],
+            })
+            out = rearranger.rearrange(comm, av, len(dst.local_indices(me)))
+            return out
+
+        results = SimWorld(3).run(program)
+        for pe, av in enumerate(results):
+            assert np.array_equal(av.get("b"), f2[dst.local_indices(pe)])
+
+    def test_bad_method(self):
+        src, dst = _two_maps()
+        with pytest.raises(ValueError):
+            Rearranger(Router.build(src, dst), method="magic")
+
+
+class TestClock:
+    def test_alarm_fires_at_coupling_frequency(self):
+        # Atmosphere couples 180x/day at a 480 s coupling period; model
+        # step 120 s -> alarm every 4 steps.
+        clock = Clock(dt=120.0)
+        clock.add_alarm("cpl_atm", interval=480.0)
+        fires = 0
+        for _ in range(16):
+            clock.advance()
+            if clock.ringing("cpl_atm"):
+                fires += 1
+        assert fires == 4
+
+    def test_inconsistent_period_rejected(self):
+        clock = Clock(dt=120.0)
+        with pytest.raises(ValueError, match="not a multiple"):
+            clock.add_alarm("bad", interval=500.0)
+
+    def test_paper_coupling_frequencies_consistent(self):
+        """atm 180/day, ocn 36/day, ice 180/day: all must divide into the
+        respective component steps (120 s atm, 2400 s ocn)."""
+        atm_clock = Clock(dt=120.0)
+        atm_clock.add_alarm("cpl", interval=86400.0 / 180.0)
+        ocn_clock = Clock(dt=2400.0)
+        ocn_clock.add_alarm("cpl", interval=86400.0 / 36.0)
+
+    def test_synchronization(self):
+        a = Clock(dt=100.0)
+        b = Clock(dt=50.0)
+        for _ in range(2):
+            a.advance()
+        for _ in range(4):
+            b.advance()
+        assert a.synchronized_with(b)
+
+    def test_duplicate_alarm_rejected(self):
+        clock = Clock(dt=60.0)
+        clock.add_alarm("x", 120.0)
+        with pytest.raises(ValueError):
+            clock.add_alarm("x", 120.0)
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            Clock(dt=0.0)
+
+
+class TestFieldRegistry:
+    def test_cesm_default_paths(self):
+        reg = FieldRegistry.cesm_default()
+        assert {"a2x", "x2o", "o2x", "i2x"} <= set(reg.registered)
+
+    def test_pruning_keeps_only_used(self):
+        reg = FieldRegistry.cesm_default()
+        reg.mark_used("x2o", ["Foxx_taux", "Foxx_tauy", "Foxx_swnet"])
+        assert reg.pruned("x2o") == ["Foxx_taux", "Foxx_tauy", "Foxx_swnet"]
+
+    def test_savings_accounting(self):
+        reg = FieldRegistry.cesm_default()
+        reg.mark_used("o2x", ["So_t", "So_ssh"])
+        s = reg.savings("o2x", lsize=1000)
+        assert s["used_fields"] == 2
+        assert s["bytes_after"] == 2 * 1000 * 8
+        assert s["fraction_saved"] > 0.5
+
+    def test_unknown_field_rejected(self):
+        reg = FieldRegistry.cesm_default()
+        with pytest.raises(KeyError):
+            reg.mark_used("a2x", ["NotAField"])
+        with pytest.raises(KeyError):
+            reg.mark_used("nope", ["Sa_z"])
+
+    def test_duplicate_registration_rejected(self):
+        reg = FieldRegistry.cesm_default()
+        with pytest.raises(ValueError):
+            reg.register("a2x", ["x"])

@@ -1,0 +1,95 @@
+"""Tests for the Table 1 configuration data and its internal consistency."""
+
+import pytest
+
+from repro.esm import (
+    grist_counts_from_hexagons,
+    AP3ESM_CONFIGS,
+    COUPLING_FREQUENCIES_PER_DAY,
+    GRIST_CONFIGS,
+    LICOM_CONFIGS,
+    grist_counts_from_triangles,
+    licom_grid_points,
+)
+from repro.grids import icosahedral_counts
+from repro.utils import resolution_to_cell_km
+
+
+def test_all_table1_rows_present():
+    assert set(GRIST_CONFIGS) == {1.0, 3.0, 6.0, 10.0, 25.0}
+    assert set(LICOM_CONFIGS) == {1.0, 2.0, 3.0, 5.0, 10.0}
+    assert set(AP3ESM_CONFIGS) == {"1v1", "3v2", "6v3", "10v5", "25v10"}
+
+
+@pytest.mark.parametrize("res", [1.0, 3.0, 6.0, 10.0, 25.0])
+def test_grist_euler_relations_hold(res):
+    """Each published GRIST row obeys the icosahedral Euler relations in
+    its own counting convention (the 1-km row counts triangles; the rest
+    count hexagons — a Table 1 quirk this reproduction preserves)."""
+    cfg = GRIST_CONFIGS[res]
+    if cfg.convention == "triangle":
+        edges, vertices = grist_counts_from_triangles(cfg.cells)
+        assert cfg.edges == pytest.approx(edges, rel=0.05)
+        assert cfg.vertices == pytest.approx(vertices, rel=0.05)
+    else:
+        edges, triangles = grist_counts_from_hexagons(cfg.cells)
+        assert cfg.edges == pytest.approx(edges, rel=0.05)
+        assert cfg.vertices == pytest.approx(triangles, rel=0.05)
+
+
+@pytest.mark.parametrize("res,level", [(1.0, 12), (3.0, 11), (6.0, 10), (10.0, 9), (25.0, 8)])
+def test_grist_rows_match_icos_levels(res, level):
+    """Every Table 1 row corresponds to an integer subdivision level."""
+    cfg = GRIST_CONFIGS[res]
+    assert cfg.icos_level == level
+    nc, ne, nd = icosahedral_counts(level)
+    if cfg.convention == "triangle":
+        assert nd == pytest.approx(cfg.cells, rel=0.05)
+    else:
+        assert nc == pytest.approx(cfg.cells, rel=0.10)
+
+
+def test_grist_1km_matches_icosahedral_level12():
+    """The 1-km GRIST counts coincide with subdivision level 12."""
+    nc, ne, nd = icosahedral_counts(12)
+    cfg = GRIST_CONFIGS[1.0]
+    assert nd == pytest.approx(cfg.cells, rel=0.02)      # triangles
+    assert ne == pytest.approx(cfg.edges, rel=0.02)
+    assert nc == pytest.approx(cfg.vertices, rel=0.02)   # hex cells
+
+
+@pytest.mark.parametrize("res", [1.0, 2.0, 3.0, 5.0, 10.0])
+def test_licom_grid_points_column(res):
+    """'No. of Grids' ~ nlon * nlat * 80 (Table 1 rounds to 2 digits)."""
+    cfg = LICOM_CONFIGS[res]
+    assert licom_grid_points(cfg) == pytest.approx(cfg.grid_points, rel=0.30)
+
+
+def test_licom_1km_grid_points_exact():
+    cfg = LICOM_CONFIGS[1.0]
+    assert licom_grid_points(cfg) == pytest.approx(6.3e10, rel=0.01)
+
+
+@pytest.mark.parametrize("res", [1.0, 2.0, 5.0, 10.0])
+def test_licom_nominal_resolution_consistent(res):
+    """nlon x nlat over the (ocean-covered) sphere gives roughly the named
+    resolution."""
+    cfg = LICOM_CONFIGS[res]
+    km = resolution_to_cell_km(cfg.nlon * cfg.nlat)
+    assert km == pytest.approx(res, rel=0.35)
+
+
+@pytest.mark.parametrize("label", ["1v1", "3v2", "6v3", "10v5", "25v10"])
+def test_pairings_reference_existing_rows(label):
+    pairing = AP3ESM_CONFIGS[label]
+    assert pairing.atm.resolution_km == pairing.atm_resolution_km
+    assert pairing.ocn.resolution_km == pairing.ocn_resolution_km
+    # Total grid points ~ atm + ocn totals.
+    combined = pairing.atm.grid_points + pairing.ocn.grid_points
+    assert pairing.total_grid_points == pytest.approx(combined, rel=0.25)
+
+
+def test_coupling_frequencies_match_paper():
+    assert COUPLING_FREQUENCIES_PER_DAY == {"atm": 180.0, "ocn": 36.0, "ice": 180.0}
+    # The 5:1 atm:ocn ratio the driver implements.
+    assert COUPLING_FREQUENCIES_PER_DAY["atm"] / COUPLING_FREQUENCIES_PER_DAY["ocn"] == 5.0

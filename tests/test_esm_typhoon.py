@@ -1,0 +1,135 @@
+"""Tests for the idealized typhoon experiment (Figs. 6/7 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.atm import GristConfig, GristModel
+from repro.esm import (
+    AP3ESM,
+    AP3ESMConfig,
+    HollandVortex,
+    TyphoonExperiment,
+    VortexTracker,
+    inject_vortex,
+    track_distance,
+)
+
+VORTEX = HollandVortex(
+    center_lon=math.radians(135.0), center_lat=math.radians(18.0),
+    v_max=40.0, r_max=5.0e5,
+)
+
+
+class TestHollandProfile:
+    def test_wind_peaks_at_rmax(self):
+        r = np.linspace(1e4, 2e6, 400)
+        v = VORTEX.wind(r)
+        assert r[np.argmax(v)] == pytest.approx(VORTEX.r_max, rel=0.02)
+        assert v.max() == pytest.approx(VORTEX.v_max, rel=1e-3)
+
+    def test_wind_decays_far_away(self):
+        assert VORTEX.wind(np.array([3.0e6]))[0] < 0.4 * VORTEX.v_max
+
+    def test_depression_negative_and_monotone(self):
+        f = 2.0 * 7.292e-5 * math.sin(VORTEX.center_lat)
+        r = np.linspace(1e4, 3e6, 50)
+        d = VORTEX.height_depression(r, f)
+        assert np.all(d <= 0)
+        assert np.all(np.diff(d) >= -1e-9)  # fills in outward
+        assert d[0] < -5.0  # a real depression at the core
+
+
+class TestInjection:
+    @pytest.fixture(scope="class")
+    def atm(self):
+        m = GristModel(GristConfig(level=4))
+        m.init()
+        return m
+
+    def test_injection_deepens_height_at_center(self, atm):
+        h_before = atm.swe.h.copy()
+        inject_vortex(atm, VORTEX)
+        from repro.grids import lonlat_to_xyz
+
+        c = lonlat_to_xyz(np.array(VORTEX.center_lon), np.array(VORTEX.center_lat))
+        center = int(np.argmax(atm.grid.xyz_cell @ c))
+        assert atm.swe.h[center] < h_before[center] - 1.0
+        # Far side of the planet barely touched.
+        far = int(np.argmin(atm.grid.xyz_cell @ c))
+        assert abs(atm.swe.h[far] - h_before[far]) < 0.5
+
+    def test_injection_spins_cyclonically(self, atm):
+        """Vorticity at the center must be strongly positive (NH)."""
+        from repro.grids import lonlat_to_xyz, trsk
+
+        zeta = trsk.curl(atm.grid, atm.swe.u)
+        c = lonlat_to_xyz(np.array(VORTEX.center_lon), np.array(VORTEX.center_lat))
+        near = (atm.grid.xyz_dual @ c) > math.cos(1.0e6 / 6.371e6)
+        assert zeta[near].max() > 5e-5
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        model = AP3ESM(AP3ESMConfig(atm_level=4, ocn_nlon=64, ocn_nlat=48, ocn_levels=8))
+        model.init()
+        exp = TyphoonExperiment(model, VORTEX)
+        exp.run(12)  # 12 hours
+        return exp
+
+    def test_track_has_fixes(self, experiment):
+        track = experiment.tracker.track()
+        assert len(track) == 13
+        assert np.all(np.diff(track[:, 0]) > 0)  # time increases
+
+    def test_tracker_starts_at_injection_point(self, experiment):
+        first = experiment.tracker.fixes[0]
+        assert abs(first.lon - VORTEX.center_lon) < math.radians(6.0)
+        assert abs(first.lat - VORTEX.center_lat) < math.radians(6.0)
+
+    def test_storm_moves_poleward(self, experiment):
+        """Beta drift: NH storms drift poleward (and generally westward)."""
+        track = experiment.tracker.track()
+        assert track[-1, 2] > track[0, 2]
+
+    def test_intensity_positive_and_decaying_slowly(self, experiment):
+        track = experiment.tracker.track()
+        assert track[0, 3] > 20.0  # initial winds well above background
+        assert np.all(track[:, 3] > 0)
+
+    def test_structure_snapshot_fields(self, experiment):
+        snap = experiment.structure_snapshot()
+        assert snap["wind10m"].shape == (experiment.model.atm.grid.n_cells,)
+        assert snap["rossby"].shape == experiment.model.ocn.metrics.shape
+
+    def test_eye_metrics(self, experiment):
+        em = experiment.eye_metrics()
+        assert em["eye_radius_km"] > 0
+        assert em["max_wind"] > 0
+
+    def test_ocean_cooled_under_storm(self, experiment):
+        from repro.esm import cold_wake
+
+        cw = cold_wake(
+            experiment.sst_before,
+            experiment.model.ocn.t[0],
+            experiment.model.ocn.mask3d[0],
+        )
+        assert cw["max_cooling"] > 0.0
+
+
+class TestTrackDistance:
+    def test_identical_tracks_zero(self):
+        track = np.array([[0.0, 1.0, 0.5, 30.0], [1.0, 1.1, 0.6, 28.0]])
+        assert track_distance(track, track) == 0.0
+
+    def test_known_separation(self):
+        a = np.array([[0.0, 0.0, 0.0, 0.0]])
+        b = np.array([[0.0, math.pi / 2, 0.0, 0.0]])  # 90 deg apart on equator
+        assert track_distance(a, b) == pytest.approx(6371.0 * math.pi / 2, rel=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            track_distance(np.empty((0, 4)), np.empty((0, 4)))

@@ -1,0 +1,135 @@
+"""Tests for grid partitioning and inter-grid remapping."""
+
+import numpy as np
+import pytest
+
+from repro.grids import IcosPartition, nearest_remap, tripolar_blocks
+from repro.parallel import SimWorld
+
+
+class TestIcosPartition:
+    def test_partition_covers_all_cells(self, icos3):
+        part = IcosPartition.build(icos3, 6)
+        total = np.concatenate(part.local_cells)
+        assert np.array_equal(np.sort(total), np.arange(icos3.n_cells))
+
+    def test_partition_balanced(self, icos3):
+        part = IcosPartition.build(icos3, 8)
+        sizes = [len(c) for c in part.local_cells]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_halo_cells_are_foreign_neighbors(self, icos3):
+        part = IcosPartition.build(icos3, 4)
+        for r in range(4):
+            assert np.all(part.owners[part.halo_cells[r]] != r)
+
+    def test_surface_to_volume_shrinks_with_fewer_ranks(self, icos4):
+        few = IcosPartition.build(icos4, 4)
+        many = IcosPartition.build(icos4, 64)
+        s_few = np.mean([few.surface_to_volume(r) for r in range(4)])
+        s_many = np.mean([many.surface_to_volume(r) for r in range(64)])
+        assert s_few < s_many
+
+    def test_scatter_gather_roundtrip(self, icos3):
+        part = IcosPartition.build(icos3, 5)
+        field = np.arange(icos3.n_cells, dtype=float)
+        locals_ = [part.scatter(r, field) for r in range(5)]
+        assert np.array_equal(part.gather(locals_), field)
+
+    def test_graph_halo_exchange_fills_correct_values(self, icos3):
+        """Distributed halo exchange reproduces the scattered global field."""
+        part = IcosPartition.build(icos3, 4)
+        field = np.arange(icos3.n_cells, dtype=float) * 2.0
+
+        def program(comm):
+            r = comm.rank
+            n_own = len(part.local_cells[r])
+            values = np.concatenate(
+                [field[part.local_cells[r]], np.full(len(part.halo_cells[r]), np.nan)]
+            )
+            part.graph_halo(r).exchange(comm, values)
+            return values[n_own:]
+
+        results = SimWorld(4).run(program)
+        for r, halo_vals in enumerate(results):
+            assert np.array_equal(halo_vals, field[part.halo_cells[r]])
+
+    def test_rejects_bad_rank_count(self, icos3):
+        with pytest.raises(ValueError):
+            IcosPartition.build(icos3, 0)
+
+
+class TestTripolarBlocks:
+    def test_blocks_tile_grid(self):
+        blocks = tripolar_blocks(32, 64, 8)
+        covered = np.zeros((32, 64), dtype=int)
+        for b in blocks:
+            ys, xs = b.global_slices()
+            covered[ys, xs] += 1
+        assert np.all(covered == 1)
+
+    def test_blocks_respect_aspect(self):
+        blocks = tripolar_blocks(100, 400, 16)
+        assert blocks[0].px >= blocks[0].py
+
+
+class TestRemap:
+    def test_constant_preserved_exactly(self, icos3, tripolar_small):
+        g, t = icos3, tripolar_small
+        remap = nearest_remap(
+            g.xyz_cell, t.centers.reshape(-1, 3), g.area_cell, t.area.reshape(-1)
+        )
+        out = remap.apply(np.full(g.n_cells, 5.0))
+        assert np.allclose(out, 5.0, atol=1e-12)
+        assert np.allclose(remap.row_sums(), 1.0, atol=1e-12)
+
+    def test_smooth_field_accuracy(self, icos4, tripolar_small):
+        g, t = icos4, tripolar_small
+        remap = nearest_remap(
+            g.xyz_cell, t.centers.reshape(-1, 3), g.area_cell, t.area.reshape(-1)
+        )
+        f_src = np.sin(2 * g.lon_cell) * np.cos(g.lat_cell)
+        f_dst_exact = (np.sin(2 * t.lon) * np.cos(t.lat)).reshape(-1)
+        out = remap.apply(f_src)
+        assert np.abs(out - f_dst_exact).max() < 0.15
+        assert np.sqrt(np.mean((out - f_dst_exact) ** 2)) < 0.04
+
+    def test_conservative_fixer_zeroes_integral_error(self, icos3, tripolar_small):
+        g, t = icos3, tripolar_small
+        remap = nearest_remap(
+            g.xyz_cell, t.centers.reshape(-1, 3), g.area_cell, t.area.reshape(-1)
+        )
+        f = 1.0 + 0.5 * np.sin(g.lat_cell)
+        raw_err = remap.conservation_error(f)
+        fixed = remap.apply_conservative(f)
+        fixed_err = abs(remap.dst_integral(fixed) - remap.src_integral(f)) / abs(
+            remap.src_integral(f)
+        )
+        assert fixed_err < 1e-12
+        assert raw_err < 0.05  # raw remap is already nearly conservative
+
+    def test_multifield_apply(self, icos3, tripolar_small):
+        g, t = icos3, tripolar_small
+        remap = nearest_remap(
+            g.xyz_cell, t.centers.reshape(-1, 3), g.area_cell, t.area.reshape(-1)
+        )
+        fields = np.stack([np.ones(g.n_cells), np.arange(g.n_cells, dtype=float)])
+        out = remap.apply(fields)
+        assert out.shape == (2, remap.n_dst)
+        assert np.allclose(out[0], 1.0)
+
+    def test_k1_is_nearest_neighbor(self, icos3):
+        src = icos3.xyz_cell
+        remap = nearest_remap(src, src, icos3.area_cell, icos3.area_cell, k=1)
+        f = np.arange(icos3.n_cells, dtype=float)
+        assert np.array_equal(remap.apply(f), f)
+
+    def test_shape_validation(self, icos3, tripolar_small):
+        g, t = icos3, tripolar_small
+        remap = nearest_remap(
+            g.xyz_cell, t.centers.reshape(-1, 3), g.area_cell, t.area.reshape(-1)
+        )
+        with pytest.raises(ValueError):
+            remap.apply(np.zeros(7))
+        with pytest.raises(ValueError):
+            nearest_remap(g.xyz_cell, g.xyz_cell, g.area_cell, g.area_cell, k=0)

@@ -1,0 +1,115 @@
+"""Tests for spherical geometry primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids import (
+    arc_length,
+    lonlat_to_xyz,
+    normalize,
+    spherical_triangle_area,
+    tangent_basis,
+    triangle_circumcenter,
+    xyz_to_lonlat,
+)
+
+unit = st.floats(min_value=-1.0, max_value=1.0)
+
+
+def test_normalize_unit_length():
+    v = np.array([[3.0, 4.0, 0.0], [0.0, 0.0, 2.0]])
+    n = normalize(v)
+    assert np.allclose(np.linalg.norm(n, axis=-1), 1.0)
+
+
+def test_normalize_zero_raises():
+    with pytest.raises(ValueError):
+        normalize(np.zeros(3))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=-math.pi, max_value=math.pi),
+    st.floats(min_value=-math.pi / 2 + 0.01, max_value=math.pi / 2 - 0.01),
+)
+def test_lonlat_roundtrip(lon, lat):
+    xyz = lonlat_to_xyz(np.array(lon), np.array(lat))
+    lon2, lat2 = xyz_to_lonlat(xyz)
+    assert float(lat2) == pytest.approx(lat, abs=1e-12)
+    # Longitudes compare modulo 2*pi.
+    assert math.cos(float(lon2) - lon) == pytest.approx(1.0, abs=1e-12)
+
+
+def test_arc_length_quarter_circle():
+    a = np.array([1.0, 0.0, 0.0])
+    b = np.array([0.0, 1.0, 0.0])
+    assert arc_length(a, b) == pytest.approx(math.pi / 2)
+    assert arc_length(a, a) == pytest.approx(0.0)
+    assert arc_length(a, -a) == pytest.approx(math.pi)
+
+
+def test_octant_triangle_area():
+    # One octant of the sphere has area 4*pi/8 = pi/2.
+    a = np.array([1.0, 0.0, 0.0])
+    b = np.array([0.0, 1.0, 0.0])
+    c = np.array([0.0, 0.0, 1.0])
+    assert spherical_triangle_area(a, b, c) == pytest.approx(math.pi / 2)
+
+
+def test_small_triangle_area_matches_planar():
+    # A tiny triangle's spherical area approaches its planar area.
+    eps = 1e-4
+    a = normalize(np.array([1.0, 0.0, 0.0]))
+    b = normalize(np.array([1.0, eps, 0.0]))
+    c = normalize(np.array([1.0, 0.0, eps]))
+    planar = 0.5 * eps * eps
+    assert spherical_triangle_area(a, b, c) == pytest.approx(planar, rel=1e-3)
+
+
+def test_circumcenter_equidistant():
+    rng = np.random.default_rng(5)
+    pts = normalize(rng.standard_normal((10, 3, 3)))
+    cc = triangle_circumcenter(pts[:, 0], pts[:, 1], pts[:, 2])
+    d0 = arc_length(cc, pts[:, 0])
+    d1 = arc_length(cc, pts[:, 1])
+    d2 = arc_length(cc, pts[:, 2])
+    assert np.allclose(d0, d1, atol=1e-10)
+    assert np.allclose(d1, d2, atol=1e-10)
+
+
+def test_circumcenter_same_hemisphere_as_centroid():
+    rng = np.random.default_rng(6)
+    # Small triangles near a random point: circumcenter must be near them.
+    base = normalize(rng.standard_normal(3))
+    pts = normalize(base + 0.01 * rng.standard_normal((20, 3, 3)))
+    cc = triangle_circumcenter(pts[:, 0], pts[:, 1], pts[:, 2])
+    assert np.all(np.sum(cc * base, axis=-1) > 0.9)
+
+
+def test_tangent_basis_orthonormal():
+    rng = np.random.default_rng(7)
+    p = normalize(rng.standard_normal((50, 3)))
+    east, north = tangent_basis(p)
+    assert np.allclose(np.sum(east * p, axis=-1), 0.0, atol=1e-12)
+    assert np.allclose(np.sum(north * p, axis=-1), 0.0, atol=1e-12)
+    assert np.allclose(np.sum(east * north, axis=-1), 0.0, atol=1e-12)
+    assert np.allclose(np.linalg.norm(east, axis=-1), 1.0)
+    assert np.allclose(np.linalg.norm(north, axis=-1), 1.0)
+
+
+def test_tangent_basis_at_pole():
+    east, north = tangent_basis(np.array([0.0, 0.0, 1.0]))
+    assert np.allclose(np.linalg.norm(east), 1.0)
+    assert np.allclose(np.dot(east, north), 0.0)
+
+
+def test_tangent_basis_points_east_and_north():
+    # At (lon=0, lat=0): east = +y, north = +z.
+    p = lonlat_to_xyz(np.array(0.0), np.array(0.0))
+    east, north = tangent_basis(p)
+    assert np.allclose(east, [0.0, 1.0, 0.0], atol=1e-12)
+    assert np.allclose(north, [0.0, 0.0, 1.0], atol=1e-12)

@@ -1,0 +1,107 @@
+"""Tests for the tripolar ocean grid and its synthetic earth."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grids import TripolarGrid, default_levels, lonlat_to_xyz
+
+
+def test_area_tiles_sphere_minus_south_cap(tripolar_small):
+    g = tripolar_small
+    # The grid starts at 78S; everything north of that must be tiled exactly.
+    expected = (1.0 - (1.0 - math.sin(math.radians(78))) / 2.0)
+    ratio = g.area.sum() / (4 * math.pi * g.radius**2)
+    assert ratio == pytest.approx(expected, abs=2e-4)
+
+
+def test_ocean_fraction_matches_earth(tripolar_small):
+    assert tripolar_small.ocean_fraction == pytest.approx(0.71, abs=0.01)
+
+
+def test_wet_fraction_3d_in_band(tripolar_small):
+    """3-D wet fraction ~0.6: removing non-ocean points saves 30-45 % of
+    the box (paper quotes ~30 % resource reduction)."""
+    wf = tripolar_small.wet_fraction_3d()
+    assert 0.5 < wf < 0.72
+
+
+def test_levels_mask_monotone_in_depth(tripolar_small):
+    """A wet cell at level k+1 implies wet at level k (no overhangs)."""
+    m3 = tripolar_small.levels_mask()
+    assert not np.any(m3[1:] & ~m3[:-1])
+
+
+def test_displaced_poles_are_on_land(tripolar_small):
+    g = tripolar_small
+    for plon in (g.pole_lon, g.pole_lon + math.pi):
+        p = lonlat_to_xyz(np.array(plon), np.array(math.radians(75.0)))
+        idx = np.argmax(g.centers.reshape(-1, 3) @ p)
+        assert not g.mask.reshape(-1)[idx]
+
+
+def test_antarctica_is_land(tripolar_small):
+    g = tripolar_small
+    southmost = g.mask[0, :]
+    assert not southmost.any()
+
+
+def test_longitude_periodicity(tripolar_small):
+    g = tripolar_small
+    assert np.allclose(g.corners[:, 0], g.corners[:, -1])
+
+
+def test_seam_fold_consistency(tripolar_small):
+    """The top corner row must be symmetric under i -> nlon - i (the fold:
+    both halves of the last ring land on the same seam segment)."""
+    g = tripolar_small
+    top = g.corners[-1]  # (nlon+1, 3)
+    folded = top[::-1]
+    assert np.allclose(top, folded, atol=1e-9)
+
+
+def test_depth_zero_on_land_positive_on_ocean(tripolar_small):
+    g = tripolar_small
+    assert np.all(g.depth[~g.mask] == 0.0)
+    assert np.all(g.depth[g.mask] > 0.0)
+    assert g.depth.max() <= 5500.0 + 1.0
+
+
+def test_default_levels_monotone_stretched():
+    z = default_levels(80)
+    assert len(z) == 81
+    assert z[0] == 0.0
+    assert z[-1] == pytest.approx(5500.0)
+    dz = np.diff(z)
+    assert np.all(dz > 0)
+    assert dz[-1] > 3 * dz[0]  # stretched: thin surface layers
+    with pytest.raises(ValueError):
+        default_levels(0)
+
+
+def test_build_determinism():
+    a = TripolarGrid.build(48, 32, n_levels=5)
+    b = TripolarGrid.build(48, 32, n_levels=5)
+    assert np.array_equal(a.mask, b.mask)
+    assert np.array_equal(a.depth, b.depth)
+
+
+def test_build_rejects_tiny_grid():
+    with pytest.raises(ValueError):
+        TripolarGrid.build(4, 64)
+
+
+def test_paper_grid_point_formula():
+    """Table 1: LICOM 1-km grid is 36000 x 22018 x 80 = 6.3e10 points."""
+    assert 36000 * 22018 * 80 == pytest.approx(6.3e10, rel=0.01)
+
+
+def test_centers_inside_cells(tripolar_small):
+    """Each center must be closer to its own 4 corners than to the
+    antipode — a cheap sanity check that the mapping didn't fold cells."""
+    g = tripolar_small
+    corner_dot = np.einsum(
+        "ijk,ijk->ij", g.centers, g.corners[:-1, :-1]
+    )
+    assert np.all(corner_dot > 0.5)

@@ -1,0 +1,147 @@
+"""Tests for the TRSK mimetic operators: the discrete conservation
+properties the dycore's stability rests on."""
+
+import numpy as np
+import pytest
+
+from repro.grids import trsk
+
+
+W = 1e-5  # solid-body angular rate (rad/s)
+
+
+def _solid_body(grid, axis=(0.0, 0.0, 1.0)):
+    def vf(xyz):
+        return W * np.cross(np.asarray(axis, dtype=float), xyz) * grid.radius
+
+    return vf
+
+
+def test_divergence_of_solid_body_is_tiny(icos4):
+    u = icos4.project_to_edges(_solid_body(icos4))
+    div = trsk.divergence(icos4, u)
+    scale = np.abs(u).max() / icos4.de.mean()
+    assert np.abs(div).max() < 1e-3 * scale
+
+
+def test_divergence_of_constant_normal_field_integrates_to_zero(icos4):
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal(icos4.n_edges)
+    total = np.sum(icos4.area_cell * trsk.divergence(icos4, u))
+    # Every edge flux appears with +/- once: global integral is round-off.
+    assert abs(total) < 1e-6 * np.abs(icos4.le * u).sum()
+
+
+def test_gradient_of_constant_is_zero(icos4):
+    g = trsk.gradient(icos4, np.full(icos4.n_cells, 7.3))
+    assert np.allclose(g, 0.0, atol=1e-18)
+
+
+def test_div_grad_adjointness(icos4):
+    """sum_c A_c phi div(u) == -sum_e le de grad(phi) u : exact (energy
+    conservation of the pressure term)."""
+    rng = np.random.default_rng(1)
+    phi = rng.standard_normal(icos4.n_cells)
+    u = rng.standard_normal(icos4.n_edges)
+    lhs = np.sum(icos4.area_cell * phi * trsk.divergence(icos4, u))
+    rhs = -np.sum(icos4.le * icos4.de * trsk.gradient(icos4, phi) * u)
+    assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+def test_curl_of_solid_body_is_2w_sinlat(icos4):
+    u = icos4.project_to_edges(_solid_body(icos4))
+    zeta = trsk.curl(icos4, u)
+    expected = 2.0 * W * np.sin(icos4.lat_dual)
+    assert np.abs(zeta - expected).max() < 0.02 * 2.0 * W
+
+
+def test_curl_of_gradient_is_zero(icos4):
+    """Discrete curl(grad) = 0 exactly: the mimetic property."""
+    rng = np.random.default_rng(2)
+    phi = rng.standard_normal(icos4.n_cells)
+    zeta = trsk.curl(icos4, trsk.gradient(icos4, phi))
+    scale = np.abs(phi).max() / icos4.area_dual.mean() * icos4.de.mean()
+    assert np.abs(zeta).max() < 1e-12 * scale
+
+
+def test_global_circulation_zero(icos4):
+    rng = np.random.default_rng(3)
+    u = rng.standard_normal(icos4.n_edges)
+    total = np.sum(icos4.area_dual * trsk.curl(icos4, u))
+    assert abs(total) < 1e-6 * np.abs(icos4.de * u).sum()
+
+
+def test_tangential_reconstruction_accuracy(icos4):
+    """TRSK tangential winds: accurate in RMS; max error is localized at
+    the 12 pentagons (known property of the scheme)."""
+    vf = _solid_body(icos4)
+    u = icos4.project_to_edges(vf)
+    vt = trsk.tangential(icos4, u)
+    vt_exact = icos4.tangential_of(vf)
+    scale = np.abs(vt_exact).max()
+    rms = np.sqrt(np.mean((vt - vt_exact) ** 2)) / scale
+    assert rms < 0.03
+    assert np.abs(vt - vt_exact).max() / scale < 0.15
+
+
+def test_tangential_rms_converges(icos3, icos4):
+    def rms_err(grid):
+        vf = _solid_body(grid, axis=(0.0, 1.0, 0.0))
+        u = grid.project_to_edges(vf)
+        err = trsk.tangential(grid, u) - grid.tangential_of(vf)
+        return np.sqrt(np.mean(err**2)) / np.abs(grid.tangential_of(vf)).max()
+
+    assert rms_err(icos4) < 0.8 * rms_err(icos3)
+
+
+def test_coriolis_energy_neutrality(icos4):
+    """The PV-flux operator must not change kinetic energy: for any u, q,
+    sum_e le de u_e q_e tangential(u*h)_e with the symmetric q pairing is
+    zero to round-off thanks to the antisymmetrized weights."""
+    rng = np.random.default_rng(4)
+    u = rng.standard_normal(icos4.n_edges)
+    # Constant q and h: the exactly-neutral case.
+    e = np.sum(icos4.le * icos4.de * u * trsk.tangential(icos4, u))
+    assert abs(e) < 1e-10 * np.sum(icos4.le * icos4.de * u * u)
+
+
+def test_cell_to_edge_preserves_constants(icos4):
+    assert np.allclose(trsk.cell_to_edge(icos4, np.full(icos4.n_cells, 3.0)), 3.0)
+
+
+def test_cell_to_dual_preserves_constants(icos4):
+    assert np.allclose(trsk.cell_to_dual(icos4, np.full(icos4.n_cells, 2.5)), 2.5)
+
+
+def test_dual_to_edge_preserves_constants(icos4):
+    assert np.allclose(trsk.dual_to_edge(icos4, np.full(icos4.n_dual, 1.5)), 1.5)
+
+
+def test_kinetic_energy_positive_and_consistent(icos4):
+    """Global KE from cells equals the edge-quadrature KE identically."""
+    rng = np.random.default_rng(5)
+    u = rng.standard_normal(icos4.n_edges)
+    ke_cells = np.sum(icos4.area_cell * trsk.kinetic_energy_cell(icos4, u))
+    ke_edges = np.sum(0.5 * icos4.le * icos4.de * u * u)
+    assert ke_cells == pytest.approx(ke_edges, rel=1e-12)
+    assert np.all(trsk.kinetic_energy_cell(icos4, u) >= 0)
+
+
+def test_kinetic_energy_of_solid_body(icos4):
+    """KE of solid-body flow ~ integral of |V|^2/2 over the sphere."""
+    vf = _solid_body(icos4)
+    u = icos4.project_to_edges(vf)
+    ke = np.sum(icos4.area_cell * trsk.kinetic_energy_cell(icos4, u))
+    # |V|^2 = (W R cos(lat))^2; sphere mean of cos^2(lat) = 2/3.
+    exact = 0.5 * (W * icos4.radius) ** 2 * (2.0 / 3.0) * 4 * np.pi * icos4.radius**2
+    assert ke == pytest.approx(exact, rel=0.05)
+
+
+def test_laplacian_smooths(icos4):
+    """The vector Laplacian of a random field must reduce its energy when
+    used as a diffusion tendency (negative-semidefinite operator)."""
+    rng = np.random.default_rng(6)
+    u = rng.standard_normal(icos4.n_edges)
+    lap = trsk.laplacian_edge(icos4, u)
+    de_dt = np.sum(icos4.le * icos4.de * u * lap)
+    assert de_dt < 0

@@ -1,0 +1,138 @@
+"""Tests for the multi-category ice thickness distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ice.categories import CATEGORY_BOUNDS, ThicknessDistribution
+
+
+@pytest.fixture
+def itd():
+    d = ThicknessDistribution(n_cells=10)
+    d.seed(np.arange(5), thickness=0.3, concentration=0.5)   # category 0
+    d.seed(np.arange(5, 10), thickness=2.0, concentration=0.8)  # category 2
+    return d
+
+
+class TestStructure:
+    def test_standard_five_categories(self, itd):
+        assert itd.n_categories == 5
+        assert CATEGORY_BOUNDS[0] == 0.0
+        assert np.isinf(CATEGORY_BOUNDS[-1])
+
+    def test_seed_lands_in_right_category(self, itd):
+        assert np.all(itd.area[0, :5] == 0.5)
+        assert np.all(itd.area[2, 5:] == 0.8)
+        assert itd.mean_thickness()[0] == pytest.approx(0.3)
+        assert itd.mean_thickness()[7] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThicknessDistribution(0)
+        with pytest.raises(ValueError):
+            ThicknessDistribution(4, bounds=np.array([0.1, 1.0]))
+        d = ThicknessDistribution(4)
+        with pytest.raises(ValueError):
+            d.step(-1.0, np.zeros(4))
+        with pytest.raises(ValueError):
+            d.step(3600.0, np.zeros(3))
+
+
+class TestGrowth:
+    def test_thin_ice_grows_faster(self, itd):
+        cold = np.full(10, -20.0)
+        rates = itd.growth_rates(cold)
+        # Category 0 (0.3 m) must outgrow category 2 (2.0 m).
+        assert rates[0, 0] > 3.0 * rates[2, 7]
+
+    def test_no_growth_above_freezing(self, itd):
+        warm = np.full(10, 5.0)
+        assert np.all(itd.growth_rates(warm) == 0.0)
+
+    def test_growth_increases_volume_not_area(self, itd):
+        cold = np.full(10, -20.0)
+        a0 = itd.area.copy()
+        v0 = itd.total_volume().copy()
+        itd.step(3600.0, cold)
+        assert np.array_equal(itd.concentration(), a0.sum(axis=0))
+        assert np.all(itd.total_volume() >= v0)
+
+    def test_melt_removes_volume(self, itd):
+        warm = np.full(10, 0.0)
+        v0 = itd.total_volume().copy()
+        itd.step(86400.0, warm, melt_flux=np.full(10, 300.0))
+        assert np.all(itd.total_volume() <= v0)
+
+    def test_new_ice_forms_in_thinnest_category(self):
+        d = ThicknessDistribution(4)
+        d.step(3600.0, np.full(4, -5.0), new_ice_area_rate=np.full(4, 1e-5))
+        assert np.all(d.area[0] > 0)
+        assert np.all(d.area[1:] == 0)
+        assert d.concentration().max() <= 1.0
+
+
+class TestRemapping:
+    def test_growth_promotes_across_boundary(self):
+        d = ThicknessDistribution(1)
+        d.seed(np.array([0]), thickness=0.6, concentration=1.0)  # near the 0.64 bound
+        cold = np.full(1, -30.0)
+        for _ in range(40):
+            d.step(86400.0, cold)
+        # The ice thickened past 0.64 m: category 0 must be empty now.
+        assert d.area[0, 0] == 0.0
+        assert d.concentration()[0] == pytest.approx(1.0)
+
+    def test_melt_demotes_across_boundary(self):
+        d = ThicknessDistribution(1)
+        d.seed(np.array([0]), thickness=1.5, concentration=1.0)  # category 2
+        warm = np.full(1, 0.0)
+        for _ in range(30):
+            d.step(86400.0, warm, melt_flux=np.full(1, 100.0))
+        assert d.area[2, 0] == 0.0  # demoted out of category 2
+        assert d.total_volume()[0] < 1.5
+
+    def test_remap_conserves_area_and_volume(self, itd):
+        a0 = itd.concentration().copy()
+        v0 = itd.total_volume().copy()
+        itd._remap()
+        assert np.allclose(itd.concentration(), a0)
+        assert np.allclose(itd.total_volume(), v0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=8.0), st.floats(min_value=0.05, max_value=1.0))
+    def test_remap_conservation_property(self, thickness, conc):
+        d = ThicknessDistribution(3)
+        d.seed(np.arange(3), thickness=thickness, concentration=conc)
+        # Force thickness out of its category by direct volume change.
+        d.volume *= 3.0
+        v0 = d.total_volume().copy()
+        a0 = d.concentration().copy()
+        d._remap()
+        assert np.allclose(d.total_volume(), v0)
+        assert np.allclose(d.concentration(), a0)
+        # After remapping, every occupied category holds in-bounds ice.
+        h = d.category_thickness()
+        for n in range(d.n_categories):
+            occ = d.area[n] > 1e-12
+            if occ.any():
+                assert np.all(h[n][occ] >= d.bounds[n] - 1e-9)
+
+
+class TestSlabComparison:
+    def test_multicategory_outgrows_single_slab(self):
+        """The reason ITD exists: a 50/50 mix of thin and thick ice grows
+        faster than the same volume as one mean-thickness slab."""
+        multi = ThicknessDistribution(1)
+        multi.seed(np.array([0]), thickness=0.2, concentration=0.4)
+        multi.area[3, 0] = 0.4
+        multi.volume[3, 0] = 0.4 * 3.0  # thick category
+        slab = multi.as_single_slab()
+        assert slab.total_volume()[0] == pytest.approx(multi.total_volume()[0])
+
+        cold = np.full(1, -25.0)
+        for _ in range(20):
+            multi.step(86400.0, cold)
+            slab.step(86400.0, cold)
+        assert multi.total_volume()[0] > 1.05 * slab.total_volume()[0]

@@ -1,0 +1,158 @@
+"""Tests for the sea-ice and land components."""
+
+import numpy as np
+import pytest
+
+from repro.ice import CiceConfig, CiceModel
+from repro.lnd import LandConfig, LandModel
+
+
+@pytest.fixture(scope="module")
+def ice(tripolar_small):
+    m = CiceModel(tripolar_small)
+    m.init()
+    return m
+
+
+class TestCice:
+    def test_initial_ice_is_polar_and_on_ocean(self, ice):
+        has_ice = ice.concentration > 0
+        assert has_ice.any()
+        assert np.all(np.abs(ice.grid.lat[has_ice]) > np.radians(65.0))
+        assert np.all(ice.grid.mask[has_ice])
+
+    def test_freezing_ocean_grows_ice(self, tripolar_small):
+        m = CiceModel(tripolar_small)
+        m.init()
+        freezing = tripolar_small.mask & (np.abs(tripolar_small.lat) > np.radians(60))
+        m.import_state({"freezing": freezing})
+        v0 = m.total_volume()
+        for _ in range(10):
+            m.step(3600.0)
+        assert m.total_volume() > v0
+
+    def test_strong_sun_melts_ice(self, tripolar_small):
+        m = CiceModel(tripolar_small)
+        m.init()
+        shape = m.metrics.shape
+        m.import_state({
+            "gsw": np.full(shape, 600.0),
+            "glw": np.full(shape, 350.0),
+            "t_air": np.full(shape, 10.0),
+        })
+        v0 = m.total_volume()
+        for _ in range(48):
+            m.step(3600.0)
+        assert m.total_volume() < v0
+
+    def test_concentration_bounded(self, tripolar_small):
+        m = CiceModel(tripolar_small)
+        m.init()
+        m.import_state({"freezing": tripolar_small.mask.copy()})
+        for _ in range(20):
+            m.step(3600.0)
+        assert m.concentration.min() >= 0.0
+        assert m.concentration.max() <= 1.0
+        assert np.all(m.concentration[~tripolar_small.mask] == 0.0)
+
+    def test_drift_transports_ice(self, tripolar_small):
+        m = CiceModel(tripolar_small)
+        m.init()
+        u = np.where(m.metrics.mask_u, 0.2, 0.0)
+        m.import_state({"u_drift": u})
+        thick0 = m.thickness.copy()
+        for _ in range(10):
+            m.step(3600.0)
+        moved = np.abs(m.thickness - thick0)[tripolar_small.mask]
+        assert moved.max() > 0
+
+    def test_export_albedo_reflects_ice(self, ice):
+        out = ice.export_state()
+        icy = out["ice_fraction"] > 0.5
+        open_ocean = (out["ice_fraction"] == 0) & ice.grid.mask
+        assert out["albedo"][icy].min() > out["albedo"][open_ocean].max()
+
+    def test_import_shape_validated(self, ice):
+        with pytest.raises(ValueError):
+            ice.import_state({"sst": np.zeros(3)})
+
+    def test_lifecycle(self, tripolar_small):
+        m = CiceModel(tripolar_small)
+        with pytest.raises(RuntimeError):
+            m.step(3600.0)
+        m.init()
+        m.step(3600.0)
+        s = m.finalize()
+        assert s["steps"] == 1
+
+
+class TestLand:
+    def _forcing(self, n, gsw=300.0, precip=0.0):
+        return dict(
+            gsw=np.full(n, gsw),
+            glw=np.full(n, 320.0),
+            precip=np.full(n, precip),
+            t_air=np.full(n, 288.0),
+            dt=1800.0,
+        )
+
+    def test_sunny_forcing_warms_surface(self):
+        m = LandModel(50)
+        m.init()
+        t0 = m.tskin.mean()
+        for _ in range(24):
+            m.force(**self._forcing(50, gsw=700.0))
+        assert m.tskin.mean() > t0
+
+    def test_rain_fills_bucket_then_runs_off(self):
+        m = LandModel(10)
+        m.init()
+        heavy = self._forcing(10, gsw=0.0, precip=5e-2)  # heavy rain
+        out = None
+        for _ in range(50):
+            out = m.force(**heavy)
+        assert np.all(m.bucket <= m.config.bucket_capacity + 1e-12)
+        assert out["runoff"].max() > 0
+        assert np.all(out["soil_wetness"] <= 1.0)
+
+    def test_dry_bucket_limits_evaporation(self):
+        m = LandModel(10)
+        m.init()
+        m.bucket[:] = 0.0
+        out = m.force(**self._forcing(10, gsw=800.0))
+        assert np.all(out["evaporation"] == 0.0)
+
+    def test_skin_temperature_bounded(self):
+        m = LandModel(5)
+        m.init()
+        for _ in range(200):
+            m.force(**self._forcing(5, gsw=1200.0))
+        assert m.tskin.max() <= 340.0
+
+    def test_mask_leaves_non_land_untouched(self):
+        mask = np.array([True, False, True])
+        m = LandModel(3, land_mask=mask)
+        m.init()
+        t_before = m.tskin[1]
+        m.force(**self._forcing(3, gsw=900.0))
+        assert m.tskin[1] == t_before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LandModel(0)
+        with pytest.raises(ValueError):
+            LandModel(4, land_mask=np.ones(3, bool))
+        m = LandModel(4)
+        m.init()
+        with pytest.raises(ValueError):
+            m.force(np.zeros(3), np.zeros(4), np.zeros(4), np.zeros(4), 1800.0)
+        with pytest.raises(ValueError):
+            m.force(np.zeros(4), np.zeros(4), np.zeros(4), np.zeros(4), 0.0)
+
+    def test_finalize_summary(self):
+        m = LandModel(8)
+        m.init()
+        m.force(**self._forcing(8))
+        s = m.finalize()
+        assert s["steps"] == 1
+        assert 180.0 < s["mean_tskin"] < 340.0

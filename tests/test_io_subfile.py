@@ -1,0 +1,115 @@
+"""Tests for the subfile parallel-I/O layer."""
+
+import numpy as np
+import pytest
+
+from repro.io import IOCostModel, SubfileLayout, read_subfiles, write_subfiles
+from repro.parallel import block_ranges
+
+
+def _rank_slices(global_array, n_ranks):
+    out = []
+    for s, e in block_ranges(len(global_array), n_ranks):
+        out.append((s, global_array[s:e]))
+    return out
+
+
+class TestLayout:
+    def test_group_assignment_partitions_ranks(self):
+        layout = SubfileLayout(n_ranks=10, n_groups=3)
+        seen = []
+        for g in range(3):
+            seen.extend(layout.ranks_of(g))
+        assert sorted(seen) == list(range(10))
+        for r in range(10):
+            assert r in layout.ranks_of(layout.group_of(r))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubfileLayout(4, 5)
+        with pytest.raises(ValueError):
+            SubfileLayout(4, 0)
+        with pytest.raises(ValueError):
+            SubfileLayout(4, 2).group_of(9)
+
+    def test_subfile_names_stable(self):
+        layout = SubfileLayout(8, 2)
+        assert layout.subfile_name("restart", 1) == "restart.00001.bin"
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n_ranks,n_groups", [(1, 1), (8, 1), (8, 4), (8, 8), (7, 3)])
+    def test_write_read_roundtrip(self, tmp_path, n_ranks, n_groups):
+        rng = np.random.default_rng(n_ranks * 10 + n_groups)
+        global_array = rng.standard_normal(1000)
+        layout = SubfileLayout(n_ranks, n_groups)
+        paths = write_subfiles(tmp_path, "field", layout, _rank_slices(global_array, n_ranks))
+        assert len(paths) == n_groups
+        back = read_subfiles(tmp_path, "field", layout, 1000)
+        assert np.array_equal(back, global_array)
+
+    def test_other_dtypes(self, tmp_path):
+        data = np.arange(100, dtype=np.int32)
+        layout = SubfileLayout(4, 2)
+        write_subfiles(tmp_path, "ints", layout, _rank_slices(data, 4))
+        back = read_subfiles(tmp_path, "ints", layout, 100)
+        assert back.dtype == np.int32
+        assert np.array_equal(back, data)
+
+    def test_bad_magic_detected(self, tmp_path):
+        layout = SubfileLayout(2, 1)
+        write_subfiles(tmp_path, "x", layout, _rank_slices(np.zeros(10), 2))
+        path = tmp_path / layout.subfile_name("x", 0)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"JUNK"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="bad magic"):
+            read_subfiles(tmp_path, "x", layout, 10)
+
+    def test_incomplete_coverage_detected(self, tmp_path):
+        layout = SubfileLayout(2, 1)
+        write_subfiles(tmp_path, "y", layout, _rank_slices(np.zeros(10), 2))
+        with pytest.raises(ValueError, match="cover"):
+            read_subfiles(tmp_path, "y", layout, 20)
+
+    def test_wrong_slice_count(self, tmp_path):
+        layout = SubfileLayout(4, 2)
+        with pytest.raises(ValueError):
+            write_subfiles(tmp_path, "z", layout, _rank_slices(np.zeros(10), 3))
+
+    def test_unsupported_dtype(self, tmp_path):
+        layout = SubfileLayout(1, 1)
+        with pytest.raises(ValueError):
+            write_subfiles(tmp_path, "c", layout, [(0, np.zeros(4, dtype=complex))])
+
+
+class TestCostModel:
+    def test_subfiles_beat_shared_file_at_scale(self):
+        model = IOCostModel()
+        total = 100e9  # a 100 GB restart
+        n_ranks = 10000
+        shared = model.shared_file_time(total, n_writers=n_ranks)
+        sub = model.subfile_time(total, n_groups=64)
+        assert sub < shared
+
+    def test_more_groups_help_until_fs_saturates(self):
+        model = IOCostModel()
+        total = 1e12
+        t8 = model.subfile_time(total, 8)
+        t64 = model.subfile_time(total, 64)
+        t4096 = model.subfile_time(total, 4096)
+        assert t64 < t8
+        # Beyond saturation, extra groups stop helping much.
+        assert t4096 == pytest.approx(model.subfile_time(total, 1024), rel=0.2)
+
+    def test_best_group_count_reasonable(self):
+        model = IOCostModel()
+        g = model.best_group_count(1e12, n_ranks=100000)
+        assert 64 <= g <= 100000
+
+    def test_validation(self):
+        model = IOCostModel()
+        with pytest.raises(ValueError):
+            model.shared_file_time(-1, 4)
+        with pytest.raises(ValueError):
+            model.subfile_time(10, 0)

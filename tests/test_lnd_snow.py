@@ -1,0 +1,92 @@
+"""Tests for the land model's snow scheme."""
+
+import numpy as np
+import pytest
+
+from repro.lnd import LandModel
+
+
+def _forcing(n, gsw=0.0, precip=0.0, t_air=288.0):
+    return dict(
+        gsw=np.full(n, gsw),
+        glw=np.full(n, 300.0),
+        precip=np.full(n, precip),
+        t_air=np.full(n, t_air),
+        dt=3600.0,
+    )
+
+
+def test_cold_precipitation_accumulates_as_snow():
+    m = LandModel(5)
+    m.init()
+    m.tskin[:] = 260.0
+    for _ in range(24):
+        out = m.force(**_forcing(5, precip=1e-3, t_air=263.0))
+    assert np.all(m.snow > 0)
+    assert np.all(out["snow_depth"] > 0)
+    # Cold precip does not fill the bucket directly.
+    assert np.all(m.bucket <= 0.5 * m.config.bucket_capacity + 1e-12)
+
+
+def test_warm_rain_does_not_make_snow():
+    m = LandModel(5)
+    m.init()
+    for _ in range(10):
+        m.force(**_forcing(5, precip=1e-3, t_air=290.0))
+    assert np.all(m.snow == 0)
+
+
+def test_snow_melts_under_strong_sun_and_fills_bucket():
+    m = LandModel(5)
+    m.init()
+    m.snow[:] = 0.05
+    m.tskin[:] = 274.0
+    m.bucket[:] = 0.0
+    for _ in range(48):
+        m.force(**_forcing(5, gsw=700.0, t_air=285.0))
+    assert np.all(m.snow < 0.05)
+    assert np.all(m.bucket > 0)  # meltwater arrived
+
+
+def test_snow_raises_albedo():
+    m = LandModel(4)
+    m.init()
+    base = m.effective_albedo().copy()
+    m.snow[:] = 1.0
+    snowy = m.effective_albedo()
+    assert np.all(snowy > base)
+    assert snowy[0] == pytest.approx(m.config.snow_albedo)
+
+
+def test_partial_snow_cover_blends_albedo():
+    m = LandModel(1)
+    m.init()
+    m.snow[:] = 0.5 * m.config.snow_masking_depth
+    a = m.effective_albedo()[0]
+    assert m.config.albedo < a < m.config.snow_albedo
+
+
+def test_snowy_surface_absorbs_less():
+    """With the same sun, a snow-covered surface warms more slowly."""
+    bare = LandModel(1)
+    bare.init()
+    snowy = LandModel(1)
+    snowy.init()
+    snowy.snow[:] = 1.0
+    # Keep the pack from melting (cold skin) to isolate the albedo effect.
+    bare.tskin[:] = snowy.tskin[:] = 265.0
+    for _ in range(6):
+        bare.force(**_forcing(1, gsw=600.0, t_air=265.0))
+        snowy.force(**_forcing(1, gsw=600.0, t_air=265.0))
+    assert snowy.tskin[0] < bare.tskin[0]
+
+
+def test_snow_only_on_land_cells():
+    mask = np.array([True, False])
+    m = LandModel(2, land_mask=mask)
+    m.init()
+    m.tskin[:] = 260.0
+    for _ in range(5):
+        m.force(**_forcing(2, precip=1e-3, t_air=260.0))
+    assert m.snow[0] > 0
+    assert m.snow[1] == 0

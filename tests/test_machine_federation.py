@@ -1,0 +1,98 @@
+"""Tests for the computing-power-network federation model (§8)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    CoupledPerfModel,
+    CouplingSpec,
+    PerfModel,
+    atm_workload,
+    ocn_workload,
+    orise,
+    sunway_oceanlight,
+)
+from repro.machine.federation import FederatedESM, WanLink
+
+
+@pytest.fixture(scope="module")
+def federated():
+    sunway = PerfModel(sunway_oceanlight(), mode="accelerated")
+    ori = PerfModel(orise(), mode="accelerated")
+    atm = atm_workload(42_000_000, 30)
+    ocn = ocn_workload(18000 * 11511, 80, compressed=True)
+    cal_a, wl_a = sunway.calibrated(atm, [(32768, 0.36), (262144, 1.16)])
+    cal_o, wl_o = ori.calibrated(ocn, [(4060, 0.92), (16085, 1.98)])
+    coupling = CouplingSpec(
+        exchanges_per_day={"atm": 180.0, "ocn": 36.0, "ice": 180.0},
+        bytes_per_exchange={"atm": 4.2e8, "ocn": 1.7e9, "ice": 4.2e8},
+    )
+    fed = FederatedESM(
+        model1=cal_a, workload1=wl_a,
+        model2=cal_o, workload2=wl_o,
+        coupling=coupling,
+    )
+    single = CoupledPerfModel(
+        model1=cal_a, model2=cal_a,  # both on Sunway for the baseline
+        domain1=(wl_a,), domain2=(wl_o,), coupling=coupling,
+    )
+    return fed, single
+
+
+class TestWanLink:
+    def test_transfer_time_components(self):
+        link = WanLink(latency_s=0.05, bandwidth=1e9)
+        assert link.transfer_time(0) == pytest.approx(0.05)
+        assert link.transfer_time(1e9) == pytest.approx(1.05)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+
+class TestFederation:
+    def test_wan_cost_positive_and_latency_dominated(self, federated):
+        fed, _ = federated
+        t_wan = fed.wan_time_per_day()
+        # 396 exchanges/day at 50 ms each = ~20 s of pure latency.
+        assert t_wan > 396 * 0.05 * 0.99
+
+    def test_sypd_decreases_with_worse_link(self, federated):
+        fed, _ = federated
+        from dataclasses import replace
+
+        slow = replace(fed, link=WanLink(latency_s=0.2, bandwidth=1e8))
+        assert slow.predict_sypd(100_000, 12_000) < fed.predict_sypd(100_000, 12_000)
+
+    def test_comparison_reports_all_fields(self, federated):
+        fed, single = federated
+        out = fed.compare_with_single_machine(single, 260_000, 260_000, 16_000)
+        assert set(out) == {
+            "single_machine_s_per_day", "federated_s_per_day",
+            "federation_speedup", "wan_share_of_federated",
+        }
+        assert 0 <= out["wan_share_of_federated"] <= 1
+
+    def test_federation_wins_given_extra_hardware(self, federated):
+        """The §8 proposition: adding a second machine for the ocean frees
+        the whole first machine for the atmosphere.  With the same Sunway
+        allocation plus all of ORISE, federated time must beat the
+        single-machine split (WAN terms included)."""
+        fed, single = federated
+        out = fed.compare_with_single_machine(
+            single, single_total_procs=260_000,
+            n_procs1=260_000, n_procs2=16_000,
+        )
+        assert out["federation_speedup"] > 1.0
+
+    def test_breakeven_bandwidth_sane(self, federated):
+        fed, single = federated
+        s1, s2 = single.balance_resources(260_000)
+        target = single.time_per_day(s1, s2)
+        bw = fed.breakeven_bandwidth(target, 260_000, 16_000)
+        assert bw is not None
+        assert bw < fed.link.bandwidth  # 100 Gb/s comfortably suffices
+
+    def test_breakeven_none_when_latency_blows_budget(self, federated):
+        fed, _ = federated
+        assert fed.breakeven_bandwidth(1.0, 260_000, 16_000) is None
+        with pytest.raises(ValueError):
+            fed.breakeven_bandwidth(0.0, 1, 1)

@@ -1,0 +1,311 @@
+"""Tests for the performance model: roofline terms, scaling shape, and
+anchor calibration against published Table 2 points."""
+
+import math
+
+import pytest
+
+from repro.machine import (
+    ComponentWorkload,
+    CoupledPerfModel,
+    CouplingSpec,
+    PerfModel,
+    Phase,
+    atm_workload,
+    ocn_workload,
+    orise,
+    sunway_oceanlight,
+)
+
+CORES_PER_PROC = 65  # Sunway: one process per 65-core CG
+
+
+def procs(cores: int) -> int:
+    return max(1, cores // CORES_PER_PROC)
+
+
+@pytest.fixture
+def sunway_model():
+    return PerfModel(sunway_oceanlight(), mode="accelerated")
+
+
+@pytest.fixture
+def atm3km():
+    return atm_workload(42_000_000, 30)
+
+
+class TestPhaseAndWorkloadValidation:
+    def test_phase_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            Phase("x", steps_per_day=0, flops_per_point=1, bytes_per_point=1)
+
+    def test_phase_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            Phase("x", steps_per_day=1, flops_per_point=-1, bytes_per_point=1)
+
+    def test_workload_needs_phases(self):
+        with pytest.raises(ValueError):
+            ComponentWorkload("w", columns=10, levels=5, phases=())
+
+    def test_workload_scaled(self):
+        wl = ocn_workload(1000, 10)
+        assert ocn_workload(1000, 10, compressed=True).columns == pytest.approx(
+            wl.columns * 0.70, abs=1
+        )
+        with pytest.raises(ValueError):
+            wl.scaled(0.0)
+
+
+class TestTimePerDay:
+    def test_breakdown_components_positive(self, sunway_model, atm3km):
+        bd = sunway_model.time_per_day(atm3km, procs(2_129_920))
+        assert bd.t_compute > 0
+        assert bd.t_halo > 0
+        assert bd.t_collectives > 0
+        assert bd.t_staging == 0  # Sunway CPEs need no PCIe staging
+        assert bd.total == pytest.approx(
+            bd.t_compute + bd.t_halo + bd.t_collectives + bd.t_staging + bd.t_serial
+        )
+
+    def test_orise_charges_staging(self):
+        model = PerfModel(orise(), mode="accelerated")
+        wl = ocn_workload(18000 * 11511, 80)
+        bd = model.time_per_day(wl, 4000)
+        assert bd.t_staging > 0
+
+    def test_single_process_has_no_comm(self, sunway_model, atm3km):
+        bd = sunway_model.time_per_day(atm3km, 1)
+        assert bd.t_halo == 0
+        assert bd.t_collectives == 0
+
+    def test_compute_scales_inversely_with_procs(self, sunway_model, atm3km):
+        bd1 = sunway_model.time_per_day(atm3km, 1000)
+        bd2 = sunway_model.time_per_day(atm3km, 4000)
+        assert bd2.t_compute == pytest.approx(bd1.t_compute / 4, rel=0.01)
+
+    def test_halo_scales_like_perimeter(self, sunway_model, atm3km):
+        # Quadrupling ranks halves the local edge, so per-rank halo bytes
+        # halve; the latency term is unchanged.
+        bd1 = sunway_model.time_per_day(atm3km, 1000)
+        bd2 = sunway_model.time_per_day(atm3km, 4000)
+        assert bd1.t_halo / 2 < bd2.t_halo < bd1.t_halo
+
+    def test_too_many_processes_rejected(self, sunway_model, atm3km):
+        with pytest.raises(ValueError):
+            sunway_model.time_per_day(atm3km, 10**9)
+
+    def test_host_mode_much_slower(self, atm3km):
+        acc = PerfModel(sunway_oceanlight(), mode="accelerated")
+        host = PerfModel(sunway_oceanlight(), mode="host")
+        p = 32768
+        assert host.time_per_day(atm3km, p).t_compute > 50 * acc.time_per_day(
+            atm3km, p
+        ).t_compute
+
+    def test_orise_requires_host_processor_for_host_mode(self):
+        with pytest.raises(ValueError):
+            PerfModel(orise(), mode="nonsense")
+
+
+class TestStrongScalingShape:
+    def test_efficiency_decreases_at_scale(self, sunway_model, atm3km):
+        """Strong scaling efficiency must fall as comm dominates."""
+        base_p = procs(2_129_920)
+        sypd0 = sunway_model.predict_sypd(atm3km, base_p)
+        effs = []
+        for mult in (2, 4, 8):
+            sypd = sunway_model.predict_sypd(atm3km, base_p * mult)
+            effs.append((sypd / sypd0) / mult)
+        assert effs[0] > effs[1] > effs[2]
+        assert effs[2] > 0.3  # but not a collapse
+
+    def test_throughput_still_increases(self, sunway_model, atm3km):
+        prev = 0.0
+        for mult in (1, 2, 4, 8):
+            sypd = sunway_model.predict_sypd(atm3km, procs(2_129_920) * mult)
+            assert sypd > prev
+            prev = sypd
+
+
+class TestCalibration:
+    def test_two_point_calibration_exact_at_anchors(self, sunway_model, atm3km):
+        anchors = [(procs(2_129_920), 0.36), (procs(17_039_360), 1.16)]
+        cal, wl = sunway_model.calibrated(atm3km, anchors)
+        for p, sypd in anchors:
+            assert cal.predict_sypd(wl, p) == pytest.approx(sypd, rel=1e-6)
+
+    def test_interior_prediction_close_to_paper(self, sunway_model, atm3km):
+        """Calibrated on endpoints, the *interior* Table 2 points are
+        predictions — require them within 20 % of published."""
+        cal, wl = sunway_model.calibrated(
+            atm3km, [(procs(2_129_920), 0.36), (procs(17_039_360), 1.16)]
+        )
+        for cores, pub in [(4_259_840, 0.70), (8_519_680, 0.92)]:
+            got = cal.predict_sypd(wl, procs(cores))
+            assert got == pytest.approx(pub, rel=0.20)
+
+    def test_mpe_curve_calibration_finds_large_serial_term(self, atm3km):
+        """The MPE baseline's 24.6 % efficiency implies a large Amdahl term."""
+        host = PerfModel(sunway_oceanlight(), mode="host")
+        cal, wl = host.calibrated(atm3km, [(32768, 0.0032), (262144, 0.0063)])
+        t1 = cal.time_per_day(wl, 32768).total
+        assert wl.serial_seconds_per_day > 0.3 * t1
+
+    def test_one_point_calibration(self, sunway_model, atm3km):
+        cal, wl = sunway_model.calibrated(atm3km, [(procs(2_129_920), 0.36)])
+        assert cal.predict_sypd(wl, procs(2_129_920)) == pytest.approx(0.36, rel=1e-6)
+
+    def test_calibration_requires_anchor(self, sunway_model, atm3km):
+        with pytest.raises(ValueError):
+            sunway_model.calibrated(atm3km, [])
+
+    def test_orise_ocn_curve(self):
+        model = PerfModel(orise(), mode="accelerated")
+        wl = ocn_workload(36000 * 22018, 80, compressed=True)
+        cal, wlc = model.calibrated(wl, [(4060, 0.92), (16085, 1.98)])
+        # Published interior points within 15 %.
+        assert cal.predict_sypd(wlc, 8060) == pytest.approx(1.45, rel=0.15)
+        assert cal.predict_sypd(wlc, 11927) == pytest.approx(1.76, rel=0.15)
+
+    def test_mpe_vs_cpe_speedup_band(self, atm3km):
+        """End-to-end MPE->CPE+OPT speedup should land in the paper's
+        84-184x band at matching node counts."""
+        acc = PerfModel(sunway_oceanlight(), mode="accelerated")
+        host = PerfModel(sunway_oceanlight(), mode="host")
+        cal_a, wl_a = acc.calibrated(
+            atm3km, [(procs(2_129_920), 0.36), (procs(17_039_360), 1.16)]
+        )
+        cal_h, wl_h = host.calibrated(atm3km, [(32768, 0.0032), (262144, 0.0063)])
+        # 5462 nodes: 32768 MPE processes vs 32768 CG processes.
+        speedup = cal_a.predict_sypd(wl_a, 32768) / cal_h.predict_sypd(wl_h, 32768)
+        assert 80 < speedup < 200
+
+
+class TestCoupledModel:
+    def _coupled(self):
+        machine = sunway_oceanlight()
+        model = PerfModel(machine, mode="accelerated")
+        atm = atm_workload(42_000_000, 30)
+        ocn = ocn_workload(18000 * 11511, 80, compressed=True)
+        cal_a, wl_a = model.calibrated(
+            atm, [(procs(2_129_920), 0.36), (procs(17_039_360), 1.16)]
+        )
+        cal_o, wl_o = model.calibrated(
+            ocn, [(procs(1_273_415), 0.21), (procs(19_513_780), 1.59)]
+        )
+        coupling = CouplingSpec(
+            exchanges_per_day={"atm": 180.0, "ocn": 36.0, "ice": 180.0},
+            bytes_per_exchange={"atm": 42e6 * 8 * 8, "ocn": 2e8 * 8 * 8, "ice": 2e8 * 8 * 2},
+        )
+        return CoupledPerfModel(
+            model1=cal_a,
+            model2=cal_o,
+            domain1=(wl_a,),
+            domain2=(wl_o,),
+            coupling=coupling,
+        )
+
+    def test_coupled_slower_than_either_component(self):
+        cm = self._coupled()
+        n1, n2 = 150_000, 100_000
+        coupled = cm.predict_sypd(n1, n2)
+        atm_alone = cm.model1.predict_sypd(cm.domain1[0], n1)
+        assert coupled < atm_alone
+
+    def test_balance_beats_even_split(self):
+        cm = self._coupled()
+        total = 260_000
+        n1, n2 = cm.balance_resources(total)
+        assert n1 + n2 == total
+        balanced = cm.time_per_day(n1, n2)
+        even = cm.time_per_day(total // 2, total // 2)
+        assert balanced <= even + 1e-9
+
+    def test_coupled_3v2_in_paper_ballpark(self):
+        """AP3ESM 3v2 published: 0.71 SYPD at 17 M cores.  The coupled model
+        assembled from *standalone* calibrations must land within 35 %."""
+        cm = self._coupled()
+        total = procs(17_039_360)
+        n1, n2 = cm.balance_resources(total)
+        got = cm.predict_sypd(n1, n2)
+        assert got == pytest.approx(0.71, rel=0.35)
+
+    def test_balance_requires_two_procs(self):
+        cm = self._coupled()
+        with pytest.raises(ValueError):
+            cm.balance_resources(1)
+
+
+class TestTaskParallelStrategies:
+    """§5.1.2: sequential single-domain vs concurrent task domains."""
+
+    def _coupled_with_imbalance(self):
+        machine = sunway_oceanlight()
+        model = PerfModel(machine, mode="accelerated")
+        atm = atm_workload(42_000_000, 30)
+        ocn = ocn_workload(18000 * 11511, 80, compressed=True)
+        cal_a, wl_a = model.calibrated(
+            atm, [(procs(2_129_920), 0.36), (procs(17_039_360), 1.16)]
+        )
+        cal_o, wl_o = model.calibrated(
+            ocn, [(procs(1_273_415), 0.21), (procs(19_513_780), 1.59)]
+        )
+        coupling = CouplingSpec(
+            exchanges_per_day={"atm": 180.0, "ocn": 36.0, "ice": 180.0},
+            bytes_per_exchange={"atm": 4.2e8, "ocn": 1.7e9, "ice": 4.2e8},
+        )
+        from dataclasses import replace
+
+        cm = CoupledPerfModel(
+            model1=cal_a, model2=cal_o, domain1=(wl_a,), domain2=(wl_o,),
+            coupling=coupling,
+        )
+        return replace(cm, sync_imbalance=0.3)
+
+    def test_concurrent_wins_at_scale(self):
+        """At the paper's scales (poor strong-scaling tails), running the
+        domains concurrently beats time-slicing the full machine — the
+        reason the paper partitions into two task domains."""
+        cm = self._coupled_with_imbalance()
+        cmp_large = cm.strategy_comparison(560_000)
+        assert cmp_large["speedup"] > 1.1
+
+    def test_sequential_wins_when_scaling_is_good(self):
+        """At small scale (near-linear strong scaling), time-slicing the
+        full allocation is the better strategy — the crossover the model
+        exposes."""
+        cm = self._coupled_with_imbalance()
+        cmp_small = cm.strategy_comparison(50_000)
+        assert cmp_small["speedup"] < 1.0
+
+    def test_comparison_fields_consistent(self):
+        cm = self._coupled_with_imbalance()
+        out = cm.strategy_comparison(100_000)
+        assert out["split_domain1"] + out["split_domain2"] == 100_000
+        with pytest.raises(ValueError):
+            cm.sequential_time_per_day(0)
+
+
+class TestAuxWorkloads:
+    def test_ice_and_land_workloads_cheap(self):
+        """'These two components are not bottlenecks' (§5.1.1): at equal
+        columns their per-day cost is far below the atmosphere's."""
+        from repro.machine import ice_workload, lnd_workload
+
+        model = PerfModel(sunway_oceanlight(), mode="accelerated")
+        cols = 1_000_000
+        t_atm = model.time_per_day(atm_workload(cols, 30), 1000).total
+        t_ice = model.time_per_day(ice_workload(cols), 1000).total
+        t_lnd = model.time_per_day(lnd_workload(cols), 1000).total
+        assert t_ice < 0.05 * t_atm
+        assert t_lnd < 0.05 * t_atm
+
+    def test_imbalance_cv_increases_time(self):
+        model = PerfModel(sunway_oceanlight(), imbalance_cv=0.1)
+        base = PerfModel(sunway_oceanlight())
+        wl = atm_workload(42_000_000, 30)
+        assert model.time_per_day(wl, 10_000).t_compute > base.time_per_day(wl, 10_000).t_compute
+        # Single process: no synchronization, no penalty.
+        assert model.time_per_day(wl, 1).t_compute == base.time_per_day(wl, 1).t_compute
+        with pytest.raises(ValueError):
+            PerfModel(sunway_oceanlight(), imbalance_cv=-0.1)

@@ -1,0 +1,73 @@
+"""Tests for machine specifications (published §6.3 hardware facts)."""
+
+import pytest
+
+from repro.machine import (
+    CORES_PER_NODE,
+    CPE_PROCESSOR,
+    MPE_PROCESSOR,
+    OCEANLIGHT_NODES,
+    orise,
+    sunway_oceanlight,
+)
+
+
+def test_oceanlight_published_core_count():
+    m = sunway_oceanlight()
+    # Paper: "more than 107520 nodes ... 41932800 cores".
+    assert m.n_nodes == 107520
+    assert m.total_cores == 41_932_800
+    assert m.node.cores_per_node == CORES_PER_NODE == 390
+
+
+def test_oceanlight_process_layout():
+    m = sunway_oceanlight()
+    # One process per CG: 6 per node, 65 cores each (1 MPE + 64 CPE).
+    assert m.node.processes_per_node == 6
+    assert m.node.cores_per_process == 65
+    assert m.total_processes == 107520 * 6
+
+
+def test_oceanlight_fat_tree_taper():
+    net = sunway_oceanlight().network
+    assert net.nodes_per_supernode == 256
+    assert net.oversubscription == pytest.approx(256 / 48)
+    assert net.effective_bandwidth(inter_supernode=True) < net.effective_bandwidth(
+        inter_supernode=False
+    )
+
+
+def test_oceanlight_partition():
+    m = sunway_oceanlight(5462)
+    assert m.n_nodes == 5462
+    assert m.processes_for_nodes(5462) == 5462 * 6
+    with pytest.raises(ValueError):
+        sunway_oceanlight(OCEANLIGHT_NODES + 1)
+    with pytest.raises(ValueError):
+        m.processes_for_nodes(10_000)
+
+
+def test_cpe_vs_mpe_throughput_ratio():
+    # The ~130x raw ratio underlies the paper's 84-184x end-to-end speedups.
+    ratio = CPE_PROCESSOR.flops / MPE_PROCESSOR.flops
+    assert 80 < ratio < 200
+
+
+def test_orise_gpu_layout():
+    m = orise()
+    assert m.node.processes_per_node == 4  # one process per GPU
+    assert m.node.staging_bw == pytest.approx(1.6e10)  # 16 GB/s PCIe
+    assert m.network.bandwidth == pytest.approx(2.5e10)  # 25 GB/s network
+    assert m.processes_for_nodes(4060 // 4 + 1) > 4060  # Table 2 scale fits
+
+
+def test_orise_supports_16085_gpus():
+    # Largest published ORISE run.
+    assert orise().total_processes >= 16085
+
+
+def test_with_processor_swaps_mode():
+    m = sunway_oceanlight()
+    host = m.with_processor(MPE_PROCESSOR)
+    assert host.node.processor is MPE_PROCESSOR
+    assert m.node.processor is CPE_PROCESSOR

@@ -1,0 +1,116 @@
+"""Tests for the LICOMK++-style portable ocean kernels: bit-identical to
+the plain-numpy solvers on every execution space, with and without
+non-ocean-point compression (the §5.3 x §5.2.2 composition)."""
+
+import numpy as np
+import pytest
+
+from repro.ocn import BaroclinicSolver, CGridMetrics, Compressor, MixingParams, canuto_kappa, linear_eos
+from repro.ocn.kernels import OCEAN_KERNELS, run_canuto, run_eos, run_pressure
+from repro.pp import CPECluster, GPUDevice, HostThreads, Serial
+
+SPACES = [Serial(), HostThreads(4), CPECluster(64), GPUDevice(512)]
+IDS = [s.name for s in SPACES]
+
+
+@pytest.fixture(scope="module")
+def fields(tripolar_small):
+    mask3d = tripolar_small.levels_mask()
+    rng = np.random.default_rng(0)
+    t = np.where(mask3d, 5.0 + 20.0 * rng.random(mask3d.shape), 0.0)
+    s = np.where(mask3d, 34.0 + 2.0 * rng.random(mask3d.shape), 0.0)
+    return tripolar_small, mask3d, t, s
+
+
+@pytest.mark.parametrize("space", SPACES, ids=IDS)
+def test_eos_matches_reference(fields, space):
+    _, _, t, s = fields
+    assert np.array_equal(run_eos(space, t, s), linear_eos(t, s))
+
+
+@pytest.mark.parametrize("space", SPACES, ids=IDS)
+def test_eos_compressed_matches_on_wet_points(fields, space):
+    _, mask3d, t, s = fields
+    comp = Compressor(mask3d)
+    packed = run_eos(space, t, s, compressor=comp)
+    ref = linear_eos(t, s)
+    assert np.array_equal(packed[mask3d], ref[mask3d])
+
+
+@pytest.mark.parametrize("space", SPACES, ids=IDS)
+def test_canuto_matches_reference(fields, space):
+    rng = np.random.default_rng(1)
+    ri = rng.standard_normal((10, 40, 60)) * 2.0
+    prm = MixingParams()
+    assert np.array_equal(run_canuto(space, ri, prm), canuto_kappa(ri, prm))
+
+
+def test_canuto_compressed(fields):
+    _, mask3d, _, _ = fields
+    rng = np.random.default_rng(2)
+    ri = rng.standard_normal(mask3d.shape)
+    comp = Compressor(mask3d)
+    packed = run_canuto(Serial(), ri, compressor=comp)
+    ref = canuto_kappa(ri)
+    assert np.array_equal(packed[mask3d], ref[mask3d])
+
+
+@pytest.mark.parametrize("space", SPACES, ids=IDS)
+def test_pressure_matches_baroclinic_solver(fields, space):
+    grid, mask3d, t, s = fields
+    metrics = CGridMetrics.build(grid)
+    dz = np.diff(grid.z_interfaces)
+    solver = BaroclinicSolver(metrics, mask3d, dz)
+    ref = solver.pressure(t, s)
+    got = run_pressure(space, t, s, dz)
+    assert np.allclose(got, ref, rtol=1e-12, atol=1e-6)
+
+
+def test_all_spaces_agree_bitwise(fields):
+    _, _, t, s = fields
+    results = [run_eos(space, t, s) for space in SPACES]
+    for r in results[1:]:
+        assert np.array_equal(r, results[0])
+
+
+def test_kernels_are_registered():
+    """The hash registry holds every ocean kernel (the §5.3 mechanism)."""
+    assert len(OCEAN_KERNELS) >= 3
+
+
+class TestBackendSelection:
+    """§5.1.1's implementation portfolio: pick the backend per machine."""
+
+    def test_sunway_selects_athread(self):
+        from repro.machine import sunway_oceanlight
+        from repro.ocn.backends import select_backend
+
+        label, space = select_backend(sunway_oceanlight())
+        assert label == "athread"
+        assert space.name == "CPECluster"
+        assert space.lanes == 64
+
+    def test_orise_selects_hip(self):
+        from repro.machine import orise
+        from repro.ocn.backends import select_backend
+
+        label, space = select_backend(orise())
+        assert label == "hip"
+        assert space.name == "GPUDevice"
+
+    def test_selected_backend_runs_the_kernels(self, fields):
+        """Whatever the portfolio picks, the kernels produce the reference
+        answer — the point of performance portability."""
+        from repro.machine import orise, sunway_oceanlight
+        from repro.ocn.backends import select_backend
+
+        _, _, t, s = fields
+        ref = linear_eos(t, s)
+        for machine in (sunway_oceanlight(), orise()):
+            _, space = select_backend(machine)
+            assert np.array_equal(run_eos(space, t, s), ref)
+
+    def test_portfolio_labels_documented(self):
+        from repro.ocn.backends import BACKEND_PORTFOLIO
+
+        assert {"athread", "hip", "kokkos-host", "serial"} <= set(BACKEND_PORTFOLIO)

@@ -1,0 +1,72 @@
+"""Tests for the LogGP collective cost models."""
+
+import pytest
+
+from repro.parallel.collectives import (
+    cost_allreduce,
+    cost_alltoall,
+    cost_alltoall_sparse,
+    cost_bcast,
+    cost_gather,
+    cost_halo_exchange,
+    cost_p2p,
+)
+
+
+def test_p2p_is_one_message():
+    assert cost_p2p(1024) == (1, 1024)
+
+
+def test_halo_exchange_overlaps_messages():
+    msgs, nbytes = cost_halo_exchange(1000, 4)
+    assert msgs == 4
+    assert nbytes == 4000
+    assert cost_halo_exchange(1000, 0) == (0, 0)
+
+
+@pytest.mark.parametrize("p", [2, 8, 1024, 10**6])
+def test_allreduce_logarithmic_rounds(p):
+    import math
+
+    msgs, nbytes = cost_allreduce(64, p)
+    assert msgs == math.ceil(math.log2(p))
+    assert nbytes == 64 * msgs
+
+
+def test_single_rank_collectives_free():
+    for fn in (cost_allreduce, cost_bcast):
+        assert fn(100, 1) == (0, 0)
+    assert cost_alltoall(100, 1) == (0, 0)
+    assert cost_gather(100, 1) == (0, 0)
+
+
+def test_alltoall_linear_in_ranks():
+    msgs, _ = cost_alltoall(10, 1000)
+    assert msgs == 999
+
+
+def test_sparse_alltoall_depends_on_partners_not_ranks():
+    m_small, b_small = cost_alltoall_sparse(10, 16, 1000)
+    m_large, b_large = cost_alltoall_sparse(10, 16, 10**6)
+    assert m_small == m_large == 16
+    assert b_small == b_large
+
+
+def test_sparse_beats_dense():
+    p, nbytes = 100_000, 4096
+    dense = cost_alltoall(nbytes, p)
+    sparse = cost_alltoall_sparse(nbytes, 16, p)
+    assert sparse[0] < dense[0]
+    assert sparse[1] < dense[1]
+
+
+def test_gather_root_receives_all():
+    msgs, nbytes = cost_gather(100, 64)
+    assert nbytes == 100 * 63
+    assert msgs == 6  # log2(64)
+
+
+def test_bcast_tree_depth():
+    msgs, nbytes = cost_bcast(256, 1024)
+    assert msgs == 10
+    assert nbytes == 256 * 10

@@ -1,0 +1,144 @@
+"""Tests for block decompositions and unstructured partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    Block1D,
+    Block2D,
+    block_ranges,
+    factor_2d,
+    partition_cells_contiguous,
+    partition_cells_space_filling,
+)
+
+
+@given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=64))
+def test_block_ranges_cover_and_balance(n, parts):
+    ranges = block_ranges(n, parts)
+    assert len(ranges) == parts
+    # Coverage: concatenated ranges tile [0, n) exactly.
+    cursor = 0
+    for s, e in ranges:
+        assert s == cursor
+        assert e >= s
+        cursor = e
+    assert cursor == n
+    # Balance: sizes differ by at most one.
+    sizes = [e - s for s, e in ranges]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_block_ranges_rejects_bad_args():
+    with pytest.raises(ValueError):
+        block_ranges(-1, 2)
+    with pytest.raises(ValueError):
+        block_ranges(10, 0)
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=32),
+)
+def test_block1d_owner_matches_ranges(n, parts):
+    ranges = block_ranges(n, parts)
+    probe = Block1D(n, parts, 0)
+    for rank, (s, e) in enumerate(ranges):
+        for g in {s, (s + e) // 2, e - 1} if e > s else set():
+            assert probe.owner(g) == rank
+
+
+def test_block1d_size_and_range():
+    b = Block1D(10, 3, 1)
+    assert b.range == (4, 7)
+    assert b.size == 3
+    with pytest.raises(IndexError):
+        b.owner(10)
+
+
+@given(st.integers(min_value=1, max_value=4096))
+def test_factor_2d_is_exact_factorization(n):
+    px, py = factor_2d(n)
+    assert px * py == n
+
+
+def test_factor_2d_respects_aspect():
+    px, py = factor_2d(64, aspect=4.0)
+    assert px * py == 64
+    assert px >= py  # elongated in x as requested
+
+
+def test_block2d_tiles_grid():
+    ny, nx, py, px = 17, 23, 3, 4
+    covered = np.zeros((ny, nx), dtype=int)
+    for rank in range(py * px):
+        b = Block2D(ny, nx, py, px, rank)
+        ys, xs = b.global_slices()
+        covered[ys, xs] += 1
+    assert np.all(covered == 1)
+
+
+def test_block2d_neighbors_periodic_x():
+    b = Block2D(8, 8, 2, 2, rank=0)  # coords (0, 0)
+    assert b.neighbor(0, -1) == 1      # wraps in x
+    assert b.neighbor(0, +1) == 1
+    assert b.neighbor(-1, 0) is None   # off the south edge
+    assert b.neighbor(+1, 0) == 2
+
+
+def test_block2d_neighbors_nonperiodic():
+    b = Block2D(8, 8, 2, 2, rank=0)
+    assert b.neighbor(0, -1, periodic_x=False) is None
+
+
+def test_block2d_owner_of():
+    ny, nx, py, px = 12, 16, 3, 4
+    for rank in range(py * px):
+        b = Block2D(ny, nx, py, px, rank)
+        ys, xs = b.global_slices()
+        assert Block2D.owner_of(ny, nx, py, px, ys.start, xs.start) == rank
+
+
+def test_contiguous_partition_counts():
+    owners = partition_cells_contiguous(100, 7)
+    counts = np.bincount(owners, minlength=7)
+    assert counts.sum() == 100
+    assert counts.max() - counts.min() <= 1
+
+
+def test_space_filling_partition_balances():
+    rng = np.random.default_rng(0)
+    n = 1000
+    lon = rng.uniform(0, 2 * np.pi, n)
+    lat = rng.uniform(-np.pi / 2, np.pi / 2, n)
+    owners = partition_cells_space_filling(lon, lat, 8)
+    counts = np.bincount(owners, minlength=8)
+    assert counts.sum() == n
+    assert counts.max() - counts.min() <= 1
+
+
+def test_space_filling_partition_is_local():
+    """SFC partitions must be more compact than striding: the mean pairwise
+    angular spread within a part should beat a random partition."""
+    rng = np.random.default_rng(1)
+    n = 2000
+    lon = rng.uniform(0, 2 * np.pi, n)
+    lat = rng.uniform(-np.pi / 2, np.pi / 2, n)
+    sfc = partition_cells_space_filling(lon, lat, 16)
+    rnd = rng.integers(0, 16, n)
+
+    def spread(owners):
+        total = 0.0
+        for p in range(16):
+            sel = owners == p
+            total += lon[sel].std() + lat[sel].std()
+        return total
+
+    assert spread(sfc) < 0.6 * spread(rnd)
+
+
+def test_space_filling_shape_mismatch():
+    with pytest.raises(ValueError):
+        partition_cells_space_filling([0.0, 1.0], [0.0], 2)

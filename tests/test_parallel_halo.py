@@ -1,0 +1,173 @@
+"""Tests for structured and graph halo exchange against serial references."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    Block2D,
+    GraphHalo,
+    SimWorld,
+    StructuredHalo,
+    local_with_halo,
+)
+
+
+def _global_field(ny, nx):
+    j, i = np.mgrid[0:ny, 0:nx]
+    return (j * 1000 + i).astype(np.float64)
+
+
+def _run_structured(ny, nx, py, px, width, tripolar=False):
+    """Run a halo exchange and return each rank's padded array."""
+    gfield = _global_field(ny, nx)
+
+    def program(comm):
+        block = Block2D(ny, nx, py, px, comm.rank)
+        ys, xs = block.global_slices()
+        padded = local_with_halo(gfield[ys, xs].copy(), width)
+        halo = StructuredHalo(block, width=width, tripolar_fold=tripolar)
+        halo.exchange(comm, padded)
+        return padded
+
+    return SimWorld(py * px).run(program)
+
+
+@pytest.mark.parametrize("width", [1, 2])
+def test_interior_halos_match_global_field(width):
+    ny, nx, py, px = 12, 16, 3, 4
+    results = _run_structured(ny, nx, py, px, width)
+    gfield = _global_field(ny, nx)
+    for rank, padded in enumerate(results):
+        block = Block2D(ny, nx, py, px, rank)
+        y0, y1 = block.y_range
+        x0, x1 = block.x_range
+        w = width
+        # East halo (periodic in x).
+        expected_east = gfield[y0:y1, (np.arange(x1, x1 + w) % nx)]
+        assert np.array_equal(padded[w:-w, -w:], expected_east)
+        # West halo.
+        expected_west = gfield[y0:y1, (np.arange(x0 - w, x0) % nx)]
+        assert np.array_equal(padded[w:-w, :w], expected_west)
+        # North halo (only for interior process rows).
+        if y1 < ny:
+            assert np.array_equal(padded[-w:, w:-w], gfield[y1 : y1 + w, x0:x1])
+        # South halo.
+        if y0 > 0:
+            assert np.array_equal(padded[:w, w:-w], gfield[y0 - w : y0, x0:x1])
+
+
+def test_corner_halos_filled_by_two_sweeps():
+    ny, nx, py, px = 8, 8, 2, 2
+    results = _run_structured(ny, nx, py, px, 1)
+    gfield = _global_field(ny, nx)
+    padded = results[0]  # block at (0,0): rows 0..3, cols 0..3
+    # North-east corner halo = global (4, 4).
+    assert padded[-1, -1] == gfield[4, 4]
+
+
+def test_tripolar_fold_top_halo():
+    ny, nx, py, px = 8, 8, 2, 2
+    results = _run_structured(ny, nx, py, px, 1, tripolar=True)
+    gfield = _global_field(ny, nx)
+    # Top process row blocks: ranks 2 (cols 0..3) and 3 (cols 4..7).
+    # Across the fold, point (ny-1, i) meets (ny-1, nx-1-i); the ghost row
+    # holds the mirrored top interior row of the partner block.
+    for rank, cols in ((2, range(0, 4)), (3, range(4, 8))):
+        padded = results[rank]
+        block = Block2D(ny, nx, py, px, rank)
+        _, xs = block.global_slices()
+        for k, i in enumerate(cols):
+            assert padded[-1, 1 + k] == gfield[ny - 1, nx - 1 - i]
+
+
+def test_tripolar_fold_requires_divisible_nx():
+    def program(comm):
+        block = Block2D(8, 9, 2, 2, comm.rank)  # 9 % 2 != 0
+        padded = local_with_halo(np.zeros(block.shape), 1)
+        StructuredHalo(block, width=1, tripolar_fold=True).exchange(comm, padded)
+
+    with pytest.raises(RuntimeError, match="divisible"):
+        SimWorld(4).run(program)
+
+
+def test_padded_shape_mismatch_raises():
+    def program(comm):
+        block = Block2D(8, 8, 2, 2, comm.rank)
+        padded = np.zeros((3, 3))
+        StructuredHalo(block, width=1).exchange(comm, padded)
+
+    with pytest.raises(RuntimeError, match="does not match"):
+        SimWorld(4).run(program)
+
+
+def test_graph_halo_roundtrip():
+    """Two ranks exchanging endpoint values over explicit index lists."""
+
+    def program(comm):
+        # Global array of 8 entries, rank 0 owns [0..3], rank 1 owns [4..7].
+        # Each rank needs the adjacent entry of the other as halo.
+        if comm.rank == 0:
+            owned = np.array([0.0, 1.0, 2.0, 3.0])
+            halo = GraphHalo({1: np.array([3])}, {1: np.array([4])})
+        else:
+            owned = np.array([40.0, 50.0, 60.0, 70.0])
+            halo = GraphHalo({0: np.array([0])}, {0: np.array([4])})
+        values = np.concatenate([owned, [np.nan]])
+        halo.exchange(comm, values)
+        return values
+
+    results = SimWorld(2).run(program)
+    assert results[0][4] == 40.0
+    assert results[1][4] == 3.0
+
+
+def test_graph_halo_from_owners_consistency():
+    """from_owners must build mutually consistent lists for a 1-D chain."""
+    n_global, n_ranks = 16, 4
+    owners = np.repeat(np.arange(n_ranks), n_global // n_ranks)
+
+    # Each rank needs the global entries just outside its own range.
+    needed = {}
+    for r in range(n_ranks):
+        lo, hi = r * 4, (r + 1) * 4
+        need = []
+        if lo > 0:
+            need.append(lo - 1)
+        if hi < n_global:
+            need.append(hi)
+        needed[r] = np.array(need)
+
+    def program(comm):
+        r = comm.rank
+        lo = r * 4
+        g2l = {lo + k: k for k in range(4)}
+        halo_global = list(needed[r])
+        halo = GraphHalo.from_owners(owners, needed, r, g2l, halo_global)
+        values = np.concatenate(
+            [np.arange(lo, lo + 4, dtype=float), np.full(len(halo_global), np.nan)]
+        )
+        halo.exchange(comm, values)
+        return values
+
+    results = SimWorld(n_ranks).run(program)
+    # Rank 1 owns 4..7; halo entries are global 3 and 8.
+    assert results[1][4] == 3.0
+    assert results[1][5] == 8.0
+    # Boundary ranks have one halo entry.
+    assert results[0][4] == 4.0
+    assert results[3][4] == 11.0
+
+
+def test_graph_halo_bytes_accounting():
+    halo = GraphHalo(
+        {1: np.array([0, 1, 2]), 2: np.array([3])},
+        {1: np.array([10, 11, 12]), 2: np.array([13])},
+    )
+    assert halo.n_neighbors == 2
+    assert halo.bytes_per_exchange(itemsize=8) == 32
+    assert halo.bytes_per_exchange(itemsize=4, n_fields=3) == 48
+
+
+def test_local_with_halo_requires_2d():
+    with pytest.raises(ValueError):
+        local_with_halo(np.zeros(5), 1)

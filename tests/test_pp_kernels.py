@@ -1,0 +1,179 @@
+"""Tests for space-polymorphic parallel dispatch (the §5.3 portability claim:
+identical results on every execution space)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pp import (
+    CPECluster,
+    GPUDevice,
+    HostThreads,
+    KernelStats,
+    MDRangePolicy,
+    Serial,
+    parallel_for,
+    parallel_reduce,
+    parallel_scan,
+)
+
+SPACES = [Serial(), HostThreads(4), CPECluster(64), GPUDevice(256)]
+
+
+@pytest.mark.parametrize("space", SPACES, ids=lambda s: s.name)
+def test_parallel_for_covers_range(space):
+    n = 1000
+    out = np.zeros(n)
+
+    def body(idx):
+        out[idx] = idx * 2.0
+
+    parallel_for(space, n, body)
+    assert np.array_equal(out, np.arange(n) * 2.0)
+
+
+def test_all_spaces_bit_identical():
+    """The portability contract: the same kernel on every space produces
+    bit-identical output."""
+    n = 777
+    x = np.linspace(0.0, 1.0, n)
+    results = []
+    for space in SPACES:
+        out = np.zeros(n)
+
+        def body(idx):
+            out[idx] = np.sin(x[idx]) * np.exp(-x[idx])
+
+        parallel_for(space, n, body)
+        results.append(out.copy())
+    for r in results[1:]:
+        assert np.array_equal(r, results[0])
+
+
+def test_chunks_partition_disjoint():
+    space = CPECluster(64)
+    seen = np.zeros(1000, dtype=int)
+    for chunk in space.chunks(1000):
+        seen[chunk] += 1
+    assert np.all(seen == 1)
+
+
+def test_chunks_fewer_iterations_than_lanes():
+    space = GPUDevice(4096)
+    chunks = list(space.chunks(10))
+    total = np.concatenate(chunks)
+    assert np.array_equal(np.sort(total), np.arange(10))
+
+
+def test_chunks_zero_iterations():
+    assert list(Serial().chunks(0)) == []
+
+
+@pytest.mark.parametrize("space", SPACES, ids=lambda s: s.name)
+def test_parallel_reduce_sum(space):
+    n = 500
+    x = np.arange(n, dtype=float)
+    total = parallel_reduce(space, n, lambda idx: x[idx].sum())
+    assert total == pytest.approx(x.sum())
+
+
+def test_parallel_reduce_deterministic_across_spaces():
+    """FP sums must agree bit-for-bit across spaces with equal lane counts
+    and remain deterministic per space."""
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal(10_000) * 1e8
+    space = CPECluster(64)
+    a = parallel_reduce(space, len(x), lambda idx: x[idx].sum())
+    b = parallel_reduce(space, len(x), lambda idx: x[idx].sum())
+    assert a == b
+
+
+def test_parallel_reduce_max_combine():
+    x = np.array([3.0, 9.0, 1.0, 7.0])
+    space = HostThreads(2)
+    result = parallel_reduce(space, 4, lambda idx: x[idx].max(), combine=np.maximum)
+    assert result == 9.0
+
+
+def test_parallel_reduce_empty_raises():
+    with pytest.raises(ValueError):
+        parallel_reduce(Serial(), 0, lambda idx: 0.0)
+
+
+def test_mdrange_tiles_cover_space():
+    policy = MDRangePolicy(extents=(5, 7, 3), tile=(2, 3, 3))
+    covered = np.zeros((5, 7, 3), dtype=int)
+    for tile in policy.tiles():
+        covered[np.ix_(*tile)] += 1
+    assert np.all(covered == 1)
+    assert policy.n_iterations == 5 * 7 * 3
+
+
+def test_mdrange_default_tile_is_pencils():
+    policy = MDRangePolicy(extents=(4, 6))
+    assert policy.effective_tile == (1, 6)
+    assert len(policy.tiles()) == 4
+
+
+def test_mdrange_validation():
+    with pytest.raises(ValueError):
+        MDRangePolicy(extents=())
+    with pytest.raises(ValueError):
+        MDRangePolicy(extents=(4, 4), tile=(2,))
+    with pytest.raises(ValueError):
+        MDRangePolicy(extents=(4, 4), tile=(0, 2))
+
+
+def test_mdrange_parallel_for_matches_dense():
+    nz, ny = 6, 8
+    a = np.zeros((nz, ny))
+    policy = MDRangePolicy(extents=(nz, ny), tile=(2, 4))
+
+    def body(kz, jy):
+        a[np.ix_(kz, jy)] = kz[:, None] * 100.0 + jy[None, :]
+
+    parallel_for(Serial(), policy, body)
+    kz, jy = np.mgrid[0:nz, 0:ny]
+    assert np.array_equal(a, kz * 100.0 + jy)
+
+
+def test_tile_profiling():
+    policy = MDRangePolicy(extents=(5, 5), tile=(2, 2))
+    prof = parallel_for(Serial(), policy, lambda a, b: None, profile=True)
+    assert prof is not None
+    assert prof.n_tiles == 9  # ceil(5/2)^2
+    assert prof.total_iterations == 25
+    assert prof.imbalance > 1.0  # edge tiles are smaller
+
+
+def test_kernel_stats_accumulate():
+    stats = KernelStats()
+    parallel_for(Serial(), 10, lambda idx: None, stats=stats)
+    parallel_for(Serial(), 20, lambda idx: None, stats=stats)
+    assert stats.launches == 2
+    assert stats.iterations == 30
+
+
+@pytest.mark.parametrize("space", SPACES, ids=lambda s: s.name)
+def test_parallel_scan_matches_numpy(space):
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 100, 333).astype(float)
+    got = parallel_scan(space, len(x), x)
+    want = np.concatenate([[0.0], np.cumsum(x)[:-1]])
+    assert np.allclose(got, want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=300), st.integers(min_value=1, max_value=128))
+def test_scan_property_any_size_any_lanes(n, lanes):
+    x = np.ones(n)
+    got = parallel_scan(HostThreads(lanes), n, x)
+    assert np.array_equal(got, np.arange(n, dtype=float))
+
+
+def test_modeled_time_monotone_in_flops():
+    space = CPECluster(64)
+    assert space.modeled_time(1e9) < space.modeled_time(2e9)
+    with pytest.raises(ValueError):
+        space.modeled_time(-1.0)

@@ -1,0 +1,173 @@
+"""Tests for the hash-based kernel registry, hybrid dispatch, and SWGOMP."""
+
+import numpy as np
+import pytest
+
+from repro.pp import (
+    CPECluster,
+    HybridDispatcher,
+    KernelRegistry,
+    Serial,
+    kernel_hash,
+    target,
+)
+
+
+def _axpy(idx, y, a, x):
+    y[idx] += a * x[idx]
+
+
+class TestKernelRegistry:
+    def test_register_and_lookup(self):
+        reg = KernelRegistry()
+        h = reg.register(_axpy)
+        assert reg.lookup(h) is _axpy
+        assert h in reg
+        assert len(reg) == 1
+
+    def test_hash_is_stable(self):
+        assert kernel_hash(_axpy) == kernel_hash(_axpy)
+
+    def test_reregistration_idempotent(self):
+        reg = KernelRegistry()
+        h1 = reg.register(_axpy)
+        h2 = reg.register(_axpy)
+        assert h1 == h2
+        assert len(reg) == 1
+
+    def test_collision_detected(self):
+        reg = KernelRegistry()
+        reg.register(_axpy)
+        # Forge a different function with an identical identity string.
+        def _axpy2(idx, y, a, x):  # noqa: ANN001
+            pass
+
+        _axpy2.__module__ = _axpy.__module__
+        _axpy2.__qualname__ = _axpy.__qualname__
+        with pytest.raises(ValueError, match="hash collision"):
+            reg.register(_axpy2)
+
+    def test_unknown_handle(self):
+        reg = KernelRegistry()
+        with pytest.raises(KeyError, match="no kernel registered"):
+            reg.lookup(0xDEAD)
+
+    def test_launch_by_handle(self):
+        reg = KernelRegistry()
+        h = reg.register(_axpy)
+        y = np.zeros(100)
+        x = np.ones(100)
+        reg.launch(CPECluster(8), h, 100, y, 2.0, x)
+        assert np.all(y == 2.0)
+
+    def test_decorator_form(self):
+        reg = KernelRegistry()
+
+        @reg.kernel
+        def scale(idx, y):
+            y[idx] *= 3.0
+
+        y = np.ones(10)
+        reg.launch(Serial(), kernel_hash(scale), 10, y)
+        assert np.all(y == 3.0)
+
+
+class TestHybridDispatcher:
+    def test_split_partitions_range(self):
+        d = HybridDispatcher(Serial(), CPECluster(64), device_fraction=0.8)
+        host, dev = d.split(100)
+        assert len(dev) == 80 and len(host) == 20
+        assert np.array_equal(np.sort(np.concatenate([host, dev])), np.arange(100))
+
+    def test_run_covers_everything(self):
+        d = HybridDispatcher(Serial(), CPECluster(64), device_fraction=0.7)
+        out = np.zeros(1000)
+        d.run(1000, lambda idx: out.__setitem__(idx, 1.0))
+        assert np.all(out == 1.0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            HybridDispatcher(Serial(), CPECluster(), device_fraction=1.5)
+
+    def test_balanced_fraction_optimal(self):
+        """The balanced split's modeled time must beat lopsided splits."""
+        host, dev = Serial(), CPECluster(64)
+        d = HybridDispatcher(host, dev).rebalanced()
+        n, fpi = 1_000_000, 100.0
+        t_bal = d.modeled_time(fpi, n)
+        for frac in (0.5, 0.99, 1.0):
+            other = HybridDispatcher(host, dev, device_fraction=frac)
+            assert t_bal <= other.modeled_time(fpi, n) + 1e-12
+
+    def test_device_dominates_balanced_fraction(self):
+        d = HybridDispatcher(Serial(), CPECluster(64))
+        # 64 CPEs at 11 GF vs 1 MPE lane at 3.2 GF: fraction near 1.
+        assert 0.98 < d.balanced_fraction() < 1.0
+
+
+class TestSWGOMP:
+    def test_offload_matches_host_execution(self):
+        @target(schedule="static")
+        def relax(u, f):
+            u += 0.25 * f
+
+        u1 = np.zeros((100, 4))
+        u2 = np.zeros((100, 4))
+        f = np.random.default_rng(0).standard_normal((100, 4))
+        relax(u1, f)  # plain host call
+        relax.offload(CPECluster(16), u2, f)
+        assert np.array_equal(u1, u2)
+
+    def test_offload_writes_through_views(self):
+        @target()
+        def bump(x):
+            x += 1.0
+
+        x = np.zeros(37)
+        bump.offload(CPECluster(8), x)
+        assert np.all(x == 1.0)
+
+    def test_chunked_schedule(self):
+        @target(schedule="chunked", chunk=10)
+        def fill(x):
+            x[:] = 5.0
+
+        x = np.zeros(95)
+        fill.offload(Serial(), x)
+        assert np.all(x == 5.0)
+        assert fill.stats.chunks == 10  # ceil(95/10)
+        assert fill.stats.rows == 95
+        assert fill.stats.offloads == 1
+
+    def test_leading_extent_mismatch(self):
+        @target()
+        def op(a, b):
+            a += b
+
+        with pytest.raises(ValueError, match="leading"):
+            op.offload(Serial(), np.zeros(4), np.zeros(5))
+
+    def test_validate_passes_for_conflict_free(self):
+        @target()
+        def ok(x):
+            x *= 2.0
+
+        x = np.arange(10.0)
+        ok.offload(CPECluster(4), x, validate=True)
+        assert np.array_equal(x, np.arange(10.0) * 2)
+
+    def test_validate_catches_conflict(self):
+        @target()
+        def bad(x):
+            # Writes depend on the full array: NOT conflict-free.
+            x[:] = x.sum()
+
+        x = np.arange(10.0)
+        with pytest.raises(RuntimeError, match="not conflict-free"):
+            bad.offload(CPECluster(4), x, validate=True)
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            target(schedule="dynamic")(lambda x: None)
+        with pytest.raises(ValueError):
+            target(schedule="chunked")(lambda x: None)

@@ -1,0 +1,95 @@
+"""Tests for Kokkos-style Views, mirrors, and deep copies."""
+
+import numpy as np
+import pytest
+
+from repro.pp import (
+    Layout,
+    MemorySpace,
+    TransferLedger,
+    View,
+    create_mirror_view,
+    deep_copy,
+)
+
+
+def test_alloc_layouts():
+    right = View.alloc("a", (4, 6), layout=Layout.RIGHT)
+    left = View.alloc("b", (4, 6), layout=Layout.LEFT)
+    assert right.data.flags.c_contiguous
+    assert left.data.flags.f_contiguous
+    assert right.shape == (4, 6)
+    assert right.nbytes == 4 * 6 * 8
+
+
+def test_of_detects_layout():
+    arr_f = np.asfortranarray(np.zeros((3, 5)))
+    v = View.of("x", arr_f)
+    assert v.layout is Layout.LEFT
+    v2 = View.of("y", np.zeros((3, 5)))
+    assert v2.layout is Layout.RIGHT
+
+
+def test_indexing_and_fill():
+    v = View.alloc("v", (2, 2))
+    v[0, 1] = 3.5
+    assert v[0, 1] == 3.5
+    v.fill(7.0)
+    assert np.all(v.data == 7.0)
+
+
+def test_relayout_preserves_values():
+    v = View.alloc("v", (3, 4))
+    v.data[:] = np.arange(12).reshape(3, 4)
+    w = v.relayout(Layout.LEFT)
+    assert w.data.flags.f_contiguous
+    assert np.array_equal(w.data, v.data)
+    # Same-layout relayout is a no-op returning the same object.
+    assert v.relayout(Layout.RIGHT) is v
+
+
+def test_mirror_same_space_is_zero_copy():
+    v = View.alloc("v", (4,), space=MemorySpace.HOST)
+    assert create_mirror_view(v, MemorySpace.HOST) is v
+
+
+def test_mirror_other_space_fresh_allocation():
+    v = View.alloc("v", (4,), space=MemorySpace.HOST)
+    v.fill(1.0)
+    m = create_mirror_view(v, MemorySpace.DEVICE)
+    assert m is not v
+    assert m.space is MemorySpace.DEVICE
+    assert m.shape == v.shape
+    assert np.all(m.data == 0.0)  # mirror does not copy contents
+
+
+def test_deep_copy_across_spaces_records_transfer():
+    ledger = TransferLedger()
+    host = View.alloc("h", (100,), space=MemorySpace.HOST)
+    host.fill(2.0)
+    dev = create_mirror_view(host, MemorySpace.DEVICE)
+    deep_copy(dev, host, ledger=ledger)
+    assert np.all(dev.data == 2.0)
+    assert ledger.h2d_bytes == 800
+    assert ledger.d2h_bytes == 0
+    deep_copy(host, dev, ledger=ledger)
+    assert ledger.d2h_bytes == 800
+    assert ledger.copies == 2
+    assert ledger.total_bytes == 1600
+
+
+def test_deep_copy_same_space_not_counted():
+    ledger = TransferLedger()
+    a = View.alloc("a", (10,))
+    b = View.alloc("b", (10,))
+    a.fill(5.0)
+    deep_copy(b, a, ledger=ledger)
+    assert np.all(b.data == 5.0)
+    assert ledger.total_bytes == 0
+
+
+def test_deep_copy_shape_mismatch():
+    a = View.alloc("a", (3,))
+    b = View.alloc("b", (4,))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        deep_copy(a, b)

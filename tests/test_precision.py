@@ -1,0 +1,171 @@
+"""Tests for group-wise scaling mixed precision and acceptance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision import (
+    GRIST_REL_L2_THRESHOLD,
+    LICOM_RMSD_THRESHOLDS,
+    GroupScaled32,
+    Precision,
+    PrecisionPolicy,
+    area_weighted_rmsd,
+    evaluate_licom_acceptance,
+    quantize_roundtrip_error,
+    relative_l2,
+)
+
+
+class TestGroupScaled32:
+    def test_roundtrip_error_bounded_by_fp32_eps(self):
+        rng = np.random.default_rng(0)
+        field = rng.standard_normal((50, 40)) * 1e5
+        err = quantize_roundtrip_error(field, group_size=64)
+        assert err < 1.2e-7  # ~2^-23
+
+    def test_handles_large_offsets_better_than_plain_fp32(self):
+        """The group-scaling point: a pressure-like field (1e5 + small
+        anomalies) keeps its anomalies; note both stay within FP32 eps of
+        the *absolute* value — the win appears when groups are local and
+        anomaly-dominated."""
+        rng = np.random.default_rng(1)
+        anomalies = rng.standard_normal(4096)
+        field = anomalies * 1e-3  # tiny dynamic field
+        gs_err = np.abs(GroupScaled32.encode(field, 64).decode() - field).max()
+        assert gs_err < 1e-9  # relative to ~1e-3 group maxima
+
+    def test_zero_field(self):
+        gs = GroupScaled32.encode(np.zeros(100))
+        assert np.array_equal(gs.decode(), np.zeros(100))
+
+    def test_shape_preserved(self):
+        field = np.arange(60.0).reshape(3, 4, 5)
+        assert GroupScaled32.encode(field, 7).decode().shape == (3, 4, 5)
+
+    def test_ragged_group_padding(self):
+        field = np.arange(10.0)  # not a multiple of group_size
+        gs = GroupScaled32.encode(field, group_size=4)
+        assert np.allclose(gs.decode(), field, rtol=1e-6)
+
+    def test_compression_ratio_about_half(self):
+        gs = GroupScaled32.encode(np.ones(64 * 100), group_size=64)
+        assert gs.compression_ratio() == pytest.approx(0.5 + 1 / 64 / 8, rel=0.05)
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            GroupScaled32.encode(np.ones(4), group_size=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_roundtrip_property(self, n, group):
+        rng = np.random.default_rng(n * 1000 + group)
+        field = rng.standard_normal(n) * 10.0 ** rng.integers(-6, 6)
+        back = GroupScaled32.encode(field, group).decode()
+        scale = np.abs(field).max() if n else 1.0
+        assert np.abs(back - field).max() <= 1.5e-7 * max(scale, 1e-300)
+
+
+class TestPolicy:
+    def test_fp64_untouched(self):
+        policy = PrecisionPolicy({"area": Precision.FP64})
+        state = {"area": np.array([1.0 / 3.0])}
+        out = policy.apply(state)
+        assert out["area"][0] == state["area"][0]
+
+    def test_fp32_loses_precision(self):
+        policy = PrecisionPolicy({"x": Precision.FP32})
+        state = {"x": np.array([1.0 + 1e-12])}
+        out = policy.apply(state)
+        assert out["x"][0] == 1.0  # the 1e-12 is below FP32 resolution
+
+    def test_groupscaled_beats_fp32_on_offset_fields(self):
+        rng = np.random.default_rng(2)
+        pressure = 1.0e5 + rng.standard_normal(256)
+        p32 = PrecisionPolicy({"p": Precision.FP32})
+        pgs = PrecisionPolicy({"p": Precision.FP32_GROUPSCALED}, group_size=32)
+        e32 = np.abs(p32.apply({"p": pressure})["p"] - pressure).max()
+        egs = np.abs(pgs.apply({"p": pressure})["p"] - pressure).max()
+        assert egs <= e32 * 1.5  # never meaningfully worse
+        assert egs < 0.02  # absolute: cm-scale on a 1e5 field
+
+    def test_default_is_fp64(self):
+        policy = PrecisionPolicy()
+        assert policy.precision_of("anything") is Precision.FP64
+
+    def test_memory_report(self):
+        policy = PrecisionPolicy({"a": Precision.FP32, "b": Precision.FP64})
+        state = {"a": np.zeros(1000), "b": np.zeros(1000)}
+        rep = policy.memory_report(state)
+        assert rep["bytes_fp64"] == 16000
+        assert rep["bytes_mixed"] == 12000
+        assert rep["saving_fraction"] == pytest.approx(0.25)
+
+
+class TestMetrics:
+    def test_relative_l2_basics(self):
+        ref = np.array([3.0, 4.0])
+        assert relative_l2(ref, ref) == 0.0
+        assert relative_l2(np.array([3.0, 4.0 + 0.05]), ref) == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            relative_l2(np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            relative_l2(np.zeros(2), np.zeros(3))
+
+    def test_area_weighted_rmsd_uniform_equals_plain(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        area = np.ones((8, 8))
+        plain = float(np.sqrt(np.mean((a - b) ** 2)))
+        assert area_weighted_rmsd(a, b, area) == pytest.approx(plain)
+
+    def test_area_weighting_downweights_small_cells(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])  # error only in the first cell
+        small_first = np.array([[1.0, 99.0]])
+        big_first = np.array([[99.0, 1.0]])
+        assert area_weighted_rmsd(a, b, small_first) < area_weighted_rmsd(a, b, big_first)
+
+    def test_mask_restricts_region(self):
+        a = np.zeros((2, 2))
+        b = np.array([[5.0, 0.0], [0.0, 0.0]])
+        area = np.ones((2, 2))
+        mask = np.array([[False, True], [True, True]])
+        assert area_weighted_rmsd(a, b, area, mask) == 0.0
+
+    def test_thresholds_match_paper(self):
+        assert GRIST_REL_L2_THRESHOLD == 0.05
+        assert LICOM_RMSD_THRESHOLDS == {
+            "temperature": 0.018, "salinity": 0.0098, "ssh": 0.0005
+        }
+
+    def test_evaluate_licom_acceptance(self):
+        rng = np.random.default_rng(4)
+        area = np.ones((4, 4))
+        days = 5
+        ref_t = [rng.standard_normal((4, 4)) for _ in range(days)]
+        ref_s = [rng.standard_normal((4, 4)) for _ in range(days)]
+        ref_h = [rng.standard_normal((4, 4)) for _ in range(days)]
+        # Perturb within thresholds.
+        t = [r + 1e-3 for r in ref_t]
+        s = [r + 1e-3 for r in ref_s]
+        h = [r + 1e-4 for r in ref_h]
+        reports = evaluate_licom_acceptance(t, s, h, ref_t, ref_s, ref_h, area)
+        assert all(r.passed for r in reports.values())
+        # And a failing case.
+        bad = [r + 1.0 for r in ref_t]
+        reports = evaluate_licom_acceptance(bad, s, h, ref_t, ref_s, ref_h, area)
+        assert not reports["temperature"].passed
+
+    def test_acceptance_mismatched_days(self):
+        area = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            evaluate_licom_acceptance(
+                [np.zeros((2, 2))], [np.zeros((2, 2))], [np.zeros((2, 2))],
+                [], [], [], area,
+            )

@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests (hypothesis): the invariants the
+paper's validation methodology relies on, checked over randomized inputs
+rather than single examples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm import ShallowWaterDycore, SWEState
+from repro.coupler import AttrVect, GlobalSegMap, Router
+from repro.esm.diagnostics import structure_function
+from repro.io import SubfileLayout, read_subfiles, write_subfiles
+from repro.parallel import block_ranges
+from repro.precision import GroupScaled32, area_weighted_rmsd
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_swe_mass_conservation_any_random_state(seed):
+    """Mass is conserved from ANY positive random SWE state (module-scope
+    grid via a cached build)."""
+    grid = _grid()
+    rng = np.random.default_rng(seed)
+    state = SWEState(
+        h=1000.0 + 200.0 * rng.random(grid.n_cells),
+        u=10.0 * rng.standard_normal(grid.n_edges),
+    )
+    dycore = ShallowWaterDycore(grid)
+    m0 = dycore.total_mass(state)
+    dt = dycore.max_stable_dt(state, cfl=0.3)
+    for _ in range(3):
+        state = dycore.step_rk4(state, dt)
+    assert dycore.total_mass(state) == pytest.approx(m0, rel=1e-12)
+
+
+_GRID_CACHE = {}
+
+
+def _grid():
+    if "g" not in _GRID_CACHE:
+        from repro.grids import IcosahedralGrid
+
+        _GRID_CACHE["g"] = IcosahedralGrid.build(3)
+    return _GRID_CACHE["g"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=1_000),
+)
+def test_router_rearrangement_is_always_lossless(n_src, n_dst, seed):
+    """Any pair of random full decompositions over the same index space
+    yields a Router that moves every point exactly once."""
+    rng = np.random.default_rng(seed)
+    gsize = 60
+    src = GlobalSegMap.from_owners(rng.integers(0, n_src, gsize))
+    dst = GlobalSegMap.from_owners(rng.integers(0, n_dst, gsize))
+    router = Router.build(src, dst)
+    assert router.total_points() == gsize
+    # Every send list pairs with an equally sized recv list.
+    for key, s_idx in router.send.items():
+        assert len(s_idx) == len(router.recv[key])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=500),
+    n_ranks=st.integers(min_value=1, max_value=32),
+    n_groups=st.integers(min_value=1, max_value=32),
+)
+def test_subfile_roundtrip_any_geometry(tmp_path_factory, n, n_ranks, n_groups):
+    n_groups = min(n_groups, n_ranks)
+    data = np.arange(n, dtype=np.float64) * 1.5
+    layout = SubfileLayout(n_ranks, n_groups)
+    slices = [(s, data[s:e]) for s, e in block_ranges(n, n_ranks)]
+    tmp = tmp_path_factory.mktemp("prop")
+    write_subfiles(tmp, "f", layout, slices)
+    assert np.array_equal(read_subfiles(tmp, "f", layout, n), data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_groupscale_never_flips_sign_or_order_of_magnitude(seed):
+    rng = np.random.default_rng(seed)
+    field = rng.standard_normal(257) * 10.0 ** rng.integers(-8, 8)
+    back = GroupScaled32.encode(field, 32).decode()
+    big = np.abs(field) > 1e-5 * np.abs(field).max()
+    assert np.all(np.sign(back[big]) == np.sign(field[big]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000))
+def test_rmsd_is_a_metric_like_quantity(seed):
+    """Area-weighted RMSD: zero iff equal, symmetric, scales linearly."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((6, 8))
+    b = rng.standard_normal((6, 8))
+    area = rng.uniform(0.5, 2.0, (6, 8))
+    assert area_weighted_rmsd(a, a, area) == 0.0
+    ab = area_weighted_rmsd(a, b, area)
+    ba = area_weighted_rmsd(b, a, area)
+    assert ab == pytest.approx(ba)
+    assert area_weighted_rmsd(2 * a, 2 * b, area) == pytest.approx(2 * ab)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000))
+def test_attrvect_subset_then_permute_commutes(seed):
+    rng = np.random.default_rng(seed)
+    av = AttrVect.from_dict({
+        "a": rng.standard_normal(10),
+        "b": rng.standard_normal(10),
+        "c": rng.standard_normal(10),
+    })
+    perm = rng.permutation(10)
+    x = av.subset(["c", "a"]).permute(perm)
+    y = av.permute(perm).subset(["c", "a"])
+    assert np.array_equal(x.data, y.data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000))
+def test_structure_function_shift_invariant(seed):
+    """S2 must be invariant under zonal rotation of the field+mask."""
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal((8, 32))
+    mask = rng.random((8, 32)) > 0.2
+    shift = int(rng.integers(1, 31))
+    a = structure_function(f, mask, max_lag=5)["s2"]
+    b = structure_function(np.roll(f, shift, 1), np.roll(mask, shift, 1), max_lag=5)["s2"]
+    assert np.allclose(a, b, equal_nan=True)

@@ -1,0 +1,32 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.utils import derive_seed, seeded
+
+
+def test_same_parts_same_stream():
+    a = seeded("atm", 3).standard_normal(8)
+    b = seeded("atm", 3).standard_normal(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_parts_different_stream():
+    a = seeded("atm", 3).standard_normal(8)
+    b = seeded("ocn", 3).standard_normal(8)
+    assert not np.array_equal(a, b)
+
+
+def test_seed_is_63_bit_nonnegative():
+    for parts in [("x",), ("x", 1), (1, 2, 3), (None,)]:
+        s = derive_seed(*parts)
+        assert 0 <= s < 2**63
+
+
+def test_order_matters():
+    assert derive_seed("a", "b") != derive_seed("b", "a")
+
+
+def test_no_concatenation_collision():
+    # ("ab", "c") must differ from ("a", "bc"): the separator prevents it.
+    assert derive_seed("ab", "c") != derive_seed("a", "bc")

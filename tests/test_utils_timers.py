@@ -1,0 +1,107 @@
+"""Tests for the GPTL-style timer registry and getTiming aggregation."""
+
+import pytest
+
+from repro.utils import TimerRegistry, get_timing
+
+
+class FakeClock:
+    """Manually advanced clock for deterministic timer tests."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def test_start_stop_accumulates():
+    clock = FakeClock()
+    reg = TimerRegistry(clock=clock)
+    reg.start("run")
+    clock.advance(2.5)
+    reg.stop("run")
+    reg.start("run")
+    clock.advance(1.5)
+    reg.stop("run")
+    assert reg.total("run") == pytest.approx(4.0)
+
+
+def test_nesting_structure_and_report():
+    clock = FakeClock()
+    reg = TimerRegistry(clock=clock)
+    reg.start("run")
+    reg.start("atm")
+    clock.advance(1.0)
+    reg.stop("atm")
+    reg.start("ocn")
+    clock.advance(2.0)
+    reg.stop("ocn")
+    reg.stop("run")
+    assert reg.total("run") == pytest.approx(3.0)
+    assert reg.total("atm") == pytest.approx(1.0)
+    report = reg.report()
+    assert "atm" in report and "ocn" in report
+    assert set(reg.names()) == {"run", "atm", "ocn"}
+
+
+def test_stop_wrong_timer_raises():
+    reg = TimerRegistry(clock=FakeClock())
+    reg.start("a")
+    with pytest.raises(RuntimeError, match="nesting violation"):
+        reg.stop("b")
+
+
+def test_double_start_raises():
+    clock = FakeClock()
+    reg = TimerRegistry(clock=clock)
+    reg.start("a")
+    with pytest.raises(RuntimeError, match="already running"):
+        reg.start("a")
+
+
+def test_add_direct_credit():
+    reg = TimerRegistry(clock=FakeClock())
+    reg.add("model_run", 10.0)
+    reg.add("model_run", 5.0)
+    assert reg.total("model_run") == pytest.approx(15.0)
+    node = reg._find(reg._root, "model_run")
+    assert node.count == 2
+    assert node.max == pytest.approx(10.0)
+    assert node.min == pytest.approx(5.0)
+
+
+def test_get_timing_uses_max_across_ranks():
+    regs = []
+    for seconds in (10.0, 20.0, 15.0):
+        reg = TimerRegistry(clock=FakeClock())
+        reg.add("run_loop", seconds)
+        regs.append(reg)
+    rep = get_timing(regs, "run_loop", simulated_days=1.0)
+    assert rep.max_seconds == pytest.approx(20.0)
+    assert rep.n_ranks == 3
+    # 1 simulated day in 20 s wall -> 86400/20 = 4320 SDPD -> /365 SYPD
+    assert rep.sdpd == pytest.approx(4320.0)
+    assert rep.sypd == pytest.approx(4320.0 / 365.0)
+
+
+def test_get_timing_rejects_bad_inputs():
+    reg = TimerRegistry(clock=FakeClock())
+    reg.add("run", 1.0)
+    with pytest.raises(ValueError):
+        get_timing([reg], "run", simulated_days=0.0)
+    with pytest.raises(ValueError):
+        get_timing([], "run", simulated_days=1.0)
+    with pytest.raises(KeyError):
+        get_timing([reg], "missing", simulated_days=1.0)
+
+
+def test_timed_context_manager():
+    clock = FakeClock()
+    reg = TimerRegistry(clock=clock)
+    with reg.timed("step"):
+        clock.advance(0.5)
+    assert reg.total("step") == pytest.approx(0.5)

@@ -1,0 +1,70 @@
+"""Tests for unit conversions and the SYPD arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_YEAR,
+    parallel_efficiency,
+    resolution_to_cell_km,
+    sdpd_from_sypd,
+    sypd_from_sdpd,
+    sypd_from_walltime,
+    walltime_from_sypd,
+)
+
+
+def test_sypd_one_to_one():
+    # Simulating one year in exactly one wall day is 1.0 SYPD.
+    assert sypd_from_walltime(SECONDS_PER_YEAR, SECONDS_PER_DAY) == pytest.approx(1.0)
+
+
+def test_paper_convention_sdpd():
+    # Duan et al. 2024: 340 SDPD == 0.93 SYPD (paper's own rounding).
+    assert sypd_from_sdpd(340.0) == pytest.approx(0.93, abs=0.01)
+    assert sdpd_from_sypd(0.73) == pytest.approx(265.0, abs=2.0)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e3))
+def test_sypd_walltime_roundtrip(sypd):
+    assert sypd_from_walltime(SECONDS_PER_YEAR, walltime_from_sypd(sypd)) == pytest.approx(
+        sypd, rel=1e-12
+    )
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6))
+def test_sdpd_roundtrip(x):
+    assert sypd_from_sdpd(sdpd_from_sypd(x)) == pytest.approx(x, rel=1e-12)
+
+
+def test_parallel_efficiency_definition():
+    # Paper Table 2, ATM 1 km: 0.36 SYPD at 2.13 M cores -> 0.92 SYPD at
+    # 8.52 M cores is 63.9 % efficiency.
+    eff = parallel_efficiency(0.36, 2129920, 0.92, 8519680)
+    assert eff == pytest.approx(0.639, abs=0.001)
+
+
+def test_parallel_efficiency_perfect_scaling():
+    assert parallel_efficiency(1.0, 100, 2.0, 200) == pytest.approx(1.0)
+
+
+def test_parallel_efficiency_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        parallel_efficiency(0.0, 1, 1, 1)
+
+
+def test_resolution_to_cell_km_one_km_grid():
+    # A true 1-km global grid needs ~5.1e8 cells (4*pi*R^2 / 1 km^2).
+    n = int(4 * math.pi * 6.371e6**2 / 1e6)
+    assert resolution_to_cell_km(n) == pytest.approx(1.0, rel=1e-3)
+
+
+def test_resolution_fraction_of_sphere():
+    # Halving the covered area at fixed cell count shrinks the cell size by sqrt(2).
+    full = resolution_to_cell_km(10_000)
+    half = resolution_to_cell_km(10_000, fraction_of_sphere=0.5)
+    assert half == pytest.approx(full / math.sqrt(2))
