@@ -37,7 +37,7 @@ def router(maps):
     return Router.build(*maps)
 
 
-def _run_world(maps, router, method):
+def _run_world(maps, router, method, obs=None):
     src, dst = maps
     world = SimWorld(N_PES)
     rearranger = Rearranger(router, method=method)
@@ -45,21 +45,26 @@ def _run_world(maps, router, method):
 
     def program(comm):
         me = comm.rank
+        rank_obs = obs.fork(me) if (obs is not None and obs.enabled) else None
         av = AttrVect.from_dict({
             "taux": gfield[src.local_indices(me)],
             "tauy": gfield[src.local_indices(me)] * 2,
             "swnet": gfield[src.local_indices(me)] * 3,
         })
-        out = rearranger.rearrange(comm, av, len(dst.local_indices(me)))
+        out = rearranger.rearrange(
+            comm, av, len(dst.local_indices(me)), obs=rank_obs
+        )
         return out.get("taux")
 
     results = world.run(program)
     for pe, got in enumerate(results):
         assert np.array_equal(got, gfield[dst.local_indices(pe)])
+    if obs is not None and obs.enabled:
+        obs.metrics.record_traffic(world.ledger, prefix="cpl.comm")
     return world.ledger
 
 
-def test_coupler_report(maps, router, emit_report):
+def test_coupler_report(maps, router, emit_report, obs):
     src, dst = maps
     # 1. Offline precompute.
     t0 = time.perf_counter()
@@ -80,10 +85,20 @@ def test_coupler_report(maps, router, emit_report):
                           "Foxx_lwdn", "Foxx_sen", "Foxx_lat", "Foxx_rain"])
     savings = reg.savings("x2o", lsize=GSIZE // N_PES)
 
-    # 3. Rearranger traffic.
-    led_a2a = _run_world(maps, router, "alltoall")
-    led_p2p = _run_world(maps, router, "p2p")
+    # 3. Rearranger traffic (traced when --trace is given).
+    led_a2a = _run_world(maps, router, "alltoall", obs=obs)
+    led_p2p = _run_world(maps, router, "p2p", obs=obs)
     counts = Rearranger(router).message_counts(N_PES)
+
+    # Tracing-off overhead: the obs=None path must stay in the noise.
+    t0 = time.perf_counter()
+    _run_world(maps, router, "p2p")
+    t_off = time.perf_counter() - t0
+    from repro.obs import Obs
+
+    t0 = time.perf_counter()
+    _run_world(maps, router, "p2p", obs=Obs())
+    t_on = time.perf_counter() - t0
 
     # Modeled time at paper scale (100k ranks, 16 real partners).
     p = 100_000
@@ -106,6 +121,8 @@ def test_coupler_report(maps, router, emit_report):
         ("modeled dense alltoall @100k ranks [s]", t_dense, None),
         ("modeled sparse p2p @100k ranks [s]", t_sparse, None),
         ("modeled speedup", t_dense / t_sparse, None),
+        ("p2p rearrange, tracing off [ms]", t_off * 1e3, None),
+        ("p2p rearrange, tracing on [ms]", t_on * 1e3, None),
     ]
     emit_report(
         "coupler_rearrange",

@@ -29,17 +29,17 @@ def payload():
     return np.random.default_rng(0).standard_normal(GLOBAL)
 
 
-def test_io_report(payload, tmp_path_factory, emit_report):
+def test_io_report(payload, tmp_path_factory, emit_report, obs):
     rows = []
     slices = _slices(payload)
     for n_groups in (1, 4, 16, 64):
         layout = SubfileLayout(N_RANKS, n_groups)
         directory = tmp_path_factory.mktemp(f"io{n_groups}")
         t0 = time.perf_counter()
-        write_subfiles(directory, "restart", layout, slices)
+        write_subfiles(directory, "restart", layout, slices, obs=obs)
         t_write = time.perf_counter() - t0
         t0 = time.perf_counter()
-        back = read_subfiles(directory, "restart", layout, GLOBAL)
+        back = read_subfiles(directory, "restart", layout, GLOBAL, obs=obs)
         t_read = time.perf_counter() - t0
         assert np.array_equal(back, payload)
         rows.append((n_groups, t_write * 1e3, t_read * 1e3))

@@ -16,6 +16,17 @@ from repro.grids import IcosahedralGrid
 REPORT_DIR = Path(__file__).parent / "reports"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--emit-trace",
+        action="store_true",
+        default=False,
+        help="record structured traces during benchmarks and write "
+             "Chrome-trace JSON (chrome://tracing / Perfetto) to "
+             "benchmarks/reports/traces/<test>.json",
+    )
+
+
 @pytest.fixture(scope="session")
 def icos4():
     """Level-4 icosahedral grid: 2562 cells (~450 km spacing)."""
@@ -26,6 +37,22 @@ def icos4():
 def report_dir() -> Path:
     REPORT_DIR.mkdir(exist_ok=True)
     return REPORT_DIR
+
+
+@pytest.fixture
+def obs(request, report_dir):
+    """Observability handle for a benchmark: disabled (near-zero cost)
+    unless ``--emit-trace`` is given, in which case the whole test runs inside
+    a root span and the trace + metrics land under ``reports/traces/``."""
+    from repro.obs import Obs
+
+    handle = Obs(enabled=bool(request.config.getoption("--emit-trace")))
+    with handle.span(request.node.name):
+        yield handle
+    if handle.enabled:
+        safe = request.node.name.replace("/", "_").replace("[", "_").rstrip("]")
+        path = handle.write_chrome_trace(report_dir / "traces" / f"{safe}.json")
+        print(f"\n[trace] {path}")
 
 
 @pytest.fixture

@@ -44,6 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ocn-levels", type=int, default=8)
     run.add_argument("--restart-dir", default=None,
                      help="write a restart set here at the end")
+    run.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                     help="record a structured trace and write Chrome-trace "
+                          "JSON here (open in chrome://tracing or Perfetto)")
 
     ty = sub.add_parser("typhoon", help="idealized typhoon experiment")
     ty.add_argument("--hours", type=int, default=12)
@@ -81,10 +84,15 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
     from repro.esm import AP3ESM, AP3ESMConfig, atm_snapshot
     from repro.utils import get_timing
 
+    obs = None
+    if args.trace:
+        from repro.obs import Obs
+
+        obs = Obs()
     model = AP3ESM(AP3ESMConfig(
         atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
         ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
-    ))
+    ), obs=obs)
     model.init()
     print(f"running {args.days:g} coupled days...")
     model.run_days(args.days)
@@ -103,6 +111,10 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
         model.ocn.save_restart(f"{args.restart_dir}/ocn")
         print(f"restart written to {args.restart_dir}/(atm|ocn)")
     model.finalize()
+    if obs is not None:
+        path = obs.write_chrome_trace(args.trace)
+        print(obs.report())
+        print(f"trace written to {path} (open in chrome://tracing / Perfetto)")
     return 0
 
 

@@ -20,17 +20,34 @@ __all__ = ["Clock", "Alarm"]
 
 @dataclass
 class Alarm:
-    """Fires every ``interval`` seconds of a clock's time."""
+    """Fires every ``interval`` seconds of a clock's time.
+
+    The ring schedule is computed as ``base + n * interval`` (not by
+    repeated addition), so it carries no accumulated float error over
+    arbitrarily long runs — the same fix :meth:`Clock.advance` applies to
+    the model time.
+    """
 
     name: str
     interval: float
-    next_ring: float
+    base: float = 0.0
+    rings_done: int = 0
+
+    @property
+    def next_ring(self) -> float:
+        return self.base + (self.rings_done + 1) * self.interval
 
     def ringing(self, time: float) -> bool:
         return time + 1e-9 >= self.next_ring
 
     def rearm(self) -> None:
-        self.next_ring += self.interval
+        self.rings_done += 1
+
+    def reset_to(self, periods_done: int) -> None:
+        """Re-arm as if ``periods_done`` rings already fired (restart)."""
+        if periods_done < 0:
+            raise ValueError("periods_done must be >= 0")
+        self.rings_done = periods_done
 
 
 class Clock:
@@ -58,13 +75,17 @@ class Clock:
             )
         if name in self._alarms:
             raise ValueError(f"alarm {name!r} already exists")
-        alarm = Alarm(name=name, interval=interval, next_ring=self.start + interval)
+        alarm = Alarm(name=name, interval=interval, base=self.start)
         self._alarms[name] = alarm
         return alarm
 
     def advance(self) -> None:
-        self.time += self.dt
+        # time = start + n*dt, not repeated addition: summing dt step by
+        # step accumulates float error that eventually exceeds the 1e-9
+        # alarm tolerance (~1e5 steps at dt=0.1) and fires alarms a step
+        # late or skips rings entirely.
         self.step_count += 1
+        self.time = self.start + self.step_count * self.dt
 
     def ringing(self, name: str) -> bool:
         """Check-and-rearm an alarm at the current time."""

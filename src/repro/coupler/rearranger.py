@@ -45,6 +45,7 @@ class Rearranger:
         comm: SimComm,
         src_av: AttrVect | None,
         dst_lsize: int,
+        obs=None,
     ) -> AttrVect:
         """Run the transfer on this rank.
 
@@ -52,13 +53,34 @@ class Rearranger:
         owns no source points); returns the destination-side AttrVect of
         ``dst_lsize`` points (zeros where the Router delivers nothing).
         Field names are agreed via rank-0 broadcast, like MCT's list sync.
+        A live ``obs`` handle records a span plus this rank's sent
+        bytes/messages counters.
         """
+        if obs is None or not obs.enabled:
+            return self._rearrange(comm, src_av, dst_lsize, None)
+        with obs.span(
+            "cpl.rearrange",
+            method=self.method,
+            dst_lsize=dst_lsize,
+            rank=comm.rank,
+        ):
+            return self._rearrange(comm, src_av, dst_lsize, obs)
+
+    def _rearrange(
+        self,
+        comm: SimComm,
+        src_av: AttrVect | None,
+        dst_lsize: int,
+        obs,
+    ) -> AttrVect:
         fields = comm.bcast(src_av.fields if src_av is not None else None, root=0)
         if fields is None:
             raise ValueError("rank 0 must hold a source AttrVect")
         n_fields = len(fields)
         me = comm.rank
         out = np.zeros((n_fields, dst_lsize))
+        sent_bytes = 0
+        sent_messages = 0
 
         sends = {q: idx for (p, q), idx in self.router.send.items() if p == me}
         recvs = {p: idx for (p, q), idx in self.router.recv.items() if q == me}
@@ -68,9 +90,17 @@ class Rearranger:
             for q, idx in sorted(sends.items()):
                 payload = src_av.data[:, idx] if src_av is not None else np.zeros((n_fields, 0))
                 if q == me:
-                    out[:, recvs[me]] = payload
+                    # Local copy.  A router may carry a (me, me) send with
+                    # no matching recv entry (e.g. a pruned/hand-built
+                    # table); delivering nothing is then correct — the
+                    # alltoall path already behaves that way.
+                    self_idx = recvs.get(me)
+                    if self_idx is not None:
+                        out[:, self_idx] = payload
                 else:
                     reqs.append(comm.isend(payload, q, tag=_TAG))
+                    sent_bytes += int(payload.nbytes)
+                    sent_messages += 1
             for p, idx in sorted(recvs.items()):
                 if p == me:
                     continue
@@ -84,25 +114,40 @@ class Rearranger:
                     buffers.append(np.zeros((n_fields, 0)))
                 else:
                     buffers.append(src_av.data[:, idx])
+            sent_bytes = int(sum(b.nbytes for i, b in enumerate(buffers) if i != me))
+            sent_messages = comm.size - 1
             received = comm.alltoall(buffers)
             for p, payload in enumerate(received):
                 idx = recvs.get(p)
                 if idx is not None and payload.shape[1]:
                     out[:, idx] = payload
+        if obs is not None:
+            obs.counter("cpl.rearrange.calls").inc()
+            obs.counter("cpl.rearrange.messages").inc(sent_messages)
+            obs.counter("cpl.rearrange.bytes").inc(sent_bytes)
         return AttrVect(list(fields), out)
 
     # -- analytics ---------------------------------------------------------------
 
     def message_counts(self, n_ranks: int) -> Dict[str, float]:
         """Messages on the critical path for each method (the machine
-        model's latency term): dense all-to-all posts n-1 per rank; sparse
-        p2p posts only real partners."""
-        per_rank_partners = np.zeros(n_ranks)
+        model's latency term): dense all-to-all posts n-1 sends and n-1
+        receives per rank; sparse p2p posts only real partners — counting
+        *both* the send side and the recv-side fan-in, since a rank that
+        receives from many sources pays those postings too."""
+        send_partners = np.zeros(n_ranks)
+        recv_partners = np.zeros(n_ranks)
         for (p, q) in self.router.send:
             if p != q:
-                per_rank_partners[p] += 1
+                send_partners[p] += 1
+        for (p, q) in self.router.recv:
+            if p != q:
+                recv_partners[q] += 1
+        posts = send_partners + recv_partners
         return {
-            "alltoall_messages_per_rank": float(n_ranks - 1),
-            "p2p_messages_per_rank_max": float(per_rank_partners.max()) if n_ranks else 0.0,
-            "p2p_messages_per_rank_mean": float(per_rank_partners.mean()) if n_ranks else 0.0,
+            "alltoall_messages_per_rank": float(2 * (n_ranks - 1)),
+            "p2p_messages_per_rank_max": float(posts.max()) if n_ranks else 0.0,
+            "p2p_messages_per_rank_mean": float(posts.mean()) if n_ranks else 0.0,
+            "p2p_send_partners_max": float(send_partners.max()) if n_ranks else 0.0,
+            "p2p_recv_partners_max": float(recv_partners.max()) if n_ranks else 0.0,
         }

@@ -33,6 +33,7 @@ from ..coupler import Clock, FieldRegistry
 from ..grids.remap import RemapMatrix, nearest_remap
 from ..ice import CiceModel
 from ..lnd import LandModel
+from ..obs import NULL_OBS, Obs
 from ..ocn import LicomConfig, LicomModel
 from ..utils.timers import TimerRegistry
 from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
@@ -79,14 +80,23 @@ class AP3ESMConfig:
 class AP3ESM:
     """The coupled Earth system model."""
 
-    def __init__(self, config: AP3ESMConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: AP3ESMConfig | None = None,
+        obs: Obs | None = None,
+    ) -> None:
         self.config = config if config is not None else AP3ESMConfig()
         self.timers = TimerRegistry()
+        self.obs = obs if obs is not None else NULL_OBS
         self._initialized = False
 
     # -- lifecycle ---------------------------------------------------------------
 
     def init(self) -> None:
+        with self.obs.span("esm.init"):
+            self._init()
+
+    def _init(self) -> None:
         cfg = self.config
         self.atm = GristModel(
             GristConfig(level=cfg.atm_level, nlev=cfg.atm_nlev),
@@ -152,12 +162,13 @@ class AP3ESM:
 
     def finalize(self) -> Dict[str, Dict[str, float]]:
         self._check()
-        return {
-            "atm": self.atm.finalize(),
-            "ocn": self.ocn.finalize(),
-            "ice": self.ice.finalize(),
-            "lnd": self.lnd.finalize(),
-        }
+        with self.obs.span("esm.finalize"):
+            return {
+                "atm": self.atm.finalize(),
+                "ocn": self.ocn.finalize(),
+                "ice": self.ice.finalize(),
+                "lnd": self.lnd.finalize(),
+            }
 
     # -- coupling loop ---------------------------------------------------------------
 
@@ -165,66 +176,79 @@ class AP3ESM:
         """One atmosphere coupling interval (+ ocean when its alarm rings)."""
         self._check()
         cfg = self.config
-        with self.timers.timed("cpl_run"):
-            self.atm.run(cfg.atm_steps_per_coupling)
-            a2x = self.atm.export_state()
+        obs = self.obs
+        with self.timers.timed("cpl_run"), obs.span(
+            "cpl.step", coupling=self.n_couplings
+        ):
+            with obs.span("atm.run", steps=cfg.atm_steps_per_coupling):
+                self.atm.run(cfg.atm_steps_per_coupling)
+                a2x = self.atm.export_state()
 
             # --- direct atmosphere -> land -> atmosphere exchange --------
-            lnd_out = self.lnd.force(
-                gsw=a2x["gsw"], glw=a2x["glw"], precip=a2x["precip"],
-                t_air=a2x["t_bot"], dt=self.dt_couple,
-            )
+            with obs.span("lnd.force"):
+                lnd_out = self.lnd.force(
+                    gsw=a2x["gsw"], glw=a2x["glw"], precip=a2x["precip"],
+                    t_air=a2x["t_bot"], dt=self.dt_couple,
+                )
 
             # --- atmosphere -> ice (on the ocean grid) --------------------
-            shape_o = self.ocn.metrics.shape
-            to_ocn = {
-                name: self.a2o.apply(a2x[name]).reshape(shape_o)
-                for name in ("gsw", "glw", "t_bot", "taux", "tauy", "shflx", "lhflx", "precip")
-            }
-            o2x = self.ocn.export_state()
-            self.ice.import_state({
-                "gsw": to_ocn["gsw"],
-                "glw": to_ocn["glw"],
-                "t_air": to_ocn["t_bot"] - KELVIN,
-                "sst": o2x["sst"],
-                "freezing": o2x["freezing"],
-                "u_drift": o2x["u_surf"],
-                "v_drift": o2x["v_surf"],
-            })
-            self.ice.step(self.dt_couple)
-            i2x = self.ice.export_state()
+            with obs.span("cpl.a2o_remap"):
+                shape_o = self.ocn.metrics.shape
+                to_ocn = {
+                    name: self.a2o.apply(a2x[name]).reshape(shape_o)
+                    for name in ("gsw", "glw", "t_bot", "taux", "tauy", "shflx", "lhflx", "precip")
+                }
+            with obs.span("ice.step"):
+                o2x = self.ocn.export_state()
+                self.ice.import_state({
+                    "gsw": to_ocn["gsw"],
+                    "glw": to_ocn["glw"],
+                    "t_air": to_ocn["t_bot"] - KELVIN,
+                    "sst": o2x["sst"],
+                    "freezing": o2x["freezing"],
+                    "u_drift": o2x["u_surf"],
+                    "v_drift": o2x["v_surf"],
+                })
+                self.ice.step(self.dt_couple)
+                i2x = self.ice.export_state()
 
             # --- atmosphere(+ice) -> ocean at the slower frequency --------
             self.clock.advance()
             if self.clock.ringing("cpl_ocn"):
-                sst_k = o2x["sst"] + KELVIN
-                open_water = 1.0 - i2x["ice_fraction"]
-                net_heat = (
-                    (1.0 - OCEAN_ALBEDO) * to_ocn["gsw"]
-                    + to_ocn["glw"]
-                    - OCEAN_EMISSIVITY * STEFAN_BOLTZMANN * sst_k**4
-                    - to_ocn["shflx"]
-                    - to_ocn["lhflx"]
-                ) * open_water
-                evap = to_ocn["lhflx"] / LATENT_HEAT_VAPORIZATION
-                self.ocn.import_state({
-                    "taux": to_ocn["taux"] * open_water,
-                    "tauy": to_ocn["tauy"] * open_water,
-                    "heat_flux": net_heat,
-                    "fresh_flux": (to_ocn["precip"] - evap) * open_water,
-                })
-                self.ocn.run(self.ocn_steps_per_coupling)
-                o2x = self.ocn.export_state()
+                with obs.span("ocn.run", substeps=self.ocn_steps_per_coupling):
+                    sst_k = o2x["sst"] + KELVIN
+                    open_water = 1.0 - i2x["ice_fraction"]
+                    net_heat = (
+                        (1.0 - OCEAN_ALBEDO) * to_ocn["gsw"]
+                        + to_ocn["glw"]
+                        - OCEAN_EMISSIVITY * STEFAN_BOLTZMANN * sst_k**4
+                        - to_ocn["shflx"]
+                        - to_ocn["lhflx"]
+                    ) * open_water
+                    evap = to_ocn["lhflx"] / LATENT_HEAT_VAPORIZATION
+                    self.ocn.import_state({
+                        "taux": to_ocn["taux"] * open_water,
+                        "tauy": to_ocn["tauy"] * open_water,
+                        "heat_flux": net_heat,
+                        "fresh_flux": (to_ocn["precip"] - evap) * open_water,
+                    })
+                    self.ocn.run(self.ocn_steps_per_coupling)
+                    o2x = self.ocn.export_state()
+                obs.counter("ocn.couplings").inc()
+                obs.counter("ocn.steps").inc(self.ocn_steps_per_coupling)
 
             # --- ocean + ice + land -> atmosphere -------------------------
-            sst_atm = self.o2a.apply((o2x["sst"] + KELVIN).reshape(-1))
-            ice_frac_atm = np.clip(
-                self.o2a.apply(i2x["ice_fraction"].reshape(-1)), 0.0, 1.0
-            )
-            ice_t_atm = self.o2a.apply((i2x["ice_tsurf"] + KELVIN).reshape(-1))
-            skin = (1.0 - ice_frac_atm) * sst_atm + ice_frac_atm * ice_t_atm
-            skin = np.where(self.land_mask_atm, lnd_out["tskin_land"], skin)
-            self.atm.import_state({"sst": skin, "ice_fraction": ice_frac_atm})
+            with obs.span("cpl.o2a_merge"):
+                sst_atm = self.o2a.apply((o2x["sst"] + KELVIN).reshape(-1))
+                ice_frac_atm = np.clip(
+                    self.o2a.apply(i2x["ice_fraction"].reshape(-1)), 0.0, 1.0
+                )
+                ice_t_atm = self.o2a.apply((i2x["ice_tsurf"] + KELVIN).reshape(-1))
+                skin = (1.0 - ice_frac_atm) * sst_atm + ice_frac_atm * ice_t_atm
+                skin = np.where(self.land_mask_atm, lnd_out["tskin_land"], skin)
+                self.atm.import_state({"sst": skin, "ice_fraction": ice_frac_atm})
+        obs.counter("cpl.steps").inc()
+        obs.counter("atm.steps").inc(cfg.atm_steps_per_coupling)
         self.n_couplings += 1
 
     def run_couplings(self, n: int) -> None:
@@ -278,7 +302,7 @@ class AP3ESM:
         # Re-arm the ocean alarm consistently with the restored clock.
         alarm = self.clock._alarms["cpl_ocn"]
         periods_done = int(self.clock.time / alarm.interval + 1e-9)
-        alarm.next_ring = self.clock.start + (periods_done + 1) * alarm.interval
+        alarm.reset_to(periods_done)
 
     # -- performance-layout description (§5.1.2) -----------------------------------------
 

@@ -70,11 +70,13 @@ def write_subfiles(
     base: str,
     layout: SubfileLayout,
     rank_slices: Sequence[Tuple[int, np.ndarray]],
+    obs=None,
 ) -> List[Path]:
     """Write per-rank (global_start, values) slices into group subfiles.
 
     ``rank_slices[r]`` is rank r's contribution: the global offset of its
-    contiguous slice and the values.  Returns the subfile paths.
+    contiguous slice and the values.  Returns the subfile paths.  A live
+    ``obs`` handle records a span plus bytes/files-written counters.
     """
     if len(rank_slices) != layout.n_ranks:
         raise ValueError("need one slice per rank")
@@ -83,6 +85,24 @@ def write_subfiles(
     dtype = np.asarray(rank_slices[0][1]).dtype
     if dtype not in _DTYPE_CODES:
         raise ValueError(f"unsupported dtype {dtype}")
+    if obs is None or not obs.enabled:
+        return _write_subfiles(directory, base, layout, rank_slices, dtype)
+    with obs.span("io.write_subfiles", base=base, n_groups=layout.n_groups):
+        paths = _write_subfiles(directory, base, layout, rank_slices, dtype)
+    nbytes = sum(p.stat().st_size for p in paths)
+    obs.counter("io.subfiles_written").inc(len(paths))
+    obs.counter("io.bytes_written").inc(nbytes)
+    obs.histogram("io.subfile_write_bytes").observe(nbytes / max(len(paths), 1))
+    return paths
+
+
+def _write_subfiles(
+    directory: Path,
+    base: str,
+    layout: SubfileLayout,
+    rank_slices: Sequence[Tuple[int, np.ndarray]],
+    dtype: np.dtype,
+) -> List[Path]:
     paths: List[Path] = []
     for g in range(layout.n_groups):
         members = layout.ranks_of(g)
@@ -105,8 +125,15 @@ def read_subfiles(
     base: str,
     layout: SubfileLayout,
     global_size: int,
+    obs=None,
 ) -> np.ndarray:
     """Reassemble the global array from a subfile set."""
+    if obs is not None and obs.enabled:
+        with obs.span("io.read_subfiles", base=base, n_groups=layout.n_groups):
+            out = read_subfiles(directory, base, layout, global_size)
+        obs.counter("io.subfiles_read").inc(layout.n_groups)
+        obs.counter("io.bytes_read").inc(out.nbytes)
+        return out
     directory = Path(directory)
     out = None
     covered = 0
@@ -159,10 +186,14 @@ class IOCostModel:
         return self.metadata_s + n_writers * self.lock_s + total_bytes / bw
 
     def subfile_time(self, total_bytes: float, n_groups: int) -> float:
+        # Each subfile pays its own create/open on the metadata server:
+        # the penalty grows linearly with n_groups, so past bandwidth
+        # saturation extra groups *cost* time and best_group_count has a
+        # real optimum instead of always driving to max bandwidth.
         if total_bytes < 0 or n_groups < 1:
             raise ValueError("bad arguments")
         bw = min(self.fs_bw, self.node_bw * n_groups)
-        return n_groups * self.metadata_s / max(n_groups, 1) + self.metadata_s + total_bytes / bw
+        return n_groups * self.metadata_s + total_bytes / bw
 
     def best_group_count(self, total_bytes: float, n_ranks: int) -> int:
         """Group count minimizing modeled subfile time (sweep powers of 2)."""

@@ -1,0 +1,145 @@
+"""Trace/metric exporters.
+
+Three output formats, matching how the paper's numbers were consumed:
+
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Chrome
+  Trace Event JSON format (open in ``chrome://tracing`` or Perfetto):
+  one complete-duration ("ph": "X") event per span, ``pid`` = rank,
+  timestamps in microseconds;
+* :func:`text_report` — a per-rank plain-text report: the nested span
+  aggregate (GPTL-style) plus the metrics table;
+* :func:`timing_summary` — the ``getTiming`` equivalent: max-across-ranks
+  wall time of one span and the derived SYPD, via
+  :func:`repro.utils.timers.get_timing`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..utils.timers import TimingReport, get_timing
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "text_report",
+    "timing_summary",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span attributes to JSON-safe scalars."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def chrome_trace_events(tracers: Iterable[Tracer]) -> List[Dict[str, Any]]:
+    """Flatten per-rank tracers into Chrome Trace Event dicts.
+
+    Every span becomes ``{"name", "cat", "ph": "X", "ts", "dur", "pid",
+    "tid", "args"}`` with ``ts``/``dur`` in microseconds and the rank as
+    ``pid`` (so Perfetto draws one lane per rank); ``cat`` carries the
+    parent chain for filtering.
+    """
+    events: List[Dict[str, Any]] = []
+    for tracer in tracers:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": tracer.rank,
+            "tid": 0,
+            "args": {"name": f"rank {tracer.rank}"},
+        })
+        for span in tracer.spans:
+            events.append({
+                "name": span.name,
+                "cat": "/".join(span.path[:-1]) or "root",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.rank,
+                "tid": 0,
+                "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+            })
+    return events
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    tracers: Iterable[Tracer],
+    metrics: Optional[Iterable[MetricsRegistry]] = None,
+) -> Path:
+    """Write a ``trace.json`` loadable by chrome://tracing / Perfetto.
+
+    Aggregated metrics (if given) ride along under ``otherData`` where
+    the trace viewer surfaces them as run metadata.
+    """
+    path = Path(path)
+    doc: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(tracers),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        regs = list(metrics)
+        if regs:
+            doc["otherData"] = {
+                name: summary
+                for name, summary in MetricsRegistry.aggregate(regs).items()
+            }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def text_report(
+    tracers: Iterable[Tracer],
+    metrics: Optional[Iterable[MetricsRegistry]] = None,
+) -> str:
+    """Per-rank human-readable report: span aggregates + metrics."""
+    sections: List[str] = []
+    tracer_list = list(tracers)
+    metric_list = list(metrics) if metrics is not None else []
+    by_rank: Dict[int, MetricsRegistry] = {m.rank: m for m in metric_list}
+    for tracer in tracer_list:
+        sections.append(f"== rank {tracer.rank} ==")
+        sections.append(tracer.to_timer_registry().report())
+        reg = by_rank.get(tracer.rank)
+        if reg is not None and reg.names():
+            sections.append(reg.report())
+    orphan_metrics = [m for m in metric_list if m.rank not in {t.rank for t in tracer_list}]
+    for reg in orphan_metrics:
+        sections.append(f"== rank {reg.rank} (metrics only) ==")
+        sections.append(reg.report())
+    if len(metric_list) > 1:
+        sections.append("== aggregate across ranks ==")
+        agg = MetricsRegistry.aggregate(metric_list)
+        lines = [f"{'metric':<44}{'min':>14}{'max':>14}{'sum':>16}"]
+        for name, summary in agg.items():
+            lines.append(
+                f"{name:<44}{summary['min']:>14.6g}{summary['max']:>14.6g}"
+                f"{summary['sum']:>16.6g}"
+            )
+        sections.append("\n".join(lines))
+    return "\n".join(sections)
+
+
+def timing_summary(
+    tracers: Iterable[Tracer],
+    span: str,
+    simulated_days: float,
+) -> TimingReport:
+    """``getTiming``-compatible SYPD summary over one span name.
+
+    Each tracer degrades to its timer registry; :func:`get_timing` then
+    applies the paper's max-across-ranks convention.
+    """
+    return get_timing(
+        [t.to_timer_registry() for t in tracers], span, simulated_days
+    )

@@ -1,0 +1,201 @@
+"""Metrics registry: counters, gauges, and histograms, per rank.
+
+The coupler feeds it rearranger bytes/messages (from payload sizes and
+the :class:`~repro.parallel.comm.TrafficLedger`), the ESM driver feeds it
+per-component step counts, and subfile I/O feeds it bytes/files moved.
+:func:`MetricsRegistry.aggregate` merges per-rank registries into
+min/max/sum/mean summaries — the same max-across-ranks convention the
+paper's ``getTiming`` applies to timers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from ..parallel.comm import TrafficLedger
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (messages sent, bytes written...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Point-in-time value (queue depth, current SYPD, ledger total...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Distribution sketch: count/sum/min/max plus log2 buckets.
+
+    Buckets hold counts of observations with ``2**(i-1) < v <= 2**i``
+    (index by ``ceil(log2 v)``), which is enough resolution for message
+    sizes and phase durations without storing samples.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.count == 1 else min(self.min, value)
+        self.max = max(self.max, value)
+        exp = math.ceil(math.log2(value)) if value > 0 else 0
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics for one (simulated) rank."""
+
+    def __init__(self, rank: int = 0) -> None:
+        self.rank = rank
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def record_traffic(self, ledger: TrafficLedger, prefix: str = "comm") -> None:
+        """Mirror a :class:`TrafficLedger`'s cumulative totals as gauges."""
+        self.gauge(f"{prefix}.p2p_messages").set(ledger.p2p_messages)
+        self.gauge(f"{prefix}.p2p_bytes").set(ledger.p2p_bytes)
+        self.gauge(f"{prefix}.total_messages").set(ledger.total_messages)
+        self.gauge(f"{prefix}.total_bytes").set(ledger.total_bytes)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+    def report(self) -> str:
+        """Per-rank text report, one metric per line."""
+        lines = [f"{'metric':<44}{'kind':>10}{'value':>16}"]
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                value = (
+                    f"n={m.count} sum={m.sum:.6g} "
+                    f"min={m.min:.6g} max={m.max:.6g}"
+                )
+                lines.append(f"{name:<44}{m.kind:>10}  {value}")
+            else:
+                lines.append(f"{name:<44}{m.kind:>10}{m.value:>16.6g}")
+        return "\n".join(lines)
+
+    # -- cross-rank aggregation -------------------------------------------
+
+    @staticmethod
+    def aggregate(
+        registries: Iterable["MetricsRegistry"],
+        names: Optional[Iterable[str]] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        """Combine per-rank registries into min/max/sum/mean summaries.
+
+        Counters and gauges aggregate over their values; histograms over
+        their per-rank counts/sums (min/max take the extreme across
+        ranks).  A metric missing on some ranks aggregates over the ranks
+        that have it (``n_ranks`` records how many).
+        """
+        regs = list(registries)
+        if not regs:
+            raise ValueError("no registries supplied")
+        wanted = set(names) if names is not None else None
+        per_name: Dict[str, List[object]] = {}
+        for reg in regs:
+            for name in reg.names():
+                if wanted is not None and name not in wanted:
+                    continue
+                per_name.setdefault(name, []).append(reg.get(name))
+        out: Dict[str, Dict[str, float]] = {}
+        for name, metrics in sorted(per_name.items()):
+            if isinstance(metrics[0], Histogram):
+                counts = [m.count for m in metrics]
+                sums = [m.sum for m in metrics]
+                out[name] = {
+                    "n_ranks": float(len(metrics)),
+                    "count": float(sum(counts)),
+                    "sum": float(sum(sums)),
+                    "min": float(min(m.min for m in metrics)),
+                    "max": float(max(m.max for m in metrics)),
+                }
+            else:
+                values = [m.value for m in metrics]
+                out[name] = {
+                    "n_ranks": float(len(metrics)),
+                    "min": float(min(values)),
+                    "max": float(max(values)),
+                    "sum": float(sum(values)),
+                    "mean": float(sum(values) / len(values)),
+                }
+        return out

@@ -89,12 +89,15 @@ def distributed_barotropic_run(
     dt: Optional[float] = None,
     taux: Optional[np.ndarray] = None,
     initial_eta: Optional[np.ndarray] = None,
+    obs=None,
 ) -> Tuple[BarotropicState, List[float]]:
     """Run ``n_steps`` of the barotropic solver on ``n_ranks`` simulated
     MPI ranks; returns the gathered global state and the per-step norms.
 
     Requires ``grid.nlon`` divisible by the process-grid x extent (the
-    same constraint the tripolar fold exchange carries).
+    same constraint the tripolar fold exchange carries).  A live ``obs``
+    handle is forked per rank: each rank records halo/solve spans and
+    counters, and the world's traffic ledger lands in the parent metrics.
     """
     metrics = CGridMetrics.build(grid)
     serial_solver = BarotropicSolver(metrics, grid.depth)
@@ -109,6 +112,7 @@ def distributed_barotropic_run(
     eta0 = initial_eta if initial_eta is not None else np.zeros(metrics.shape)
 
     def program(comm: SimComm):
+        robs = obs.fork(comm.rank) if (obs is not None and obs.enabled) else None
         block = Block2D(grid.nlat, grid.nlon, py, px, comm.rank)
         local_metrics, local_depth = local_window(grid, metrics, block)
         solver = BarotropicSolver(local_metrics, local_depth)
@@ -135,15 +139,27 @@ def distributed_barotropic_run(
         norms: List[float] = []
         interior = (slice(PAD, -PAD), slice(PAD, -PAD))
 
-        for _ in range(n_steps):
+        for istep in range(n_steps):
+            if robs is not None:
+                robs.tracer.begin("ocn.parallel_step", step=istep)
             # Refresh halos from the owning ranks.
-            for field in (state.eta, state.u, state.v):
-                halo.exchange(comm, field)
+            if robs is not None:
+                with robs.span("ocn.halo_exchange"):
+                    for field in (state.eta, state.u, state.v):
+                        halo.exchange(comm, field)
+                robs.counter("ocn.halo_exchanges").inc(3)
+            else:
+                for field in (state.eta, state.u, state.v):
+                    halo.exchange(comm, field)
+            if robs is not None:
+                robs.tracer.begin("ocn.solve")
             new_state, _ = solver.step(state, dt, taux=taux_pad)
             # Keep only the interior (halo rings are stencil-contaminated).
             state.eta[interior] = new_state.eta[interior]
             state.u[interior] = new_state.u[interior]
             state.v[interior] = new_state.v[interior]
+            if robs is not None:
+                robs.tracer.end("ocn.solve")
 
             # Global stabilization norm: fixed-order reduction over ranks,
             # same normalization as the serial solver (total area; eta is
@@ -153,6 +169,8 @@ def distributed_barotropic_run(
             local_area = float(np.sum(m.area[interior]))
             total = comm.allreduce(np.array([local_sum, local_area]), op="sum")
             norms.append(float(np.sqrt(total[0] / max(total[1], 1e-300))))
+            if robs is not None:
+                robs.tracer.end("ocn.parallel_step")
 
         return (
             block.y_range,
@@ -165,6 +183,8 @@ def distributed_barotropic_run(
 
     world = SimWorld(n_ranks, timeout=60.0)
     results = world.run(program)
+    if obs is not None and obs.enabled:
+        obs.metrics.record_traffic(world.ledger, prefix="ocn.comm")
 
     gathered = BarotropicState.zeros(metrics.shape)
     norms = results[0][5]

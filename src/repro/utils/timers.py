@@ -36,7 +36,9 @@ class TimerNode:
     name: str
     count: int = 0
     total: float = 0.0
-    min: float = float("inf")
+    # 0.0, not inf: a never-recorded timer must not report an infinite
+    # minimum (it leaked into reports and min-across-ranks aggregates).
+    min: float = 0.0
     max: float = 0.0
     children: Dict[str, "TimerNode"] = field(default_factory=dict)
     _started_at: Optional[float] = None
@@ -52,7 +54,7 @@ class TimerNode:
     def record(self, elapsed: float) -> None:
         self.count += 1
         self.total += elapsed
-        self.min = min(self.min, elapsed)
+        self.min = elapsed if self.count == 1 else min(self.min, elapsed)
         self.max = max(self.max, elapsed)
 
 
@@ -159,7 +161,10 @@ class TimerRegistry:
 
     def report(self, indent: int = 2) -> str:
         """Human-readable nested report (like ``gptl`` output)."""
-        lines = [f"{'timer':<40}{'calls':>8}{'total(s)':>14}{'mean(s)':>14}"]
+        lines = [
+            f"{'timer':<40}{'calls':>8}{'total(s)':>14}{'mean(s)':>14}"
+            f"{'min(s)':>14}{'max(s)':>14}"
+        ]
 
         def walk(node: TimerNode, depth: int) -> None:
             for child in node.children.values():
@@ -167,6 +172,7 @@ class TimerRegistry:
                 lines.append(
                     f"{pad + child.name:<40}{child.count:>8}"
                     f"{child.total:>14.6f}{child.mean:>14.6f}"
+                    f"{child.min:>14.6f}{child.max:>14.6f}"
                 )
                 walk(child, depth + 1)
 

@@ -243,6 +243,58 @@ class TestRearranger:
         with pytest.raises(ValueError):
             Rearranger(Router.build(src, dst), method="magic")
 
+    def test_self_send_without_recv_entry(self):
+        """Regression: the p2p path raised KeyError on a (me, me) send
+        entry with no matching recv key (hand-built/pruned router); the
+        alltoall path silently delivered nothing.  Both must agree."""
+        router = Router(
+            src_gsize=2, dst_gsize=2,
+            send={(0, 0): np.array([0, 1])}, recv={},
+        )
+
+        def run(method):
+            def program(comm):
+                av = AttrVect.from_dict({"f": np.array([1.0, 2.0])})
+                return Rearranger(router, method=method).rearrange(comm, av, 2)
+
+            return SimWorld(1).run(program)[0]
+
+        p2p = run("p2p")  # seed: KeyError
+        a2a = run("alltoall")
+        assert np.array_equal(p2p.data, a2a.data)
+        assert np.array_equal(p2p.get("f"), np.zeros(2))
+
+    def test_self_send_round_trip(self):
+        """A matched (me, me) send/recv pair copies locally, without any
+        messages on the wire."""
+        owners = np.zeros(6, dtype=int)
+        src = GlobalSegMap.from_owners(owners)
+        dst = GlobalSegMap.from_owners(owners)
+        router = Router.build(src, dst)
+        assert (0, 0) in router.send and (0, 0) in router.recv
+        values = np.arange(6.0)
+
+        def program(comm):
+            av = AttrVect.from_dict({"f": values})
+            return Rearranger(router, method="p2p").rearrange(comm, av, 6)
+
+        world = SimWorld(1)
+        out = world.run(program)[0]
+        assert np.array_equal(out.get("f"), values)
+        assert world.ledger.p2p_messages == 0
+
+    def test_message_counts_include_recv_fanin(self):
+        """Regression: only send-side partners were counted, so a rank
+        receiving from every other rank reported one message."""
+        src = GlobalSegMap.from_owners(np.arange(4).repeat(2))
+        dst = GlobalSegMap.from_owners(np.zeros(8, dtype=int))
+        router = Router.build(src, dst)
+        counts = Rearranger(router).message_counts(4)
+        assert counts["p2p_recv_partners_max"] == 3.0
+        # Rank 0 posts 3 receives; the seed code reported a max of 1.
+        assert counts["p2p_messages_per_rank_max"] >= 3.0
+        assert counts["p2p_messages_per_rank_max"] < counts["alltoall_messages_per_rank"]
+
 
 class TestClock:
     def test_alarm_fires_at_coupling_frequency(self):
@@ -288,6 +340,37 @@ class TestClock:
     def test_bad_dt(self):
         with pytest.raises(ValueError):
             Clock(dt=0.0)
+
+    def test_long_run_time_is_exact(self):
+        """Regression: `time += dt` accumulated float error; after 2e5
+        steps at dt=0.1 it exceeded 1e-8, past the 1e-9 alarm tolerance."""
+        clock = Clock(dt=0.1)
+        for _ in range(200_000):
+            clock.advance()
+        assert clock.time == 200_000 * 0.1
+        assert clock.step_count == 200_000
+
+    def test_long_run_alarm_schedule_exact(self):
+        """Regression: accumulated clock drift fired the coupling alarm a
+        step late (and eventually dropped rings) on long runs."""
+        clock = Clock(dt=0.1)
+        clock.add_alarm("cpl", interval=0.5)
+        rings = []
+        for step in range(1, 200_001):
+            clock.advance()
+            if clock.ringing("cpl"):
+                rings.append(step)
+        # One ring exactly every 5 steps, none late, none dropped.
+        assert len(rings) == 40_000
+        assert rings == [5 * (i + 1) for i in range(40_000)]
+
+    def test_alarm_reset_to(self):
+        clock = Clock(dt=100.0)
+        alarm = clock.add_alarm("cpl", interval=300.0)
+        alarm.reset_to(4)
+        assert alarm.next_ring == pytest.approx(1500.0)
+        with pytest.raises(ValueError):
+            alarm.reset_to(-1)
 
 
 class TestFieldRegistry:

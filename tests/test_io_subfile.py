@@ -97,15 +97,40 @@ class TestCostModel:
         total = 1e12
         t8 = model.subfile_time(total, 8)
         t64 = model.subfile_time(total, 64)
-        t4096 = model.subfile_time(total, 4096)
         assert t64 < t8
-        # Beyond saturation, extra groups stop helping much.
-        assert t4096 == pytest.approx(model.subfile_time(total, 1024), rel=0.2)
+
+    def test_metadata_penalty_scales_with_groups(self):
+        """Regression: `n_groups * metadata_s / max(n_groups, 1)`
+        algebraically cancelled, so the metadata term was constant."""
+        model = IOCostModel()
+        small = 1e6  # bandwidth term negligible
+        t1 = model.subfile_time(small, 1)
+        t256 = model.subfile_time(small, 256)
+        assert t256 > t1
+        assert t256 - t1 == pytest.approx(255 * model.metadata_s, rel=1e-3)
+
+    def test_subfile_time_monotone_past_saturation(self):
+        """Once the filesystem bandwidth saturates (~200 groups for the
+        defaults), every extra group strictly costs metadata time."""
+        model = IOCostModel()
+        total = 1e12
+        times = [model.subfile_time(total, g) for g in (256, 512, 1024, 2048, 4096)]
+        assert all(b > a for a, b in zip(times, times[1:]))
 
     def test_best_group_count_reasonable(self):
         model = IOCostModel()
         g = model.best_group_count(1e12, n_ranks=100000)
         assert 64 <= g <= 100000
+
+    def test_best_group_count_models_metadata_tradeoff(self):
+        """Regression: best_group_count always drove to max bandwidth
+        (256 groups here) because the metadata penalty cancelled; a tiny
+        restart is fastest as a single subfile."""
+        model = IOCostModel()
+        assert model.best_group_count(1e6, n_ranks=4096) == 1
+        # A huge restart still wants many groups, but not every rank.
+        g = model.best_group_count(1e13, n_ranks=1 << 20)
+        assert 1 < g < 1 << 20
 
     def test_validation(self):
         model = IOCostModel()

@@ -105,3 +105,31 @@ def test_timed_context_manager():
     with reg.timed("step"):
         clock.advance(0.5)
     assert reg.total("step") == pytest.approx(0.5)
+
+
+def test_unrecorded_timer_min_is_finite():
+    """Regression: a never-recorded node reported min = inf, which leaked
+    into reports and min-across-ranks aggregates."""
+    from repro.utils.timers import TimerNode
+
+    node = TimerNode(name="never")
+    assert node.min == 0.0
+    assert node.max == 0.0
+    # First record seeds min/max with the observation, not the default.
+    node.record(2.0)
+    assert node.min == pytest.approx(2.0)
+    assert node.max == pytest.approx(2.0)
+
+
+def test_report_surfaces_min_max():
+    """Regression: report() omitted the min/max columns GPTL prints."""
+    clock = FakeClock()
+    reg = TimerRegistry(clock=clock)
+    for elapsed in (1.0, 3.0):
+        with reg.timed("phase"):
+            clock.advance(elapsed)
+    report = reg.report()
+    header = report.splitlines()[0]
+    assert "min(s)" in header and "max(s)" in header
+    row = report.splitlines()[1]
+    assert "1.000000" in row and "3.000000" in row
