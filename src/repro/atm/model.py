@@ -29,9 +29,9 @@ import numpy as np
 from ..grids import trsk
 from ..grids.icos import IcosahedralGrid
 from ..utils.timers import TimerRegistry
-from ..utils.units import GRAVITY, RHO_AIR
+from ..utils.units import RHO_AIR
 from .columns import ColumnState, pressure_levels, reference_profiles
-from .dycore import SWEState, ShallowWaterDycore, williamson_tc2
+from .dycore import ShallowWaterDycore, williamson_tc2
 from .physics import ConventionalPhysics, PhysicsTendencies
 
 __all__ = ["GristConfig", "GristModel"]
@@ -137,6 +137,49 @@ class GristModel:
         self._finalized = True
         return summary
 
+    # -- Component protocol (shared context + uniform coupling surface) -----------
+
+    def set_context(self, ctx) -> None:
+        """Bind the shared ComponentContext: kernel dispatch moves onto the
+        context's execution space and the atm kernels join the shared
+        hash registry."""
+        self._ctx = ctx
+        if hasattr(self.physics, "bind"):
+            self.physics.bind(ctx.space, ctx.metrics)
+        from . import kernels as _k
+
+        for fn in (
+            _k.radiation_kernel, _k.surface_flux_kernel, _k.convective_kernel,
+            _k.saturation_kernel, _k.condensation_kernel,
+        ):
+            ctx.kernels.register(fn)
+
+    def pre_coupling(self, imports: Dict[str, np.ndarray]) -> None:
+        self.import_state(imports)
+
+    def post_coupling(self) -> Dict[str, np.ndarray]:
+        return self.export_state()
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """The prognostic state (what restarts save and the precision
+        policy round-trips)."""
+        self._check_alive()
+        return {
+            "h": self.swe.h, "u": self.swe.u,
+            "t_col": self.t_col, "q_col": self.q_col,
+            "tracer": self.tracer, "tskin": self.tskin,
+        }
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        self._check_alive()
+        if "h" in state:
+            self.swe.h = state["h"]
+        if "u" in state:
+            self.swe.u = state["u"]
+        for key in ("t_col", "q_col", "tracer", "tskin"):
+            if key in state:
+                setattr(self, key, state[key])
+
     # -- boundary exchange -------------------------------------------------------
 
     def import_state(self, fields: Dict[str, np.ndarray]) -> None:
@@ -174,8 +217,15 @@ class GristModel:
 
     # -- stepping -----------------------------------------------------------------
 
-    def step(self) -> None:
-        """One model (physics) step = 15 dycore + 4 tracer substeps + physics."""
+    def step(self, dt: Optional[float] = None) -> None:
+        """One model (physics) step = 15 dycore + 4 tracer substeps + physics.
+
+        With an explicit ``dt`` (the Component-protocol form) the model
+        advances ``round(dt / dt_model)`` internal steps — the coupled
+        driver passes one coupling interval."""
+        if dt is not None:
+            self.run(max(1, int(round(dt / self.dt_model))))
+            return
         self._check_alive()
         with self.timers.timed("atm_run"):
             with self.timers.timed("atm_dycore"):

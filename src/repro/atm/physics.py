@@ -15,13 +15,13 @@ efficient tensor kernels" claim, measured in ``benchmarks/bench_ai_physics``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..utils.units import CP_AIR, GRAVITY, LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
-from .columns import ColumnState, saturation_specific_humidity
+from ..pp import ExecutionSpace, KernelMetrics, KernelStats, Serial
+from .columns import ColumnState
 
 __all__ = ["PhysicsTendencies", "PhysicsParams", "ConventionalPhysics"]
 
@@ -67,10 +67,35 @@ class PhysicsParams:
 
 
 class ConventionalPhysics:
-    """The conventional suite; call :meth:`compute` on a column batch."""
+    """The conventional suite; call :meth:`compute` on a column batch.
 
-    def __init__(self, params: PhysicsParams | None = None) -> None:
+    Every scheme dispatches through the portable kernels in
+    :mod:`repro.atm.kernels` on the bound execution space (the shared
+    ``ComponentContext`` space in a coupled run, ``Serial`` standalone).
+    Results are bit-identical on every space — the columns are
+    independent, so chunking commutes with the math.
+    """
+
+    def __init__(
+        self,
+        params: PhysicsParams | None = None,
+        space: Optional[ExecutionSpace] = None,
+        metrics: Optional[KernelMetrics] = None,
+    ) -> None:
         self.params = params if params is not None else PhysicsParams()
+        self.space = space if space is not None else Serial()
+        self.metrics = metrics
+
+    def bind(
+        self, space: ExecutionSpace, metrics: Optional[KernelMetrics] = None
+    ) -> None:
+        """Point kernel dispatch at a (shared) space + stats pool."""
+        self.space = space
+        if metrics is not None:
+            self.metrics = metrics
+
+    def _stats(self, kernel: str) -> Optional[KernelStats]:
+        return self.metrics.stats(kernel) if self.metrics is not None else None
 
     # -- individual schemes -------------------------------------------------
 
@@ -78,119 +103,52 @@ class ConventionalPhysics:
         self, state: ColumnState, cloud_fraction: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Gray radiation: (gsw, glw, dT_rad)."""
+        from .kernels import run_radiation
+
         prm = self.params
-        p = state.p
-        # Column water vapor path weights the gray-body emissivity.
-        colq = np.trapezoid(state.q, p, axis=1) / GRAVITY
-        wv_factor = np.clip(colq / 30.0, 0.0, 1.0)
-
-        coszr = np.clip(state.coszr, 0.0, 1.0)
-        transmission = 1.0 - prm.sw_absorptivity - 0.25 * cloud_fraction
-        gsw = SOLAR_CONSTANT * coszr * (1.0 - prm.albedo) * np.clip(transmission, 0.0, 1.0)
-
-        eps = (
-            prm.lw_emissivity_clear
-            + (prm.lw_emissivity_cloud - prm.lw_emissivity_clear) * cloud_fraction
+        return run_radiation(
+            self.space, state, cloud_fraction,
+            prm.albedo, prm.sw_absorptivity,
+            prm.lw_emissivity_clear, prm.lw_emissivity_cloud,
+            prm.lw_cooling_rate, stats=self._stats("atm.radiation"),
         )
-        eps = eps * (0.8 + 0.2 * wv_factor)
-        t_low = state.t[:, -1]
-        glw = eps * STEFAN_BOLTZMANN * t_low**4
-
-        # Heating profile: SW absorption aloft, LW cooling weighted to
-        # the emission levels (mid troposphere).
-        sw_heat = (
-            SOLAR_CONSTANT
-            * coszr[:, None]
-            * prm.sw_absorptivity
-            * (p / p[-1])[None, :] ** 0.5
-        )
-        sw_heat = sw_heat / (CP_AIR * 8000.0)  # W/m2 over an ~800 hPa airmass
-        lw_cool = prm.lw_cooling_rate * (state.t / 288.0) ** 4
-        dt_rad = sw_heat - lw_cool
-        return gsw, glw, dt_rad
 
     def surface_layer(
         self, state: ColumnState
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Bulk fluxes: (dU, dV, dT, dQ tendencies at the lowest level plus
         sensible/latent fluxes)."""
+        from .kernels import run_surface_layer
+
         prm = self.params
-        wind = np.sqrt(state.u[:, -1] ** 2 + state.v[:, -1] ** 2)
-        wind = np.maximum(wind, prm.exchange_wind_min)
-        rho_cd_w = 1.2 * prm.drag_coefficient * wind
-
-        shflx = rho_cd_w * CP_AIR * (state.tskin - state.t[:, -1])
-        qsat_skin = saturation_specific_humidity(state.tskin, np.full_like(state.tskin, state.p[-1]))
-        lhflx = rho_cd_w * LATENT_HEAT_VAPORIZATION * np.maximum(
-            qsat_skin - state.q[:, -1], 0.0
-        ) * 0.7  # ocean-ish evaporation efficiency
-
-        # Spread the flux over the lowest model layer (~500 m of air).
-        layer_mass = 1.2 * 500.0
-        du = np.zeros_like(state.u)
-        dv = np.zeros_like(state.v)
-        dt = np.zeros_like(state.t)
-        dq = np.zeros_like(state.q)
-        du[:, -1] = -rho_cd_w * state.u[:, -1] / layer_mass
-        dv[:, -1] = -rho_cd_w * state.v[:, -1] / layer_mass
-        dt[:, -1] = shflx / (CP_AIR * layer_mass)
-        dq[:, -1] = lhflx / (LATENT_HEAT_VAPORIZATION * layer_mass)
-        return du, dv, dt, dq, shflx, lhflx
+        return run_surface_layer(
+            self.space, state, prm.drag_coefficient, prm.exchange_wind_min,
+            stats=self._stats("atm.surface_layer"),
+        )
 
     def convective_adjustment(self, state: ColumnState, dt_s: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Relax super-critical lapse rates pairwise, conserving enthalpy.
 
         Returns (dT, dQ, convective precip rate).  The level loop is short
-        (nlev) and fully vectorized over columns.
+        (nlev) and fully vectorized over each chunk of columns.
         """
+        from .kernels import run_convective_adjustment
+
         prm = self.params
-        t = state.t.copy()
-        q = state.q.copy()
-        p = state.p
-        z = 7500.0 * np.log(p[-1] / np.maximum(p, 1.0))  # heights, sfc-relative
-        dz = z[:-1] - z[1:]  # positive: level k is above k+1
-
-        for _ in range(prm.adjust_sweeps):
-            # Lapse between adjacent levels (K/m), top index k above k+1.
-            lapse = (t[:, 1:] - t[:, :-1]) / dz[None, :]
-            unstable = lapse > prm.critical_lapse
-            if not np.any(unstable):
-                break
-            excess = (lapse - prm.critical_lapse) * dz[None, :]
-            adj = 0.25 * np.where(unstable, excess, 0.0)
-            # Move heat upward: cool lower level, warm upper level.
-            t_new = t.copy()
-            t_new[:, 1:] -= adj
-            t_new[:, :-1] += adj
-            t = t_new
-
-        dT = (t - state.t) / dt_s
-        # Moisture: where convection fired, detrain toward 80 % RH.
-        fired = np.abs(dT).sum(axis=1) > 0
-        qsat = saturation_specific_humidity(t, p[None, :])
-        q_target = np.minimum(q, 0.8 * qsat)
-        dQ = np.where(fired[:, None], (q_target - q) / max(dt_s, 1.0), 0.0)
-        # Removed moisture rains out (column integral, positive down).
-        precip = -np.trapezoid(dQ, p, axis=1) / GRAVITY
-        precip = np.maximum(precip, 0.0)
-        return dT, dQ, precip
+        return run_convective_adjustment(
+            self.space, state, dt_s, prm.critical_lapse, prm.adjust_sweeps,
+            stats=self._stats("atm.convective_adjustment"),
+        )
 
     def large_scale_condensation(self, state: ColumnState, dt_s: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Condense supersaturation: (dT, dQ, precip, cloud fraction)."""
+        from .kernels import run_condensation
+
         prm = self.params
-        qsat = saturation_specific_humidity(state.t, state.p[None, :])
-        excess = np.maximum(state.q - qsat, 0.0)
-        rate = excess / prm.condensation_timescale
-        dQ = -rate
-        dT = (LATENT_HEAT_VAPORIZATION / CP_AIR) * rate
-        precip = np.maximum(-np.trapezoid(dQ, state.p, axis=1) / GRAVITY, 0.0)
-        rh = state.q / np.maximum(qsat, 1e-10)
-        cloudy = np.clip(
-            (rh - prm.cloud_rh_threshold) / (1.0 - prm.cloud_rh_threshold), 0.0, 1.0
+        return run_condensation(
+            self.space, state, prm.condensation_timescale,
+            prm.cloud_rh_threshold, stats=self._stats("atm.condensation"),
         )
-        # Total cloud fraction: random-overlap of layer clouds.
-        cloud_fraction = 1.0 - np.prod(1.0 - 0.5 * cloudy, axis=1)
-        return dT, dQ, precip, cloud_fraction
 
     def boundary_layer_diffusion(
         self, state: ColumnState, dt_s: float

@@ -24,6 +24,7 @@ from ..machine import (
     sunway_oceanlight,
 )
 from ..esm.config import GRIST_CONFIGS, LICOM_CONFIGS
+from ..esm.scheduler import paper_layout
 from .paper_data import (
     CORES_PER_SUNWAY_PROCESS,
     STRONG_SCALING_CURVES,
@@ -244,9 +245,9 @@ def predict_pairing_sypd(label: str, total_cores: float) -> Dict[str, float]:
             "ice": float(ocfg.nlon * ocfg.nlat) * 8 * 2,
         },
     )
-    coupled = CoupledPerfModel(
-        model1=cal_a, model2=cal_o, domain1=(wl_a,), domain2=(wl_o,),
-        coupling=coupling,
+    coupled = CoupledPerfModel.from_layout(
+        paper_layout(), {"atm": wl_a, "ocn": wl_o},
+        model1=cal_a, model2=cal_o, coupling=coupling,
     )
     # Transfer the 3v2 sync-imbalance scalar (the coupled-only effect).
     ref = coupled_curve("3v2")
@@ -322,8 +323,9 @@ def coupled_curve(label: str) -> CurveResult:
             "ice": float(ocfg.nlon * ocfg.nlat) * 8 * 2,
         },
     )
-    coupled = CoupledPerfModel(
-        model1=cal_a, model2=cal_o, domain1=(wl_a,), domain2=(wl_o,), coupling=coupling
+    coupled = CoupledPerfModel.from_layout(
+        paper_layout(), {"atm": wl_a, "ocn": wl_o},
+        model1=cal_a, model2=cal_o, coupling=coupling,
     )
 
     def split(r: float) -> Tuple[int, int]:

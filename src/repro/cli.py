@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="TRACE_JSON",
                      help="record a structured trace and write Chrome-trace "
                           "JSON here (open in chrome://tracing or Perfetto)")
+    run.add_argument("--concurrent-domains", action="store_true",
+                     help="run task domain 2 (ocean) on its own thread "
+                          "(§5.1.2; bitwise-identical to the serial schedule)")
+    run.add_argument("--precision", choices=("fp64", "mixed"), default="mixed",
+                     help="storage precision policy for prognostic state "
+                          "(§5.2.3; default: mixed group-scaled FP32)")
 
     ty = sub.add_parser("typhoon", help="idealized typhoon experiment")
     ty.add_argument("--hours", type=int, default=12)
@@ -92,10 +98,22 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
     model = AP3ESM(AP3ESMConfig(
         atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
         ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
+        precision=args.precision,
+        concurrent_domains=args.concurrent_domains,
     ), obs=obs)
     model.init()
-    print(f"running {args.days:g} coupled days...")
+    schedule = "concurrent" if args.concurrent_domains else "serial"
+    print(f"running {args.days:g} coupled days "
+          f"({schedule} task domains, {args.precision} storage)...")
     model.run_days(args.days)
+    mem = model.memory_report()
+    if mem["n_fp32"] or mem["n_fp32_groupscaled"]:
+        print(f"mixed-precision state: {mem['bytes_fp64']:.0f} -> "
+              f"{mem['bytes_mixed']:.0f} bytes "
+              f"({100 * mem['saving_fraction']:.0f}% saving, "
+              f"{mem['n_fp32']:.0f} FP32 + "
+              f"{mem['n_fp32_groupscaled']:.0f} group-scaled of "
+              f"{mem['n_variables']:.0f} fields)")
     snap = atm_snapshot(model.atm)
     sst = model.ocn.export_state()["sst"]
     wet = model.ocn.mask3d[0]

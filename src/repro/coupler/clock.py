@@ -95,6 +95,15 @@ class Clock:
             return True
         return False
 
+    def will_ring(self, name: str, steps: int = 1) -> bool:
+        """Pure query: would ``name`` ring after ``steps`` more advances?
+
+        Does not rearm — drivers use it to schedule work (e.g. publish a
+        lagged export) *before* the advance that fires the alarm.
+        """
+        alarm = self._alarms[name]
+        return alarm.ringing(self.start + (self.step_count + steps) * self.dt)
+
     def alarms(self) -> List[str]:
         return sorted(self._alarms)
 

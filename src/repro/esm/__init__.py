@@ -1,6 +1,18 @@
 """The coupled AP3ESM: configurations, driver, typhoon case, diagnostics."""
 
 from .ap3esm import AP3ESM, AP3ESMConfig
+from .component import (
+    Component,
+    ComponentContext,
+    default_mixed_policy,
+    precision_policy,
+)
+from .scheduler import (
+    PAPER_DOMAINS,
+    TaskDomain,
+    TaskDomainScheduler,
+    paper_layout,
+)
 from .config import (
     AP3ESM_CONFIGS,
     COUPLING_FREQUENCIES_PER_DAY,
@@ -34,6 +46,14 @@ from .typhoon import (
 __all__ = [
     "AP3ESM",
     "AP3ESMConfig",
+    "Component",
+    "ComponentContext",
+    "default_mixed_policy",
+    "precision_policy",
+    "TaskDomain",
+    "TaskDomainScheduler",
+    "PAPER_DOMAINS",
+    "paper_layout",
     "GristGridConfig",
     "LicomGridConfig",
     "AP3ESMPairing",

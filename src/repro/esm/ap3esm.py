@@ -11,38 +11,52 @@ Wiring follows the paper:
 * the **sea ice** component mirrors the ocean grid;
 * exchanged bundles pass through the pruned field registry, and the
   atmosphere<->ocean grid change goes through the sparse remap matrices
-  (global flux fixer applied to the heat/water fluxes).
+  (global flux fixer applied to the heat/water fluxes);
+* all four components implement the :class:`repro.esm.component.Component`
+  protocol and share ONE :class:`ComponentContext` (execution space,
+  kernel registry, precision policy, obs handle).
 
 Task-domain placement (§5.1.2: domain 1 = coupler+atm+ice+lnd, domain 2 =
-ocn) is a *performance* concept: this serial driver executes sequentially
-and the machine model prices the concurrent layout; :meth:`task_domains`
-exposes the mapping the benchmarks feed to
-:class:`repro.machine.CoupledPerfModel`.
+ocn) is executed by a :class:`repro.esm.scheduler.TaskDomainScheduler`:
+serially by default, concurrently (thread pool) with
+``concurrent_domains=True``.  Ocean coupling is **lagged by one coupling
+period** — the export from the ocean run launched at alarm coupling *k*
+is published at alarm coupling *k + ratio*, so domain 1 never reads
+in-flight ocean state and the two schedules are bitwise identical.
+:meth:`task_domains` exposes the layout the benchmarks feed to
+:class:`repro.machine.CoupledPerfModel.from_layout`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..atm import GristConfig, GristModel
 from ..coupler import Clock, FieldRegistry
-from ..grids.remap import RemapMatrix, nearest_remap
+from ..grids.remap import nearest_remap
 from ..ice import CiceModel
 from ..lnd import LandModel
 from ..obs import NULL_OBS, Obs
 from ..ocn import LicomConfig, LicomModel
+from ..pp import ExecutionSpace
 from ..utils.timers import TimerRegistry
 from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
+from .component import ComponentContext, precision_policy
+from .scheduler import PAPER_DOMAINS, TaskDomainScheduler, TaskHandle
 
 __all__ = ["AP3ESMConfig", "AP3ESM"]
 
 KELVIN = 273.15
 OCEAN_ALBEDO = 0.07
 OCEAN_EMISSIVITY = 0.96
+
+#: Fields of the published ocean export, in restart order.
+_O2X_FIELDS = ("sst", "sss", "ssh", "u_surf", "v_surf", "freezing")
 
 
 @dataclass
@@ -56,12 +70,15 @@ class AP3ESMConfig:
     ocn_levels: int = 10
     atm_steps_per_coupling: int = 1
     ocn_couple_ratio: int = 5      # paper: atm 180/day vs ocn 36/day
+    precision: str = "fp64"        # 'fp64' or 'mixed' (§5.2.3)
+    concurrent_domains: bool = False  # run domain 2 on its own thread
     physics: Optional[object] = None  # a PhysicsSuite; None = conventional
 
     @staticmethod
     def from_namelist(path) -> "AP3ESMConfig":
         """Build a configuration from a CESM-style namelist file with an
-        ``&ap3esm_nml`` group (unknown variables are rejected)."""
+        ``&ap3esm_nml`` group (unknown variables are warned about and
+        ignored, so newer namelists keep working on older drivers)."""
         from ..utils.namelist import read_namelist
 
         groups = read_namelist(path)
@@ -73,8 +90,11 @@ class AP3ESMConfig:
         valid = {f.name for f in dataclasses.fields(AP3ESMConfig)} - {"physics"}
         unknown = set(nml) - valid
         if unknown:
-            raise ValueError(f"unknown ap3esm_nml variables: {sorted(unknown)}")
-        return AP3ESMConfig(**{k: v for k, v in nml.items()})
+            warnings.warn(
+                f"ignoring unknown ap3esm_nml variables: {sorted(unknown)}",
+                stacklevel=2,
+            )
+        return AP3ESMConfig(**{k: v for k, v in nml.items() if k in valid})
 
 
 class AP3ESM:
@@ -84,10 +104,12 @@ class AP3ESM:
         self,
         config: AP3ESMConfig | None = None,
         obs: Obs | None = None,
+        space: ExecutionSpace | None = None,
     ) -> None:
         self.config = config if config is not None else AP3ESMConfig()
         self.timers = TimerRegistry()
         self.obs = obs if obs is not None else NULL_OBS
+        self._space = space
         self._initialized = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -128,6 +150,26 @@ class AP3ESM:
         )
         self.lnd.init()
 
+        # ONE shared context for all four components: execution space,
+        # kernel registry (the §5.3 hash table), precision policy, obs.
+        ctx_kwargs = {"precision": precision_policy(cfg.precision), "obs": self.obs}
+        if self._space is not None:
+            ctx_kwargs["space"] = self._space
+        self.ctx = ComponentContext(**ctx_kwargs)
+        self.components = (self.atm, self.ocn, self.ice, self.lnd)
+        for comp in self.components:
+            comp.set_context(self.ctx)
+
+        # Task-domain scheduler (§5.1.2).  The ocean gets its own timer
+        # registry in concurrent mode: the shared one is stack-based and
+        # not thread-safe.
+        self.scheduler = TaskDomainScheduler(
+            PAPER_DOMAINS, obs=self.obs, concurrent=cfg.concurrent_domains
+        )
+        if cfg.concurrent_domains:
+            self.ocn.timers = TimerRegistry()
+        self.ocn_timers = self.ocn.timers
+
         # Coupler clock: one tick per atmosphere coupling interval, with
         # the ocean alarm at the paper's 5:1 frequency ratio.
         self.dt_couple = cfg.atm_steps_per_coupling * self.atm.dt_model
@@ -143,6 +185,11 @@ class AP3ESM:
         self.ocn.dt_barotropic = self.ocn.dt_baroclinic / 10.0
         self.ocn.dt_tracer = self.ocn.dt_baroclinic
         self.ocn_steps_per_coupling = n
+
+        # Lagged ocean coupling state: the published export domain 1
+        # reads, plus the join handle of the not-yet-published run.
+        self._o2x = self.ocn.export_state()
+        self._pending: Optional[TaskHandle] = None
 
         # Pruned coupling-field registry (§5.2.4).
         self.fields = FieldRegistry.cesm_default()
@@ -162,6 +209,8 @@ class AP3ESM:
 
     def finalize(self) -> Dict[str, Dict[str, float]]:
         self._check()
+        self._wait_ocean()
+        self.scheduler.shutdown()
         with self.obs.span("esm.finalize"):
             return {
                 "atm": self.atm.finalize(),
@@ -173,87 +222,136 @@ class AP3ESM:
     # -- coupling loop ---------------------------------------------------------------
 
     def step_coupling(self) -> None:
-        """One atmosphere coupling interval (+ ocean when its alarm rings)."""
+        """One atmosphere coupling interval (+ ocean when its alarm rings).
+
+        Domain 1 (cpl+atm+ice+lnd) executes inline; domain 2 (ocn) is
+        launched at the alarm and its export published at the *next*
+        alarm — one coupling period of lag either way, so the serial and
+        concurrent schedules produce identical bits.
+        """
         self._check()
         cfg = self.config
         obs = self.obs
         with self.timers.timed("cpl_run"), obs.span(
             "cpl.step", coupling=self.n_couplings
         ):
-            with obs.span("atm.run", steps=cfg.atm_steps_per_coupling):
-                self.atm.run(cfg.atm_steps_per_coupling)
-                a2x = self.atm.export_state()
+            # Publish the lagged ocean export at the coupling whose
+            # advance will ring the alarm, *before* domain 1 reads it.
+            if self._pending is not None and self.clock.will_ring("cpl_ocn"):
+                self._publish_ocean()
 
-            # --- direct atmosphere -> land -> atmosphere exchange --------
-            with obs.span("lnd.force"):
-                lnd_out = self.lnd.force(
-                    gsw=a2x["gsw"], glw=a2x["glw"], precip=a2x["precip"],
-                    t_air=a2x["t_bot"], dt=self.dt_couple,
-                )
+            to_ocn, i2x = self.scheduler.execute("domain1", self._domain1_unit)
 
-            # --- atmosphere -> ice (on the ocean grid) --------------------
-            with obs.span("cpl.a2o_remap"):
-                shape_o = self.ocn.metrics.shape
-                to_ocn = {
-                    name: self.a2o.apply(a2x[name]).reshape(shape_o)
-                    for name in ("gsw", "glw", "t_bot", "taux", "tauy", "shflx", "lhflx", "precip")
-                }
-            with obs.span("ice.step"):
-                o2x = self.ocn.export_state()
-                self.ice.import_state({
-                    "gsw": to_ocn["gsw"],
-                    "glw": to_ocn["glw"],
-                    "t_air": to_ocn["t_bot"] - KELVIN,
-                    "sst": o2x["sst"],
-                    "freezing": o2x["freezing"],
-                    "u_drift": o2x["u_surf"],
-                    "v_drift": o2x["v_surf"],
-                })
-                self.ice.step(self.dt_couple)
-                i2x = self.ice.export_state()
-
-            # --- atmosphere(+ice) -> ocean at the slower frequency --------
             self.clock.advance()
             if self.clock.ringing("cpl_ocn"):
-                with obs.span("ocn.run", substeps=self.ocn_steps_per_coupling):
-                    sst_k = o2x["sst"] + KELVIN
-                    open_water = 1.0 - i2x["ice_fraction"]
-                    net_heat = (
-                        (1.0 - OCEAN_ALBEDO) * to_ocn["gsw"]
-                        + to_ocn["glw"]
-                        - OCEAN_EMISSIVITY * STEFAN_BOLTZMANN * sst_k**4
-                        - to_ocn["shflx"]
-                        - to_ocn["lhflx"]
-                    ) * open_water
-                    evap = to_ocn["lhflx"] / LATENT_HEAT_VAPORIZATION
-                    self.ocn.import_state({
-                        "taux": to_ocn["taux"] * open_water,
-                        "tauy": to_ocn["tauy"] * open_water,
-                        "heat_flux": net_heat,
-                        "fresh_flux": (to_ocn["precip"] - evap) * open_water,
-                    })
-                    self.ocn.run(self.ocn_steps_per_coupling)
-                    o2x = self.ocn.export_state()
+                forcing = self._ocean_forcing(to_ocn, i2x)
+                self._pending = self.scheduler.launch(
+                    "domain2", lambda dom_obs: self._ocean_unit(dom_obs, forcing)
+                )
                 obs.counter("ocn.couplings").inc()
                 obs.counter("ocn.steps").inc(self.ocn_steps_per_coupling)
-
-            # --- ocean + ice + land -> atmosphere -------------------------
-            with obs.span("cpl.o2a_merge"):
-                sst_atm = self.o2a.apply((o2x["sst"] + KELVIN).reshape(-1))
-                ice_frac_atm = np.clip(
-                    self.o2a.apply(i2x["ice_fraction"].reshape(-1)), 0.0, 1.0
-                )
-                ice_t_atm = self.o2a.apply((i2x["ice_tsurf"] + KELVIN).reshape(-1))
-                skin = (1.0 - ice_frac_atm) * sst_atm + ice_frac_atm * ice_t_atm
-                skin = np.where(self.land_mask_atm, lnd_out["tskin_land"], skin)
-                self.atm.import_state({"sst": skin, "ice_fraction": ice_frac_atm})
         obs.counter("cpl.steps").inc()
         obs.counter("atm.steps").inc(cfg.atm_steps_per_coupling)
         self.n_couplings += 1
 
+    def _domain1_unit(self, obs):
+        """cpl + atm + ice + lnd for one coupling interval (reads only
+        the *published* ocean export, never in-flight ocean state)."""
+        cfg = self.config
+        with obs.span("atm.run", steps=cfg.atm_steps_per_coupling):
+            self.atm.run(cfg.atm_steps_per_coupling)
+            self.ctx.apply_precision(self.atm)
+            a2x = self.atm.post_coupling()
+
+        # --- direct atmosphere -> land -> atmosphere exchange --------
+        with obs.span("lnd.step"):
+            self.lnd.pre_coupling({
+                "gsw": a2x["gsw"], "glw": a2x["glw"],
+                "precip": a2x["precip"], "t_air": a2x["t_bot"],
+            })
+            self.lnd.step(self.dt_couple)
+            self.ctx.apply_precision(self.lnd)
+            lnd_out = self.lnd.post_coupling()
+
+        # --- atmosphere -> ice (on the ocean grid) --------------------
+        with obs.span("cpl.a2o_remap"):
+            shape_o = self.ocn.metrics.shape
+            to_ocn = {
+                name: self.a2o.apply(a2x[name]).reshape(shape_o)
+                for name in ("gsw", "glw", "t_bot", "taux", "tauy", "shflx", "lhflx", "precip")
+            }
+        with obs.span("ice.step"):
+            o2x = self._o2x
+            self.ice.pre_coupling({
+                "gsw": to_ocn["gsw"],
+                "glw": to_ocn["glw"],
+                "t_air": to_ocn["t_bot"] - KELVIN,
+                "sst": o2x["sst"],
+                "freezing": o2x["freezing"],
+                "u_drift": o2x["u_surf"],
+                "v_drift": o2x["v_surf"],
+            })
+            self.ice.step(self.dt_couple)
+            self.ctx.apply_precision(self.ice)
+            i2x = self.ice.post_coupling()
+
+        # --- ocean + ice + land -> atmosphere -------------------------
+        with obs.span("cpl.o2a_merge"):
+            sst_atm = self.o2a.apply((o2x["sst"] + KELVIN).reshape(-1))
+            ice_frac_atm = np.clip(
+                self.o2a.apply(i2x["ice_fraction"].reshape(-1)), 0.0, 1.0
+            )
+            ice_t_atm = self.o2a.apply((i2x["ice_tsurf"] + KELVIN).reshape(-1))
+            skin = (1.0 - ice_frac_atm) * sst_atm + ice_frac_atm * ice_t_atm
+            skin = np.where(self.land_mask_atm, lnd_out["tskin_land"], skin)
+            self.atm.pre_coupling({"sst": skin, "ice_fraction": ice_frac_atm})
+        return to_ocn, i2x
+
+    def _ocean_forcing(self, to_ocn, i2x) -> Dict[str, np.ndarray]:
+        """Merge atmosphere + ice fields into the x2o forcing bundle."""
+        sst_k = self._o2x["sst"] + KELVIN
+        open_water = 1.0 - i2x["ice_fraction"]
+        net_heat = (
+            (1.0 - OCEAN_ALBEDO) * to_ocn["gsw"]
+            + to_ocn["glw"]
+            - OCEAN_EMISSIVITY * STEFAN_BOLTZMANN * sst_k**4
+            - to_ocn["shflx"]
+            - to_ocn["lhflx"]
+        ) * open_water
+        evap = to_ocn["lhflx"] / LATENT_HEAT_VAPORIZATION
+        return {
+            "taux": to_ocn["taux"] * open_water,
+            "tauy": to_ocn["tauy"] * open_water,
+            "heat_flux": net_heat,
+            "fresh_flux": (to_ocn["precip"] - evap) * open_water,
+        }
+
+    def _ocean_unit(self, obs, forcing) -> Dict[str, np.ndarray]:
+        """Domain 2: one ocean coupling period; returns the new export
+        (published by the driver at the next alarm, not here)."""
+        with obs.span("ocn.run", substeps=self.ocn_steps_per_coupling):
+            self.ocn.pre_coupling(forcing)
+            self.ocn.step(self.ocn_steps_per_coupling * self.ocn.dt_baroclinic)
+            self.ctx.apply_precision(self.ocn)
+            return self.ocn.post_coupling()
+
+    def _publish_ocean(self) -> None:
+        """Join the pending ocean run and make its export visible."""
+        if self._pending is not None:
+            self._o2x = self._pending.result()
+            self._pending = None
+
+    def _wait_ocean(self) -> None:
+        """Block until any in-flight ocean run finished (the export stays
+        unpublished — publishing early would change the schedule)."""
+        if self._pending is not None:
+            self._pending.wait()
+
     def run_couplings(self, n: int) -> None:
         for _ in range(n):
             self.step_coupling()
+        # Leave no thread mutating ocean state once control returns.
+        self._wait_ocean()
 
     def run_days(self, days: float) -> None:
         per_day = 86400.0 / self.dt_couple
@@ -262,8 +360,10 @@ class AP3ESM:
     # -- restart I/O (§5.2.5, whole coupled system) ---------------------------------------
 
     def save_restart(self, directory) -> None:
-        """Write all four components' restart sets plus the coupler clock."""
+        """Write all four components' restart sets plus the coupler clock
+        and the lagged-coupling state (published export + pending flag)."""
         self._check()
+        self._wait_ocean()
         from pathlib import Path
 
         from ..io.restart import save_restart
@@ -275,11 +375,15 @@ class AP3ESM:
         self.lnd.save_restart(base / "lnd")
         save_restart(
             base / "cpl",
-            fields={},
+            fields={
+                f"o2x_{name}": np.asarray(self._o2x[name], dtype=float)
+                for name in _O2X_FIELDS
+            },
             scalars={
                 "time": self.clock.time,
                 "n_couplings": float(self.n_couplings),
                 "step_count": float(self.clock.step_count),
+                "pending_publish": 1.0 if self._pending is not None else 0.0,
             },
         )
 
@@ -295,10 +399,21 @@ class AP3ESM:
         self.ocn.load_restart(base / "ocn")
         self.ice.load_restart(base / "ice")
         self.lnd.load_restart(base / "lnd")
-        _, scalars = load_restart(base / "cpl")
+        fields, scalars = load_restart(base / "cpl")
         self.clock.time = scalars["time"]
         self.clock.step_count = int(scalars["step_count"])
         self.n_couplings = int(scalars["n_couplings"])
+        self._o2x = {
+            name: fields[f"o2x_{name}"].astype(bool)
+            if name == "freezing" else fields[f"o2x_{name}"]
+            for name in _O2X_FIELDS
+        }
+        # An unpublished export equals the (restored) current ocean state:
+        # the run it came from had completed before the save.
+        if scalars.get("pending_publish", 0.0) > 0.5:
+            self._pending = TaskHandle(value=self.ocn.export_state())
+        else:
+            self._pending = None
         # Re-arm the ocean alarm consistently with the restored clock.
         alarm = self.clock._alarms["cpl_ocn"]
         periods_done = int(self.clock.time / alarm.interval + 1e-9)
@@ -308,19 +423,17 @@ class AP3ESM:
 
     def task_domains(self) -> Dict[str, Dict[str, object]]:
         """The two concurrent task domains the paper allocates resources
-        to (consumed by the machine model's CoupledPerfModel)."""
-        return {
-            "domain1": {
-                "members": ["cpl", "atm", "ice", "lnd"],
-                "rationale": "atmosphere dominates cost; coupler co-located "
-                             "to minimize exchange; land is tied to the "
-                             "atmosphere; ice is cheap",
-            },
-            "domain2": {
-                "members": ["ocn"],
-                "rationale": "second-largest cost, runs concurrently",
-            },
-        }
+        to (consumed by ``CoupledPerfModel.from_layout``)."""
+        return self.scheduler.layout()
+
+    # -- model-wide precision ledger (§5.2.3) --------------------------------------------
+
+    def memory_report(self) -> Dict[str, float]:
+        """Resident prognostic-state bytes under the precision policy,
+        across all four components."""
+        self._check()
+        self._wait_ocean()
+        return self.ctx.memory_report(self.components)
 
     def _check(self) -> None:
         if not self._initialized:

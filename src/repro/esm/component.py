@@ -1,0 +1,203 @@
+"""The Component protocol and the shared ComponentContext.
+
+§4's portability story is that *every* component runs through one
+Kokkos-style kernel layer; §5.3's precision story is one model-wide
+group-scaled FP64/FP32 policy.  Both require a uniform component
+contract — the prerequisite the 40M-core coupled-modeling work and the
+1 km full-Earth study both identify for scaling a coupled system.  This
+module defines that contract:
+
+* :class:`Component` — the protocol all four models (`GristModel`,
+  `LicomModel`, `CiceModel`, `LandModel`) implement: lifecycle
+  (``init`` / ``finalize``), coupling (``pre_coupling`` / ``step`` /
+  ``post_coupling``), prognostic state access (``state`` /
+  ``set_state``), restart I/O, and context binding;
+* :class:`ComponentContext` — ONE shared execution space, ONE shared
+  kernel registry (the §5.3 hash table), ONE precision policy, and ONE
+  observability handle, bound into every component by the coupled
+  driver so backend selection and mixed precision are model-wide
+  decisions rather than per-component accidents;
+* :func:`default_mixed_policy` — the §5.2.3 assignment: group-scaled
+  FP32 for large-offset prognostics (ocean tracers, atmosphere
+  thermodynamics), plain FP32 for velocities/fluxes/surface slabs, FP64
+  for accumulators.
+
+State keys are namespaced ``<component>.<variable>`` when the policy is
+applied, so one policy spans the whole coupled system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..pp import (
+    ExecutionSpace,
+    KernelMetrics,
+    KernelRegistry,
+    KernelStats,
+    Serial,
+)
+from ..precision import Precision, PrecisionPolicy
+
+__all__ = [
+    "Component",
+    "ComponentContext",
+    "default_mixed_policy",
+    "precision_policy",
+]
+
+
+@runtime_checkable
+class Component(Protocol):
+    """The uniform contract every AP3ESM component implements.
+
+    The coupled driver only ever talks to this surface: bind the shared
+    context, feed imports, step, collect exports, and round-trip the
+    prognostic state (restart I/O and the precision policy both go
+    through ``state``/``set_state``).
+    """
+
+    name: str
+
+    def init(self) -> None: ...
+
+    def finalize(self) -> Dict[str, float]: ...
+
+    def set_context(self, ctx: "ComponentContext") -> None: ...
+
+    def pre_coupling(self, imports: Dict[str, np.ndarray]) -> None: ...
+
+    def step(self, dt: Optional[float] = None) -> None: ...
+
+    def post_coupling(self) -> Dict[str, np.ndarray]: ...
+
+    def state(self) -> Dict[str, np.ndarray]: ...
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None: ...
+
+    def save_restart(self, directory) -> None: ...
+
+    def load_restart(self, directory) -> None: ...
+
+
+@dataclass
+class ComponentContext:
+    """One shared execution substrate for all components.
+
+    Parameters
+    ----------
+    space:
+        The execution space every component's kernels dispatch on
+        (:func:`repro.pp.select_backend` picks it per machine).
+    kernels:
+        The shared hash-based registry; each component registers its
+        kernels here at ``set_context`` so the coupled system has one
+        host-side kernel table (the §5.3 registration pass).
+    precision:
+        The model-wide §5.2.3 precision policy over namespaced
+        ``<component>.<variable>`` keys; empty assignments = pure FP64.
+    obs:
+        Observability handle (``repro.obs.Obs`` or the null handle).
+    metrics:
+        Per-kernel launch/iteration accumulators feeding the obs
+        metrics registry (``pp.<kernel>.launches`` etc.).
+    """
+
+    space: ExecutionSpace = field(default_factory=Serial)
+    kernels: KernelRegistry = field(default_factory=KernelRegistry)
+    precision: PrecisionPolicy = field(default_factory=PrecisionPolicy)
+    obs: Any = None
+    metrics: KernelMetrics = field(default_factory=KernelMetrics)
+
+    def __post_init__(self) -> None:
+        if self.obs is None:
+            from ..obs import NULL_OBS
+
+            self.obs = NULL_OBS
+        if self.metrics.obs is None:
+            self.metrics.obs = self.obs
+
+    def kernel_stats(self, kernel: str) -> KernelStats:
+        return self.metrics.stats(kernel)
+
+    # -- the mixed-precision state path (§5.2.3) ---------------------------
+
+    def namespaced_state(self, component: Component) -> Dict[str, np.ndarray]:
+        """The component's prognostic state under global keys."""
+        return {
+            f"{component.name}.{k}": v for k, v in component.state().items()
+        }
+
+    def apply_precision(self, component: Component) -> None:
+        """Round-trip the component's prognostic state through its
+        storage precision (quantize + dequantize via GroupScale).
+
+        A no-op when no assignment touches this component — pure-FP64
+        components pay nothing.
+        """
+        prefix = f"{component.name}."
+        if not any(k.startswith(prefix) for k in self.precision.assignments):
+            return
+        rounded = self.precision.apply(self.namespaced_state(component))
+        component.set_state({k[len(prefix):]: v for k, v in rounded.items()})
+
+    def memory_report(self, components) -> Dict[str, float]:
+        """Model-wide resident-state memory ledger under the policy."""
+        state: Dict[str, np.ndarray] = {}
+        for comp in components:
+            state.update(self.namespaced_state(comp))
+        report = self.precision.memory_report(state)
+        n_groupscaled = sum(
+            1 for k in state
+            if self.precision.precision_of(k) is Precision.FP32_GROUPSCALED
+        )
+        n_fp32 = sum(
+            1 for k in state
+            if self.precision.precision_of(k) is Precision.FP32
+        )
+        report["n_variables"] = float(len(state))
+        report["n_fp32"] = float(n_fp32)
+        report["n_fp32_groupscaled"] = float(n_groupscaled)
+        return report
+
+
+def default_mixed_policy(group_size: int = 64) -> PrecisionPolicy:
+    """The §5.2.3 model-wide assignment.
+
+    Group-scaled FP32 for large-offset prognostics whose dynamic range
+    within a group is small (ocean tracers, atmosphere thermodynamic
+    columns, fluid thickness); plain FP32 for velocities, surface slabs
+    and ice state; FP64 (unlisted) for accumulators like the land
+    runoff total.
+    """
+    gs = Precision.FP32_GROUPSCALED
+    f32 = Precision.FP32
+    return PrecisionPolicy(
+        assignments={
+            # ocean: tracers carry large offsets -> group scaling.
+            "ocn.t": gs, "ocn.s": gs,
+            "ocn.u": f32, "ocn.v": f32,
+            "ocn.eta": f32, "ocn.bt_u": f32, "ocn.bt_v": f32,
+            # atmosphere: thermodynamic columns group-scale; winds cast.
+            "atm.t_col": gs, "atm.q_col": gs, "atm.h": gs,
+            "atm.u": f32, "atm.tracer": f32, "atm.tskin": f32,
+            # sea ice: thin slab state tolerates a plain cast.
+            "ice.thickness": f32, "ice.concentration": f32, "ice.tsurf": f32,
+            # land: bucket state casts; runoff_total is an accumulator
+            # and stays FP64 by omission.
+            "lnd.tskin": f32, "lnd.bucket": f32, "lnd.snow": f32,
+        },
+        group_size=group_size,
+    )
+
+
+def precision_policy(name: str, group_size: int = 64) -> PrecisionPolicy:
+    """Named policies the config/CLI select: ``fp64`` or ``mixed``."""
+    if name == "fp64":
+        return PrecisionPolicy()
+    if name == "mixed":
+        return default_mixed_policy(group_size)
+    raise ValueError(f"unknown precision policy {name!r} (use 'fp64' or 'mixed')")

@@ -1,0 +1,221 @@
+"""Task-domain scheduling for the coupled driver (§5.1.2).
+
+The paper places the coupled system on two *task domains* — domain 1
+hosts the coupler, atmosphere, sea ice, and land; domain 2 hosts the
+ocean — and runs them concurrently, with "computational resource
+allocation ... adjusted based on the computational profile of each
+component".  This module makes that layout an explicit, schedulable
+object instead of a comment in the driver:
+
+* :class:`TaskDomain` — a named group of components plus the placement
+  rationale;
+* :class:`TaskDomainScheduler` — executes domain units inline
+  (``execute``) or as launched tasks (``launch``), backed by a
+  thread-pool when concurrency is requested and by immediate execution
+  otherwise.  Every unit runs under a per-domain ``cpl.domain.<name>``
+  span; concurrently-launched domains trace on their own forked obs
+  rank because the tracer stack is not thread-safe.
+
+The driver pairs ``launch`` with *lagged* coupling (the launched
+domain's export is published at a fixed later coupling, not when the
+thread happens to finish), which is what makes the concurrent schedule
+bitwise-identical to the serial one.
+
+:data:`PAPER_DOMAINS` / :func:`paper_layout` give the canonical §5.1.2
+placement; the machine model's ``CoupledPerfModel.from_layout`` consumes
+the same dict shape to price it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TaskDomain",
+    "TaskHandle",
+    "TaskDomainScheduler",
+    "PAPER_DOMAINS",
+    "paper_layout",
+]
+
+
+@dataclass(frozen=True)
+class TaskDomain:
+    """A named group of components scheduled as one unit."""
+
+    name: str
+    members: Tuple[str, ...]
+    rationale: str = ""
+
+
+#: The paper's §5.1.2 placement: coupler+atm+ice+lnd vs ocean.
+PAPER_DOMAINS: Tuple[TaskDomain, ...] = (
+    TaskDomain(
+        name="domain1",
+        members=("cpl", "atm", "ice", "lnd"),
+        rationale="atmosphere dominates cost; coupler co-located "
+                  "to minimize exchange; land is tied to the "
+                  "atmosphere; ice is cheap",
+    ),
+    TaskDomain(
+        name="domain2",
+        members=("ocn",),
+        rationale="second-largest cost, runs concurrently",
+    ),
+)
+
+
+def paper_layout() -> Dict[str, Dict[str, object]]:
+    """The canonical two-domain layout as a plain dict (the shape
+    ``AP3ESM.task_domains`` exposes and ``CoupledPerfModel.from_layout``
+    consumes)."""
+    return _layout(PAPER_DOMAINS)
+
+
+def _layout(domains: Sequence[TaskDomain]) -> Dict[str, Dict[str, object]]:
+    return {
+        d.name: {"members": list(d.members), "rationale": d.rationale}
+        for d in domains
+    }
+
+
+class TaskHandle:
+    """Join handle for a launched domain unit.
+
+    In serial mode the unit already ran — the handle just carries the
+    value.  In concurrent mode it wraps the executor future; ``result``
+    blocks (and re-raises the unit's exception, if any).
+    """
+
+    def __init__(self, value: Any = None, future: Any = None) -> None:
+        self._value = value
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future is None or self._future.done()
+
+    def wait(self) -> None:
+        """Block until the unit finished — pure synchronization.  A unit
+        failure is NOT raised here; it surfaces at :meth:`result` (the
+        point where the value would have been consumed)."""
+        if self._future is not None:
+            self._future.exception()
+
+    def result(self) -> Any:
+        if self._future is not None:
+            return self._future.result()
+        return self._value
+
+
+class TaskDomainScheduler:
+    """Executes task domains serially or concurrently.
+
+    Parameters
+    ----------
+    domains:
+        The task-domain layout (defaults to the paper's two domains).
+    obs:
+        Observability handle; every domain unit runs under a
+        ``cpl.domain.<name>`` span.
+    concurrent:
+        When True, :meth:`launch` dispatches units to a thread pool and
+        each launched domain traces on ``obs.fork(rank)``; when False,
+        :meth:`launch` runs the unit immediately on the caller's thread
+        (same schedule, zero threading).
+    """
+
+    def __init__(
+        self,
+        domains: Sequence[TaskDomain] = PAPER_DOMAINS,
+        obs: Any = None,
+        concurrent: bool = False,
+    ) -> None:
+        if obs is None:
+            from ..obs import NULL_OBS
+
+            obs = NULL_OBS
+        self.domains: Tuple[TaskDomain, ...] = tuple(domains)
+        if not self.domains:
+            raise ValueError("need at least one task domain")
+        self._by_name = {d.name: d for d in self.domains}
+        if len(self._by_name) != len(self.domains):
+            raise ValueError("task-domain names must be unique")
+        self.obs = obs
+        self.concurrent = bool(concurrent)
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=max(1, len(self.domains) - 1),
+                thread_name_prefix="task-domain",
+            )
+            if self.concurrent
+            else None
+        )
+        self._domain_obs: Dict[str, Any] = {}
+        self._outstanding: List[TaskHandle] = []
+
+    # -- layout ------------------------------------------------------------
+
+    def domain(self, name: str) -> TaskDomain:
+        return self._by_name[name]
+
+    def layout(self) -> Dict[str, Dict[str, object]]:
+        """The layout dict the machine model prices (§5.1.2)."""
+        return _layout(self.domains)
+
+    # -- execution ---------------------------------------------------------
+
+    def _obs_for(self, name: str) -> Any:
+        """Launched domains get their own forked rank when concurrent:
+        the tracer/timer stacks are per-thread state."""
+        if not self.concurrent:
+            return self.obs
+        handle = self._domain_obs.get(name)
+        if handle is None:
+            rank = 1 + [d.name for d in self.domains].index(name)
+            handle = self.obs.fork(rank)
+            self._domain_obs[name] = handle
+        return handle
+
+    def execute(self, name: str, unit: Callable[[Any], Any]) -> Any:
+        """Run ``unit(obs)`` inline under the domain's span."""
+        domain = self._by_name[name]
+        with self.obs.span(f"cpl.domain.{domain.name}"):
+            return unit(self.obs)
+
+    def launch(self, name: str, unit: Callable[[Any], Any]) -> TaskHandle:
+        """Schedule ``unit(obs)``; returns a join handle.
+
+        Serial mode runs the unit right now on this thread (the caller
+        decides when to *consume* the result — that deferral, not the
+        execution timing, is what coupling lag means).  Concurrent mode
+        submits it to the pool under the domain's forked obs.
+        """
+        domain = self._by_name[name]
+        if self._executor is None:
+            with self.obs.span(f"cpl.domain.{domain.name}"):
+                return TaskHandle(value=unit(self.obs))
+        domain_obs = self._obs_for(name)
+
+        def run() -> Any:
+            with domain_obs.span(f"cpl.domain.{domain.name}"):
+                return unit(domain_obs)
+
+        handle = TaskHandle(future=self._executor.submit(run))
+        self._outstanding = [h for h in self._outstanding if not h.done()]
+        self._outstanding.append(handle)
+        return handle
+
+    def drain(self) -> None:
+        """Block until every launched unit has finished."""
+        for handle in self._outstanding:
+            handle.wait()
+        self._outstanding = []
+
+    def shutdown(self) -> None:
+        """Drain and release the thread pool (idempotent)."""
+        self.drain()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

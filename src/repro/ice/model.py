@@ -20,8 +20,9 @@ import numpy as np
 
 from ..grids.tripolar import TripolarGrid
 from ..ocn.metrics import CGridMetrics
+from ..pp import ExecutionSpace, KernelStats, Serial
 from ..utils.timers import TimerRegistry
-from ..utils.units import LATENT_HEAT_FUSION, RHO_ICE, STEFAN_BOLTZMANN
+from .kernels import run_thermodynamics
 
 __all__ = ["CiceConfig", "CiceModel"]
 
@@ -54,7 +55,12 @@ class CiceModel:
         self.grid = grid
         self.config = config if config is not None else CiceConfig()
         self.timers = timers if timers is not None else TimerRegistry()
+        self._space: ExecutionSpace = Serial()
+        self._kmetrics = None  # Optional[repro.pp.KernelMetrics]
         self._initialized = False
+
+    def _kernel_stats(self, kernel: str) -> Optional[KernelStats]:
+        return self._kmetrics.stats(kernel) if self._kmetrics is not None else None
 
     def init(self) -> None:
         self.metrics = CGridMetrics.build(self.grid)
@@ -85,6 +91,40 @@ class CiceModel:
             "ice_volume": self.total_volume(),
             "ice_area": self.total_area(),
         }
+
+    # -- Component protocol (shared context + uniform coupling surface) --------
+
+    def set_context(self, ctx) -> None:
+        """Bind the shared ComponentContext: thermodynamics dispatches on
+        the context's space and joins the shared hash registry."""
+        self._ctx = ctx
+        self._space = ctx.space
+        self._kmetrics = ctx.metrics
+        from .kernels import thermo_kernel
+
+        ctx.kernels.register(thermo_kernel)
+
+    def pre_coupling(self, imports: Dict[str, np.ndarray]) -> None:
+        self.import_state(imports)
+
+    def post_coupling(self) -> Dict[str, np.ndarray]:
+        return self.export_state()
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """The prognostic state (what restarts save and the precision
+        policy round-trips)."""
+        self._check()
+        return {
+            "thickness": self.thickness,
+            "concentration": self.concentration,
+            "tsurf": self.tsurf,
+        }
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        self._check()
+        for key in ("thickness", "concentration", "tsurf"):
+            if key in state:
+                setattr(self, key, state[key])
 
     # -- boundary exchange -----------------------------------------------------
 
@@ -117,8 +157,10 @@ class CiceModel:
 
     # -- stepping -----------------------------------------------------------------
 
-    def step(self, dt: float) -> None:
+    def step(self, dt: Optional[float] = None) -> None:
         self._check()
+        if dt is None:
+            raise ValueError("the ice component needs an explicit coupling dt")
         with self.timers.timed("ice_run"):
             with self.timers.timed("ice_thermo"):
                 self._thermodynamics(dt)
@@ -129,47 +171,18 @@ class CiceModel:
 
     def _thermodynamics(self, dt: float) -> None:
         """Slab energy balance: grow where the ocean is at freezing and
-        losing heat, melt where the surface balance is positive."""
+        losing heat, melt where the surface balance is positive.
+
+        Dispatched as a tiled MDRange through :mod:`repro.ice.kernels` on
+        the bound execution space (the shared coupled-run space)."""
         cfg = self.config
-        ocean = self.grid.mask
-        t_k = self.tsurf + 273.15
-
-        # Surface balance over ice (W/m^2, positive = melt).
-        absorbed = (1.0 - ICE_ALBEDO) * self.gsw + self.glw
-        emitted = 0.98 * STEFAN_BOLTZMANN * t_k**4
-        sensible = 15.0 * (self.t_air - self.tsurf)
-        balance = absorbed - emitted + sensible
-
-        # Conductive flux through the slab keeps the bottom at freezing.
-        h_eff = np.maximum(self.thickness, cfg.h_min)
-        conductive = cfg.conductivity * (T_FREEZE - self.tsurf) / h_eff
-
-        has_ice = (self.concentration > MIN_CONCENTRATION) & ocean
-        # Melt at the top where the balance is positive.
-        melt_rate = np.where(
-            has_ice & (balance > 0), balance / (RHO_ICE * LATENT_HEAT_FUSION), 0.0
-        )
-        # Growth at the bottom where the ocean is freezing.
-        grow_rate = np.where(
-            ocean & (self.freezing | (has_ice & (conductive > 0))),
-            np.abs(conductive) / (RHO_ICE * LATENT_HEAT_FUSION) + 1e-9,
-            0.0,
-        )
-        self.thickness = np.where(
-            ocean, np.maximum(self.thickness + dt * (grow_rate - melt_rate), 0.0), 0.0
-        )
-        # Concentration follows thickness (lead closing/opening).
-        target = np.clip(self.thickness / 0.5, 0.0, 1.0)
-        self.concentration = np.where(ocean, target, 0.0)
-        # New ice starts at the minimum thickness.
-        new_ice = ocean & self.freezing & (self.thickness < cfg.h_min)
-        self.thickness = np.where(new_ice, cfg.h_min, self.thickness)
-
-        # Surface temperature relaxes toward the air over ice.
-        self.tsurf = np.where(
-            has_ice,
-            self.tsurf + dt / 86400.0 * (np.minimum(self.t_air, 0.0) - self.tsurf),
-            T_FREEZE,
+        freezing = np.asarray(self.freezing, dtype=bool)
+        self.thickness, self.concentration, self.tsurf = run_thermodynamics(
+            self._space,
+            self.thickness, self.concentration, self.tsurf,
+            self.gsw, self.glw, self.t_air, freezing, self.grid.mask,
+            dt, cfg.conductivity, cfg.h_min,
+            stats=self._kernel_stats("ice.thermo"),
         )
 
     def _dynamics(self, dt: float) -> None:

@@ -20,8 +20,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..pp import ExecutionSpace, KernelStats, Serial
 from ..utils.timers import TimerRegistry
-from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
+from .kernels import run_bucket
 
 __all__ = ["LandConfig", "LandModel"]
 
@@ -37,8 +38,9 @@ class LandConfig:
     beta_exponent: float = 1.0         # evaporation efficiency curve
     start_time: float = 0.0
 
-T_SNOW = 273.15  # precipitation falls as snow below this air temperature
-LATENT_HEAT_FUSION_W = 3.337e5 * 1000.0  # J/m^3 of water equivalent
+# Re-exported from the kernel module (single source of truth for the
+# portable bucket kernel and its host model).
+from .kernels import T_SNOW  # noqa: E402
 
 
 class LandModel:
@@ -63,7 +65,12 @@ class LandModel:
             raise ValueError("land_mask must have one entry per cell")
         self.config = config if config is not None else LandConfig()
         self.timers = timers if timers is not None else TimerRegistry()
+        self._space: ExecutionSpace = Serial()
+        self._kmetrics = None  # Optional[repro.pp.KernelMetrics]
         self._initialized = False
+
+    def _kernel_stats(self, kernel: str) -> Optional[KernelStats]:
+        return self._kmetrics.stats(kernel) if self._kmetrics is not None else None
 
     def init(self) -> None:
         cfg = self.config
@@ -73,7 +80,59 @@ class LandModel:
         self.runoff_total = np.zeros(self.n_cells)
         self.time = cfg.start_time
         self.n_steps = 0
+        self._forcing: Optional[Dict[str, np.ndarray]] = None
+        self._outputs: Dict[str, np.ndarray] = {}
         self._initialized = True
+
+    # -- Component protocol (shared context + uniform coupling surface) ----------
+
+    def set_context(self, ctx) -> None:
+        """Bind the shared ComponentContext: the bucket kernel dispatches
+        on the context's space and joins the shared hash registry."""
+        self._ctx = ctx
+        self._space = ctx.space
+        self._kmetrics = ctx.metrics
+        from .kernels import bucket_kernel
+
+        ctx.kernels.register(bucket_kernel)
+
+    def pre_coupling(self, imports: Dict[str, np.ndarray]) -> None:
+        """Stage the atmosphere forcing for the next :meth:`step`."""
+        self._check()
+        self._forcing = dict(imports)
+
+    def step(self, dt: Optional[float] = None) -> None:
+        """Run one bucket step on the staged forcing."""
+        self._check()
+        if dt is None:
+            raise ValueError("the land component needs an explicit coupling dt")
+        if self._forcing is None:
+            raise RuntimeError("pre_coupling must stage forcing before step")
+        self._outputs = self.force(
+            gsw=self._forcing["gsw"], glw=self._forcing["glw"],
+            precip=self._forcing["precip"], t_air=self._forcing["t_air"],
+            dt=dt,
+        )
+
+    def post_coupling(self) -> Dict[str, np.ndarray]:
+        """The surface state the atmosphere reads back."""
+        self._check()
+        return self._outputs
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """The prognostic state (what restarts save and the precision
+        policy round-trips)."""
+        self._check()
+        return {
+            "tskin": self.tskin, "bucket": self.bucket,
+            "snow": self.snow, "runoff_total": self.runoff_total,
+        }
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        self._check()
+        for key in ("tskin", "bucket", "snow", "runoff_total"):
+            if key in state:
+                setattr(self, key, state[key])
 
     def effective_albedo(self) -> np.ndarray:
         """Snow-masked surface albedo: blends toward the snow albedo as
@@ -111,46 +170,14 @@ class LandModel:
                 raise ValueError(f"{name} must have one entry per cell")
         cfg = self.config
         with self.timers.timed("lnd_run"):
-            beta = np.clip(self.bucket / cfg.bucket_capacity, 0.0, 1.0) ** cfg.beta_exponent
-            albedo = self.effective_albedo()
-            # Potential evaporation from the available energy (bounded >= 0).
-            net_rad = (1.0 - albedo) * gsw + cfg.emissivity * (
-                glw - STEFAN_BOLTZMANN * self.tskin**4
-            )
-            pot_evap = np.maximum(0.3 * net_rad, 0.0) / (LATENT_HEAT_VAPORIZATION * 1000.0)
-            evap = beta * pot_evap  # m/s of water
-
-            # Snow: precipitation falls frozen below T_SNOW; a snow pack
-            # melts with the positive energy balance (energy-limited),
-            # consuming latent heat of fusion and filling the bucket.
-            frozen = t_air < T_SNOW
-            water_in = np.maximum(precip, 0.0) / 1000.0  # m/s of water
-            snowfall = np.where(frozen, water_in, 0.0)
-            rain = np.where(frozen, 0.0, water_in)
-            melt_energy = np.maximum(net_rad, 0.0) * (self.tskin > T_SNOW - 0.5)
-            melt_rate = np.where(
-                self.snow > 0.0, melt_energy / LATENT_HEAT_FUSION_W, 0.0
-            )
-            melt = np.minimum(melt_rate * dt, self.snow + snowfall * dt) / max(dt, 1e-12)
-            self.snow = np.where(
-                self.land_mask,
-                np.maximum(self.snow + dt * (snowfall - melt), 0.0),
-                self.snow,
-            )
-
-            # Energy balance: radiative + sensible exchange with the air,
-            # minus latent cooling (evaporation + snowmelt).
-            sensible = 15.0 * (t_air - self.tskin)
-            latent = evap * 1000.0 * LATENT_HEAT_VAPORIZATION + melt * LATENT_HEAT_FUSION_W
-            dT = (net_rad + sensible - latent) / cfg.heat_capacity
-            self.tskin = np.where(self.land_mask, self.tskin + dt * dT, self.tskin)
-            self.tskin = np.clip(self.tskin, 180.0, 340.0)
-
-            # Bucket hydrology: rain + snowmelt in, evaporation out.
-            bucket_new = self.bucket + dt * (rain + melt - evap)
-            runoff = np.maximum(bucket_new - cfg.bucket_capacity, 0.0)
-            self.bucket = np.where(
-                self.land_mask, np.clip(bucket_new - runoff, 0.0, cfg.bucket_capacity), self.bucket
+            # The whole bucket update is pointwise over cells; dispatch it
+            # through the portable kernel on the bound execution space.
+            self.tskin, self.bucket, self.snow, runoff, evap, albedo = run_bucket(
+                self._space,
+                self.tskin, self.bucket, self.snow, self.land_mask,
+                np.asarray(gsw, dtype=float), np.asarray(glw, dtype=float),
+                np.asarray(precip, dtype=float), np.asarray(t_air, dtype=float),
+                dt, cfg, stats=self._kernel_stats("lnd.bucket"),
             )
             self.runoff_total += np.where(self.land_mask, runoff, 0.0)
         self.time += dt

@@ -382,6 +382,42 @@ class CoupledPerfModel:
     #: Coupled-run serial term (driver sequencing, merge/diagnose steps).
     serial_seconds: float = 0.0
 
+    @classmethod
+    def from_layout(
+        cls,
+        layout: Dict[str, Dict[str, object]],
+        workloads: Dict[str, ComponentWorkload],
+        model1: PerfModel,
+        model2: PerfModel,
+        coupling: CouplingSpec,
+        **kwargs,
+    ) -> "CoupledPerfModel":
+        """Build from a driver task-domain layout (``AP3ESM.task_domains``
+        / ``repro.esm.scheduler.paper_layout`` shape).
+
+        ``workloads`` maps component names to their profiles; layout
+        members without a workload (the coupler, or components too cheap
+        to model) are skipped.  Each domain must keep at least one
+        modeled member.
+        """
+        def pick(name: str) -> Tuple[ComponentWorkload, ...]:
+            members = layout[name]["members"]
+            picked = tuple(workloads[m] for m in members if m in workloads)
+            if not picked:
+                raise ValueError(
+                    f"no workloads for {name} members {list(members)}"
+                )
+            return picked
+
+        return cls(
+            model1=model1,
+            model2=model2,
+            domain1=pick("domain1"),
+            domain2=pick("domain2"),
+            coupling=coupling,
+            **kwargs,
+        )
+
     def domain_time(self, domain: Sequence[ComponentWorkload], model: PerfModel, n_procs: int) -> float:
         return sum(model.time_per_day(w, n_procs).total for w in domain)
 

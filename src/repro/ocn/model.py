@@ -126,6 +126,44 @@ class LicomModel:
         self._finalized = True
         return summary
 
+    # -- Component protocol (shared context + uniform coupling surface) -------------
+
+    def set_context(self, ctx) -> None:
+        """Bind the shared ComponentContext: the ocean kernels join the
+        shared hash registry and dispatch on the context's space."""
+        self._ctx = ctx
+        from . import kernels as _k
+
+        for fn in (_k.eos_kernel, _k.canuto_kernel, _k.baroclinic_pressure_kernel):
+            ctx.kernels.register(fn)
+
+    def pre_coupling(self, imports: Dict[str, np.ndarray]) -> None:
+        self.import_state(imports)
+
+    def post_coupling(self) -> Dict[str, np.ndarray]:
+        return self.export_state()
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """The prognostic state (what restarts save and the precision
+        policy round-trips)."""
+        self._check_alive()
+        return {
+            "t": self.t, "s": self.s, "u": self.u, "v": self.v,
+            "eta": self.bt.eta, "bt_u": self.bt.u, "bt_v": self.bt.v,
+        }
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        self._check_alive()
+        for key in ("t", "s", "u", "v"):
+            if key in state:
+                setattr(self, key, state[key])
+        if "eta" in state:
+            self.bt.eta = state["eta"]
+        if "bt_u" in state:
+            self.bt.u = state["bt_u"]
+        if "bt_v" in state:
+            self.bt.v = state["bt_v"]
+
     # -- boundary exchange ----------------------------------------------------------
 
     def import_state(self, fields: Dict[str, np.ndarray]) -> None:
@@ -155,8 +193,14 @@ class LicomModel:
 
     # -- stepping ---------------------------------------------------------------------
 
-    def step(self) -> None:
-        """One baroclinic step = 10 barotropic substeps + momentum + tracers."""
+    def step(self, dt: Optional[float] = None) -> None:
+        """One baroclinic step = 10 barotropic substeps + momentum + tracers.
+
+        With an explicit ``dt`` (the Component-protocol form) the model
+        advances ``round(dt / dt_baroclinic)`` internal steps."""
+        if dt is not None:
+            self.run(max(1, int(round(dt / self.dt_baroclinic))))
+            return
         self._check_alive()
         with self.timers.timed("ocn_run"):
             with self.timers.timed("ocn_barotropic"):

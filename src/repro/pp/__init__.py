@@ -17,7 +17,9 @@ from .kernels import (
     parallel_reduce,
     parallel_scan,
 )
+from .backends import BACKEND_PORTFOLIO, select_backend
 from .registry import HybridDispatcher, KernelRegistry, kernel_hash
+from .stats import KernelMetrics, ObsKernelStats, publish_tile_profile
 from .swgomp import OffloadStats, TargetLoop, target
 from .view import (
     Layout,
@@ -43,6 +45,11 @@ __all__ = [
     "KernelRegistry",
     "kernel_hash",
     "HybridDispatcher",
+    "select_backend",
+    "BACKEND_PORTFOLIO",
+    "KernelMetrics",
+    "ObsKernelStats",
+    "publish_tile_profile",
     "target",
     "TargetLoop",
     "OffloadStats",

@@ -1,0 +1,53 @@
+"""Backend selection: the implementation portfolio (§5.1.1).
+
+"Our team has actively developed architecture-specific versions (CUDA,
+HIP, and Athread) of LICOM ... We also implemented a performance-portable
+version using Kokkos ... This portfolio of implementations enables AP3ESM
+to flexibly select the most suitable implementation for each architecture
+to achieve optimal performance."
+
+:func:`select_backend` is that selection: given a machine spec it returns
+the execution space kernels should run on (the Athread/CPE cluster on
+Sunway, the HIP-like GPU device on ORISE, host threads elsewhere), along
+with the implementation label the paper would use.
+
+This lives in ``repro.pp`` because the choice is component-agnostic: the
+same execution space is shared by every component through the
+``ComponentContext`` (see :mod:`repro.esm.component`).  ``ocn.backends``
+re-exports these names for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..machine.spec import MachineSpec
+from .execspace import CPECluster, ExecutionSpace, GPUDevice, HostThreads, Serial
+
+__all__ = ["select_backend", "BACKEND_PORTFOLIO"]
+
+#: Implementation portfolio: label -> how it maps onto our exec spaces.
+BACKEND_PORTFOLIO = {
+    "athread": "Sunway CPE cluster (swLICOM)",
+    "hip": "GPU device (LICOM3-HIP / LICOMK++ HIP backend)",
+    "kokkos-host": "host threads (LICOMK++ OpenMP backend)",
+    "serial": "reference single-core",
+}
+
+
+def select_backend(machine: MachineSpec, host_fallback_threads: int = 8) -> Tuple[str, ExecutionSpace]:
+    """(implementation label, execution space) for a machine.
+
+    Selection mirrors the paper's practice: Athread on SW26010P nodes,
+    the HIP backend on GPU nodes (identified by PCIe staging), the Kokkos
+    host backend on plain multicore nodes, serial for single-lane runs.
+    """
+    node = machine.node
+    if "SW26010" in node.name or "sunway" in machine.name.lower():
+        # One process per core group: 64 CPEs behind each rank.
+        return "athread", CPECluster(64)
+    if node.staging_bw is not None:
+        return "hip", GPUDevice()
+    if node.cores_per_process > 1 or node.processes_per_node > 1:
+        return "kokkos-host", HostThreads(host_fallback_threads)
+    return "serial", Serial()

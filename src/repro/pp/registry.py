@@ -88,9 +88,14 @@ class KernelRegistry:
             raise KeyError(f"no kernel registered under handle {handle:#x}") from None
 
     def launch(self, space: ExecutionSpace, handle: int, policy, *args, **kwargs):
-        """Launch-by-handle: what the device runtime does with the hash."""
+        """Launch-by-handle: what the device runtime does with the hash.
+
+        Works for flat ranges (kernel receives one index-array chunk) and
+        for :class:`~repro.pp.kernels.MDRangePolicy` (kernel receives one
+        index array per dimension, ``np.ix_``-ready).
+        """
         fn = self.lookup(handle)
-        return parallel_for(space, policy, lambda idx: fn(idx, *args), **kwargs)
+        return parallel_for(space, policy, lambda *idx: fn(*idx, *args), **kwargs)
 
     def __len__(self) -> int:
         return len(self._table)

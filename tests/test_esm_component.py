@@ -1,0 +1,209 @@
+"""Tests for the Component protocol, the shared ComponentContext, the
+task-domain scheduler, and the model-wide precision policy."""
+
+import numpy as np
+import pytest
+
+from repro.esm import (
+    AP3ESM,
+    AP3ESMConfig,
+    Component,
+    ComponentContext,
+    TaskDomain,
+    TaskDomainScheduler,
+    default_mixed_policy,
+    paper_layout,
+    precision_policy,
+)
+from repro.precision import Precision
+
+TINY = dict(atm_level=3, ocn_nlon=48, ocn_nlat=32, ocn_levels=5)
+
+
+@pytest.fixture(scope="module")
+def serial_model():
+    m = AP3ESM(AP3ESMConfig(**TINY))
+    m.init()
+    m.run_couplings(12)
+    return m
+
+
+class TestComponentProtocol:
+    def test_all_four_components_conform(self, serial_model):
+        for comp in serial_model.components:
+            assert isinstance(comp, Component), comp.name
+        assert [c.name for c in serial_model.components] == [
+            "atm", "ocn", "ice", "lnd"
+        ]
+
+    def test_one_shared_kernel_table(self, serial_model):
+        """Every component registered its kernels into ONE hash registry
+        (atm 5 + ocn 3 + ice 1 + lnd 1)."""
+        assert len(serial_model.ctx.kernels) == 10
+
+    def test_state_set_state_roundtrip(self, serial_model):
+        for comp in serial_model.components:
+            state = comp.state()
+            assert state, comp.name
+            copied = {k: np.array(v, copy=True) for k, v in state.items()}
+            comp.set_state(copied)
+            after = comp.state()
+            for key, value in copied.items():
+                assert np.array_equal(after[key], value), f"{comp.name}.{key}"
+
+    def test_context_namespaces_state(self, serial_model):
+        keys = serial_model.ctx.namespaced_state(serial_model.ocn)
+        assert all(k.startswith("ocn.") for k in keys)
+        assert "ocn.t" in keys
+
+
+class TestTaskDomainScheduler:
+    def test_layout_matches_paper(self, serial_model):
+        domains = serial_model.task_domains()
+        assert domains["domain1"]["members"] == ["cpl", "atm", "ice", "lnd"]
+        assert domains["domain2"]["members"] == ["ocn"]
+        assert domains == paper_layout()
+
+    def test_serial_launch_runs_immediately(self):
+        sched = TaskDomainScheduler(concurrent=False)
+        ran = []
+        handle = sched.launch("domain2", lambda obs: ran.append(1) or "out")
+        assert ran == [1]          # executed before result() was asked for
+        assert handle.done()
+        assert handle.result() == "out"
+
+    def test_concurrent_launch_runs_on_worker_thread(self):
+        import threading
+
+        sched = TaskDomainScheduler(concurrent=True)
+        try:
+            main = threading.current_thread().name
+            handle = sched.launch(
+                "domain2", lambda obs: threading.current_thread().name
+            )
+            assert handle.result() != main
+            sched.drain()
+        finally:
+            sched.shutdown()
+
+    def test_launch_exception_surfaces_at_join(self):
+        sched = TaskDomainScheduler(concurrent=True)
+        try:
+            def boom(obs):
+                raise RuntimeError("ocean blew up")
+
+            handle = sched.launch("domain2", boom)
+            with pytest.raises(RuntimeError, match="ocean blew up"):
+                handle.result()
+        finally:
+            sched.shutdown()
+
+    def test_unknown_domain_rejected(self):
+        sched = TaskDomainScheduler(concurrent=False)
+        with pytest.raises(KeyError):
+            sched.execute("domain9", lambda obs: None)
+
+    def test_duplicate_domain_names_rejected(self):
+        dup = (TaskDomain("d", ("a",)), TaskDomain("d", ("b",)))
+        with pytest.raises(ValueError):
+            TaskDomainScheduler(dup)
+
+
+class TestConcurrentSchedule:
+    def test_concurrent_bitwise_identical_to_serial(self, serial_model):
+        """§5.1.2 with lagged coupling: threading the ocean domain must
+        not change a single bit of any component's state."""
+        conc = AP3ESM(AP3ESMConfig(concurrent_domains=True, **TINY))
+        conc.init()
+        conc.run_couplings(12)
+        for comp_s, comp_c in zip(serial_model.components, conc.components):
+            for key, value in comp_s.state().items():
+                assert np.array_equal(value, comp_c.state()[key]), (
+                    f"{comp_s.name}.{key}"
+                )
+        assert conc.ocn.n_steps == serial_model.ocn.n_steps
+
+    def test_ocean_gets_private_timers_when_concurrent(self):
+        m = AP3ESM(AP3ESMConfig(concurrent_domains=True, **TINY))
+        m.init()
+        assert m.ocn.timers is not m.timers
+        s = AP3ESM(AP3ESMConfig(**TINY))
+        s.init()
+        assert s.ocn.timers is s.timers
+
+
+class TestPrecisionCoupled:
+    def test_policy_names(self):
+        assert not precision_policy("fp64").assignments
+        assert precision_policy("mixed").assignments
+        with pytest.raises(ValueError):
+            precision_policy("fp16")
+
+    def test_mixed_run_stays_physical_and_reports_groups(self):
+        """The §5.2.3 policy exercised by the coupled driver: FP32 groups
+        appear in the ledger and the climate stays physical."""
+        m = AP3ESM(AP3ESMConfig(precision="mixed", **TINY))
+        m.init()
+        m.run_couplings(12)
+        rep = m.memory_report()
+        assert rep["n_fp32_groupscaled"] >= 2
+        assert rep["n_fp32"] >= 8
+        assert 0.0 < rep["saving_fraction"] < 1.0
+        assert rep["bytes_mixed"] < rep["bytes_fp64"]
+        wet = m.ocn.mask3d
+        assert np.isfinite(m.ocn.t[wet]).all()
+        assert m.ocn.t[wet].min() >= -1.8 - 1e-3
+        assert 170.0 < m.atm.tskin.min() and m.atm.tskin.max() < 345.0
+
+    def test_apply_precision_roundtrip_through_coupled_step(self, serial_model):
+        """apply() through GroupScale is a projection: a second pass over
+        already-rounded state is bitwise idempotent, and the first pass
+        stays within FP32 relative error of the FP64 state."""
+        ctx = ComponentContext(precision=default_mixed_policy())
+        ocn = serial_model.ocn
+        before = {k: np.array(v, copy=True) for k, v in ocn.state().items()}
+        try:
+            ctx.apply_precision(ocn)
+            once = {k: np.array(v, copy=True) for k, v in ocn.state().items()}
+            ctx.apply_precision(ocn)
+            twice = ocn.state()
+            for key in once:
+                assert np.array_equal(once[key], twice[key]), key
+                scale = np.max(np.abs(before[key])) or 1.0
+                assert np.max(np.abs(once[key] - before[key])) <= 1e-5 * scale
+        finally:
+            ocn.set_state(before)
+
+    def test_fp64_policy_is_identity(self, serial_model):
+        ctx = ComponentContext(precision=precision_policy("fp64"))
+        ice = serial_model.ice
+        before = {k: np.array(v, copy=True) for k, v in ice.state().items()}
+        ctx.apply_precision(ice)
+        for key, value in before.items():
+            assert np.array_equal(ice.state()[key], value)
+
+    def test_default_mixed_policy_keeps_accumulators_fp64(self):
+        policy = default_mixed_policy()
+        assert policy.precision_of("lnd.runoff_total") is Precision.FP64
+        assert policy.precision_of("ocn.t") is Precision.FP32_GROUPSCALED
+
+
+class TestKernelMetricsSurface:
+    def test_traced_run_records_kernel_activity(self):
+        """Satellite: pp KernelStats flow into repro.obs — a traced
+        coupled step shows per-kernel launch counters and iteration
+        histograms."""
+        from repro.obs import Obs
+
+        obs = Obs()
+        m = AP3ESM(AP3ESMConfig(**TINY), obs=obs)
+        m.init()
+        m.run_couplings(2)
+        names = set(obs.metrics.names())
+        for kernel in ("atm.radiation", "ice.thermo", "lnd.bucket"):
+            assert f"pp.{kernel}.launches" in names
+            assert f"pp.{kernel}.iterations" in names
+        assert obs.metrics.counter("pp.ice.thermo.launches").value == 2
+
+    def test_null_obs_run_records_nothing(self, serial_model):
+        assert serial_model.obs.enabled is False

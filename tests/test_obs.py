@@ -332,11 +332,16 @@ class TestCoupledTrace:
         model, obs = traced
         tracer = obs.tracer
         assert len(tracer.find("cpl.step")) == 5
-        for phase in ("atm.run", "lnd.force", "cpl.a2o_remap", "ice.step", "cpl.o2a_merge"):
+        domain1 = tracer.find("cpl.domain.domain1")
+        assert len(domain1) == 5
+        assert all(s.parent == "cpl.step" for s in domain1)
+        for phase in ("atm.run", "lnd.step", "cpl.a2o_remap", "ice.step", "cpl.o2a_merge"):
             spans = tracer.find(phase)
             assert len(spans) == 5, phase
-            assert all(s.parent == "cpl.step" for s in spans)
-        assert len(tracer.find("ocn.run")) == 1
+            assert all(s.parent == "cpl.domain.domain1" for s in spans)
+        ocn = tracer.find("ocn.run")
+        assert len(ocn) == 1
+        assert ocn[0].parent == "cpl.domain.domain2"
         assert tracer.find("esm.init")
 
     def test_metrics_track_component_steps(self, traced):

@@ -177,3 +177,49 @@ def test_modeled_time_monotone_in_flops():
     assert space.modeled_time(1e9) < space.modeled_time(2e9)
     with pytest.raises(ValueError):
         space.modeled_time(-1.0)
+
+
+def test_parallel_scan_empty_range():
+    """n=0 is a legal launch: empty output, no chunk work, stats recorded."""
+    stats = KernelStats()
+    for space in SPACES:
+        got = parallel_scan(space, 0, np.zeros(0), stats=stats)
+        assert got.shape == (0,)
+    assert stats.launches == len(SPACES)
+    assert stats.iterations == 0
+
+
+def test_parallel_scan_single_element():
+    for space in SPACES:
+        got = parallel_scan(space, 1, np.array([7.5]))
+        assert np.array_equal(got, np.array([0.0]))
+
+
+def test_parallel_scan_fewer_elements_than_lanes():
+    """A single occupied tile (every other lane's chunk empty) must not
+    perturb the serial prefix sum."""
+    x = np.array([3.0, 1.0, 4.0])
+    got = parallel_scan(CPECluster(64), 3, x)
+    assert np.array_equal(got, np.array([0.0, 3.0, 4.0]))
+
+
+def test_parallel_scan_vector_values():
+    """Scan over per-row vectors (the rearranger offset pattern)."""
+    x = np.arange(12, dtype=float).reshape(6, 2)
+    got = parallel_scan(GPUDevice(4), 6, x)
+    want = np.cumsum(x, axis=0) - x
+    assert np.array_equal(got, want)
+
+
+def test_mdrange_single_tile_covers_everything():
+    """A tile as big as the space degenerates to one launch index."""
+    policy = MDRangePolicy((5, 7), tile=(5, 7))
+    tiles = policy.tiles()
+    assert len(tiles) == 1
+    out = np.zeros((5, 7))
+
+    def body(yi, xi):
+        out[np.ix_(yi, xi)] += 1.0
+
+    parallel_for(Serial(), policy, body)
+    assert np.all(out == 1.0)

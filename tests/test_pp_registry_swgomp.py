@@ -171,3 +171,51 @@ class TestSWGOMP:
             target(schedule="dynamic")(lambda x: None)
         with pytest.raises(ValueError):
             target(schedule="chunked")(lambda x: None)
+
+
+class TestHybridDispatcherSplitRatios:
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 0.9, 1.0])
+    def test_split_ratio_honoured(self, fraction):
+        d = HybridDispatcher(Serial(), CPECluster(64), device_fraction=fraction)
+        n = 1000
+        host, dev = d.split(n)
+        assert len(dev) == int(round(n * fraction))
+        assert len(host) == n - len(dev)
+        # Disjoint cover of range(n), device block first.
+        assert np.array_equal(
+            np.concatenate([dev, host]), np.arange(n, dtype=np.int64)
+        )
+
+    def test_extreme_fractions_still_run_everything(self):
+        for fraction in (0.0, 1.0):
+            d = HybridDispatcher(
+                Serial(), CPECluster(64), device_fraction=fraction
+            )
+            out = np.zeros(137)
+            d.run(137, lambda idx: out.__setitem__(idx, out[idx] + 1.0))
+            assert np.all(out == 1.0)
+
+    def test_split_empty_range(self):
+        d = HybridDispatcher(Serial(), CPECluster(64), device_fraction=0.5)
+        host, dev = d.split(0)
+        assert len(host) == 0 and len(dev) == 0
+        d.run(0, lambda idx: (_ for _ in ()).throw(AssertionError))
+
+
+class TestRegistryMDRangeLaunch:
+    def test_launch_dispatches_mdrange_kernels(self):
+        """launch() forwards one index array per MDRange dimension plus
+        the bound arguments (the coupled components' tiled kernels)."""
+        from repro.pp import MDRangePolicy
+
+        reg = KernelRegistry()
+
+        def scale2d(yi, xi, out, factor):
+            out[np.ix_(yi, xi)] *= factor
+
+        handle = reg.register(scale2d)
+        out = np.ones((6, 8))
+        reg.launch(
+            Serial(), handle, MDRangePolicy((6, 8), tile=(2, 4)), out, 3.0
+        )
+        assert np.all(out == 3.0)

@@ -90,11 +90,13 @@ class TestConfigIntegration:
         with pytest.raises(ValueError, match="ap3esm_nml"):
             AP3ESMConfig.from_namelist(path)
 
-    def test_unknown_variable_rejected(self, tmp_path):
+    def test_unknown_variable_warns_and_is_ignored(self, tmp_path):
         path = tmp_path / "bad2.nml"
-        path.write_text("&ap3esm_nml\n warp_drive = 9\n/")
-        with pytest.raises(ValueError, match="unknown"):
-            AP3ESMConfig.from_namelist(path)
+        path.write_text("&ap3esm_nml\n warp_drive = 9\n atm_level = 4\n/")
+        with pytest.warns(UserWarning, match="warp_drive"):
+            cfg = AP3ESMConfig.from_namelist(path)
+        assert cfg.atm_level == 4
+        assert not hasattr(cfg, "warp_drive")
 
     def test_namelist_config_actually_runs(self, tmp_path):
         path = tmp_path / "tiny.nml"
