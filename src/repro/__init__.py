@@ -24,6 +24,10 @@ Subpackages
     Group-wise-scaling FP64/FP32 mixed precision + acceptance metrics.
 ``repro.io``
     Subfile parallel I/O.
+``repro.resilience``
+    Fault injection (seeded FaultPlan) + resilience machinery: rotating
+    checksummed checkpoints, comm retry/timeouts, the task-domain
+    watchdog, the AI-physics guardrail, and the chaos harness.
 ``repro.esm``
     The coupled AP3ESM driver, Table 1 configurations, the typhoon case.
 ``repro.bench``
@@ -49,6 +53,7 @@ __all__ = [
     "coupler",
     "precision",
     "io",
+    "resilience",
     "esm",
     "bench",
 ]

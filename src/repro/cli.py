@@ -53,6 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--precision", choices=("fp64", "mixed"), default="mixed",
                      help="storage precision policy for prognostic state "
                           "(§5.2.3; default: mixed group-scaled FP32)")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="write a rotating checksummed checkpoint every N "
+                          "couplings (requires --checkpoint-dir)")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="rotating checkpoint directory")
+    run.add_argument("--checkpoint-keep", type=int, default=3,
+                     help="checkpoints kept in the rotation (default 3)")
+    run.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                     help="chaos mode: inject this FaultPlan, crash, recover "
+                          "from the newest valid checkpoint, and verify the "
+                          "run is bitwise identical to a fault-free twin")
+    run.add_argument("--couplings", type=int, default=6,
+                     help="coupling steps for chaos mode (default 6; "
+                          "ignored without --faults)")
 
     ty = sub.add_parser("typhoon", help="idealized typhoon experiment")
     ty.add_argument("--hours", type=int, default=12)
@@ -86,20 +100,64 @@ def _cmd_info() -> int:
     return 0
 
 
+def _resilience_config(args: argparse.Namespace):
+    """Build the ResilienceConfig the run-coupled flags describe (None
+    when no resilience flag was given — the zero-overhead default)."""
+    if not (args.checkpoint_every or args.checkpoint_dir or args.faults):
+        return None
+    from repro.resilience import ResilienceConfig
+
+    if args.checkpoint_every and not args.checkpoint_dir:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    return ResilienceConfig(
+        enabled=True,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        max_retries=3,
+        recv_timeout_s=5.0,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """run-coupled --faults: the chaos harness instead of a plain run."""
+    from repro.esm import AP3ESMConfig
+    from repro.resilience import FaultPlan, run_chaos
+
+    plan = FaultPlan.from_file(args.faults)
+    config = AP3ESMConfig(
+        atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
+        ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
+        precision=args.precision,
+        concurrent_domains=args.concurrent_domains,
+        resilience=_resilience_config(args),
+    )
+    print(f"chaos: injecting {plan.n_faults} fault(s) from {args.faults} "
+          f"over {args.couplings} coupling(s)...")
+    report = run_chaos(plan, config=config, couplings=args.couplings)
+    print(report.summary())
+    return 0 if report.survived else 1
+
+
 def _cmd_run_coupled(args: argparse.Namespace) -> int:
     from repro.esm import AP3ESM, AP3ESMConfig, atm_snapshot
     from repro.utils import get_timing
 
+    if args.faults:
+        return _cmd_chaos(args)
     obs = None
     if args.trace:
         from repro.obs import Obs
 
         obs = Obs()
+    resilience = _resilience_config(args)
+    cfg_kwargs = {} if resilience is None else {"resilience": resilience}
     model = AP3ESM(AP3ESMConfig(
         atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
         ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
         precision=args.precision,
         concurrent_domains=args.concurrent_domains,
+        **cfg_kwargs,
     ), obs=obs)
     model.init()
     schedule = "concurrent" if args.concurrent_domains else "serial"

@@ -15,12 +15,13 @@ difference the machine model prices.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Literal
+from typing import Dict, Literal, Optional
 
 import numpy as np
 
-from ..parallel.comm import Request, SimComm
+from ..parallel.comm import CommTransientError, Request, SimComm
 from .attrvect import AttrVect
 from .router import Router
 
@@ -31,14 +32,46 @@ _TAG = 7300
 
 @dataclass
 class Rearranger:
-    """Moves AttrVect data from a source to a destination decomposition."""
+    """Moves AttrVect data from a source to a destination decomposition.
+
+    Resilience knobs (all default-off, adding nothing to the no-fault
+    path): ``max_retries`` re-posts a send that failed with
+    :class:`~repro.parallel.comm.CommTransientError` (backing off
+    ``retry_backoff_s * 2^(attempt-1)`` between attempts) — a retried
+    success is bit-identical to an unfaulted transfer since the buffered
+    payload is unchanged; ``recv_timeout`` bounds each receive so a dead
+    peer surfaces as a structured
+    :class:`~repro.parallel.comm.CommTimeoutError` naming the (src, dst,
+    tag) edge instead of blocking on the world's long deadlock guard.
+    """
 
     router: Router
     method: Literal["p2p", "alltoall"] = "p2p"
+    max_retries: int = 0
+    retry_backoff_s: float = 0.0
+    recv_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("p2p", "alltoall"):
             raise ValueError("method must be 'p2p' or 'alltoall'")
+        if self.max_retries < 0 or self.retry_backoff_s < 0:
+            raise ValueError("max_retries and retry_backoff_s must be >= 0")
+
+    def _isend_with_retry(self, comm: SimComm, payload, dest: int, obs) -> Request:
+        """Post a send, retrying transient failures within budget."""
+        attempt = 0
+        while True:
+            try:
+                return comm.isend(payload, dest, tag=_TAG)
+            except CommTransientError:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                if obs is not None:
+                    obs.counter("resilience.retries").inc()
+                delay = self.retry_backoff_s * (2.0 ** (attempt - 1))
+                if delay > 0:
+                    time.sleep(delay)
 
     def rearrange(
         self,
@@ -98,13 +131,16 @@ class Rearranger:
                     if self_idx is not None:
                         out[:, self_idx] = payload
                 else:
-                    reqs.append(comm.isend(payload, q, tag=_TAG))
+                    if self.max_retries:
+                        reqs.append(self._isend_with_retry(comm, payload, q, obs))
+                    else:
+                        reqs.append(comm.isend(payload, q, tag=_TAG))
                     sent_bytes += int(payload.nbytes)
                     sent_messages += 1
             for p, idx in sorted(recvs.items()):
                 if p == me:
                     continue
-                out[:, idx] = comm.recv(source=p, tag=_TAG)
+                out[:, idx] = comm.recv(source=p, tag=_TAG, timeout=self.recv_timeout)
             Request.waitall(reqs)
         else:
             buffers = []

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -44,6 +44,7 @@ from ..lnd import LandModel
 from ..obs import NULL_OBS, Obs
 from ..ocn import LicomConfig, LicomModel
 from ..pp import ExecutionSpace
+from ..resilience.config import ResilienceConfig
 from ..utils.timers import TimerRegistry
 from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
 from .component import ComponentContext, precision_policy
@@ -73,6 +74,9 @@ class AP3ESMConfig:
     precision: str = "fp64"        # 'fp64' or 'mixed' (§5.2.3)
     concurrent_domains: bool = False  # run domain 2 on its own thread
     physics: Optional[object] = None  # a PhysicsSuite; None = conventional
+    #: Resilience machinery (guardrail, checkpoints, watchdog); disabled
+    #: by default — the driver then takes the pre-resilience code paths.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     @staticmethod
     def from_namelist(path) -> "AP3ESMConfig":
@@ -87,7 +91,9 @@ class AP3ESMConfig:
         nml = groups["ap3esm_nml"]
         import dataclasses
 
-        valid = {f.name for f in dataclasses.fields(AP3ESMConfig)} - {"physics"}
+        valid = {f.name for f in dataclasses.fields(AP3ESMConfig)} - {
+            "physics", "resilience",
+        }
         unknown = set(nml) - valid
         if unknown:
             warnings.warn(
@@ -120,12 +126,30 @@ class AP3ESM:
 
     def _init(self) -> None:
         cfg = self.config
+        res = cfg.resilience
+        # Physics guardrail (§ resilience): wrap the suite so NaN/blow-up
+        # columns fall back to the conventional parameterization instead
+        # of poisoning the coupled state.  Disabled -> the suite is passed
+        # through untouched and bitwise behavior is the pre-resilience one.
+        physics = cfg.physics
+        self.guarded_physics = None
+        if res.enabled and res.guard_physics:
+            from ..atm.physics import ConventionalPhysics
+            from ..resilience.guardrail import GuardedPhysics
+
+            primary = physics if physics is not None else ConventionalPhysics()
+            self.guarded_physics = GuardedPhysics(primary, obs=self.obs)
+            physics = self.guarded_physics
         self.atm = GristModel(
             GristConfig(level=cfg.atm_level, nlev=cfg.atm_nlev),
-            physics=cfg.physics,
+            physics=physics,
             timers=self.timers,
         )
         self.atm.init()
+        if self.guarded_physics is not None:
+            # Key chaos injections on the atm step counter: it is restored
+            # by restart, so replay after recovery re-injects identically.
+            self.guarded_physics.step_fn = lambda: self.atm.n_steps
         self.ocn = LicomModel(
             LicomConfig(nlon=cfg.ocn_nlon, nlat=cfg.ocn_nlat, n_levels=cfg.ocn_levels),
             timers=self.timers,
@@ -164,7 +188,10 @@ class AP3ESM:
         # registry in concurrent mode: the shared one is stack-based and
         # not thread-safe.
         self.scheduler = TaskDomainScheduler(
-            PAPER_DOMAINS, obs=self.obs, concurrent=cfg.concurrent_domains
+            PAPER_DOMAINS,
+            obs=self.obs,
+            concurrent=cfg.concurrent_domains,
+            watchdog_s=res.watchdog_s if res.enabled else None,
         )
         if cfg.concurrent_domains:
             self.ocn.timers = TimerRegistry()
@@ -203,6 +230,16 @@ class AP3ESM:
             "a2x", ["Sa_tbot", "Faxa_swndr", "Faxa_lwdn", "Faxa_rainc",
                     "Faxa_taux", "Faxa_tauy", "Faxa_sen", "Faxa_lat"]
         )
+
+        # Rotating checkpoints (resilience): None unless configured, so
+        # the coupling loop pays one `is None` branch when disabled.
+        self.checkpoints = None
+        if res.enabled and res.checkpoint_every > 0:
+            from ..resilience.checkpoint import CheckpointManager
+
+            self.checkpoints = CheckpointManager(
+                res.checkpoint_dir, keep=res.checkpoint_keep, obs=self.obs
+            )
 
         self.n_couplings = 0
         self._initialized = True
@@ -348,10 +385,36 @@ class AP3ESM:
             self._pending.wait()
 
     def run_couplings(self, n: int) -> None:
+        every = self.config.resilience.checkpoint_every
         for _ in range(n):
             self.step_coupling()
+            if (
+                self.checkpoints is not None
+                and self.n_couplings % every == 0
+            ):
+                self.checkpoint()
         # Leave no thread mutating ocean state once control returns.
         self._wait_ocean()
+
+    # -- resilience: rotating checkpoints + recovery ------------------------------
+
+    def checkpoint(self):
+        """Write one rotating checkpoint now (requires a configured
+        ``resilience.checkpoint_every``/``checkpoint_dir``)."""
+        if self.checkpoints is None:
+            raise RuntimeError("checkpointing is not configured "
+                               "(set config.resilience.checkpoint_*)")
+        return self.checkpoints.save(self.save_restart, self.n_couplings)
+
+    def recover(self):
+        """Restore the newest *valid* checkpoint (corrupt or truncated
+        sets are skipped and counted as ``resilience.checkpoint_fallbacks``);
+        returns the checkpoint directory restored from."""
+        if self.checkpoints is None:
+            raise RuntimeError("checkpointing is not configured "
+                               "(set config.resilience.checkpoint_*)")
+        self._wait_ocean()
+        return self.checkpoints.restore_latest_valid(self.load_restart)
 
     def run_days(self, days: float) -> None:
         per_day = 86400.0 / self.dt_couple

@@ -29,6 +29,7 @@ the same dict shape to price it.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -86,26 +87,54 @@ class TaskHandle:
 
     In serial mode the unit already ran — the handle just carries the
     value.  In concurrent mode it wraps the executor future; ``result``
-    blocks (and re-raises the unit's exception, if any).
+    blocks (and re-raises the unit's exception, if any).  With a
+    ``watchdog_s`` budget, a unit that outlives it raises
+    :class:`~repro.resilience.errors.WatchdogTimeout` naming the domain —
+    a clean diagnostic instead of a deadlocked driver.
     """
 
-    def __init__(self, value: Any = None, future: Any = None) -> None:
+    def __init__(
+        self,
+        value: Any = None,
+        future: Any = None,
+        name: str = "",
+        watchdog_s: Optional[float] = None,
+        obs: Any = None,
+    ) -> None:
         self._value = value
         self._future = future
+        self._name = name
+        self._watchdog_s = watchdog_s
+        self._obs = obs
 
     def done(self) -> bool:
         return self._future is None or self._future.done()
 
+    def _watchdog_abort(self) -> "None":
+        from ..resilience.errors import WatchdogTimeout
+
+        if self._obs is not None:
+            self._obs.counter("resilience.watchdog_aborts").inc()
+        raise WatchdogTimeout(self._name or "<task>", self._watchdog_s)
+
     def wait(self) -> None:
         """Block until the unit finished — pure synchronization.  A unit
         failure is NOT raised here; it surfaces at :meth:`result` (the
-        point where the value would have been consumed)."""
+        point where the value would have been consumed).  The watchdog,
+        however, fires here too: a hung unit is never silently waited
+        on."""
         if self._future is not None:
-            self._future.exception()
+            try:
+                self._future.exception(timeout=self._watchdog_s)
+            except _FutureTimeout:
+                self._watchdog_abort()
 
     def result(self) -> Any:
         if self._future is not None:
-            return self._future.result()
+            try:
+                return self._future.result(timeout=self._watchdog_s)
+            except _FutureTimeout:
+                self._watchdog_abort()
         return self._value
 
 
@@ -124,6 +153,11 @@ class TaskDomainScheduler:
         each launched domain traces on ``obs.fork(rank)``; when False,
         :meth:`launch` runs the unit immediately on the caller's thread
         (same schedule, zero threading).
+    watchdog_s:
+        Seconds a launched unit may run before joins on its handle abort
+        with :class:`~repro.resilience.errors.WatchdogTimeout` (None =
+        wait forever, the pre-resilience behavior).  Only meaningful in
+        concurrent mode — serial launches finish before returning.
     """
 
     def __init__(
@@ -131,6 +165,7 @@ class TaskDomainScheduler:
         domains: Sequence[TaskDomain] = PAPER_DOMAINS,
         obs: Any = None,
         concurrent: bool = False,
+        watchdog_s: Optional[float] = None,
     ) -> None:
         if obs is None:
             from ..obs import NULL_OBS
@@ -144,6 +179,7 @@ class TaskDomainScheduler:
             raise ValueError("task-domain names must be unique")
         self.obs = obs
         self.concurrent = bool(concurrent)
+        self.watchdog_s = watchdog_s
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(
                 max_workers=max(1, len(self.domains) - 1),
@@ -202,7 +238,12 @@ class TaskDomainScheduler:
             with domain_obs.span(f"cpl.domain.{domain.name}"):
                 return unit(domain_obs)
 
-        handle = TaskHandle(future=self._executor.submit(run))
+        handle = TaskHandle(
+            future=self._executor.submit(run),
+            name=domain.name,
+            watchdog_s=self.watchdog_s,
+            obs=self.obs,
+        )
         self._outstanding = [h for h in self._outstanding if not h.done()]
         self._outstanding.append(handle)
         return handle

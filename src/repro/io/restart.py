@@ -11,6 +11,8 @@ equals *run N, save, load, run M* bit for bit (for the ocean component).
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
 from typing import Dict, Tuple, Union
 
@@ -19,9 +21,60 @@ import numpy as np
 from ..parallel.decomp import block_ranges
 from .subfile import SubfileLayout, read_subfiles, write_subfiles
 
-__all__ = ["save_restart", "load_restart"]
+__all__ = ["save_restart", "load_restart", "RestartError", "write_atomic_text"]
 
 MANIFEST = "restart.json"
+
+
+class RestartError(ValueError):
+    """A restart set failed validation.
+
+    Structured: carries the manifest path, the offending field (when
+    any), and the expected/actual values of whatever mismatched, so a
+    corrupt or truncated restart is diagnosable without reading hexdumps.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        manifest: Union[str, Path, None] = None,
+        field: str | None = None,
+        expected: object = None,
+        actual: object = None,
+    ) -> None:
+        detail = message
+        if field is not None:
+            detail += f" [field={field}]"
+        if expected is not None or actual is not None:
+            detail += f" [expected={expected!r}, actual={actual!r}]"
+        if manifest is not None:
+            detail += f" [manifest={manifest}]"
+        super().__init__(detail)
+        self.manifest = None if manifest is None else str(manifest)
+        self.field = field
+        self.expected = expected
+        self.actual = actual
+
+
+def write_atomic_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` via temp-file + ``os.replace``: a crash
+    mid-write leaves either the old file or none — never a half-parsing
+    one."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+def _subfile_crcs(directory: Path, base: str, layout: SubfileLayout) -> Dict[str, int]:
+    """crc32 of each subfile in a field's group set, keyed by file name."""
+    crcs: Dict[str, int] = {}
+    for g in range(layout.n_groups):
+        name = layout.subfile_name(base, g)
+        crcs[name] = zlib.crc32((directory / name).read_bytes())
+    return crcs
 
 
 def save_restart(
@@ -55,23 +108,105 @@ def save_restart(
             "shape": list(arr.shape),
             "dtype": str(arr.dtype),
             "size": int(flat.size),
+            "crc32": _subfile_crcs(directory, name, layout),
         }
-    path = directory / MANIFEST
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-    return path
+    # The manifest is written last AND atomically: readers either see the
+    # previous complete restart.json or the new complete one, never a
+    # torn write that half-parses.
+    return write_atomic_text(
+        directory / MANIFEST, json.dumps(manifest, indent=2, sort_keys=True)
+    )
+
+
+def _validate_manifest(manifest: object, path: Path) -> Dict[str, object]:
+    """Structural validation of a parsed manifest, before any data I/O.
+
+    Raises :class:`RestartError` naming exactly what is malformed; returns
+    the manifest dict on success.
+    """
+    if not isinstance(manifest, dict):
+        raise RestartError("manifest is not a JSON object", manifest=path)
+    version = manifest.get("version")
+    if version != 1:
+        raise RestartError(
+            "unsupported restart version",
+            manifest=path, expected=1, actual=version,
+        )
+    for key in ("n_ranks", "n_groups", "fields", "scalars"):
+        if key not in manifest:
+            raise RestartError(f"manifest missing {key!r} key", manifest=path)
+    if not isinstance(manifest["fields"], dict):
+        raise RestartError("manifest 'fields' is not an object", manifest=path)
+    for name, meta in manifest["fields"].items():
+        if not isinstance(meta, dict):
+            raise RestartError("field entry is not an object",
+                               manifest=path, field=name)
+        for key in ("shape", "dtype", "size"):
+            if key not in meta:
+                raise RestartError(f"field entry missing {key!r}",
+                                   manifest=path, field=name)
+        try:
+            np.dtype(meta["dtype"])
+        except TypeError as exc:
+            raise RestartError(f"bad field dtype: {exc}",
+                               manifest=path, field=name,
+                               actual=meta["dtype"]) from None
+        declared = int(np.prod(meta["shape"], dtype=np.int64)) if meta["shape"] else 1
+        if declared != int(meta["size"]):
+            raise RestartError(
+                "field size inconsistent with shape",
+                manifest=path, field=name,
+                expected=declared, actual=int(meta["size"]),
+            )
+    return manifest
 
 
 def load_restart(
     directory: Union[str, Path],
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, float]]:
-    """Read a restart set; returns (fields, scalars)."""
+    """Read a restart set; returns (fields, scalars).
+
+    The manifest is validated up front and every subfile is CRC-checked
+    against it (when the manifest carries checksums — older sets without
+    them still load); any missing, truncated, or size-mismatched piece
+    raises a structured :class:`RestartError` instead of a bare
+    ``KeyError``/``ValueError`` from deep inside the reader.
+    """
     directory = Path(directory)
-    manifest = json.loads((directory / MANIFEST).read_text())
-    if manifest.get("version") != 1:
-        raise ValueError(f"unsupported restart version {manifest.get('version')}")
+    path = directory / MANIFEST
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise RestartError(f"cannot read restart manifest: {exc}",
+                           manifest=path) from None
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RestartError(f"restart manifest is not valid JSON: {exc}",
+                           manifest=path) from None
+    manifest = _validate_manifest(manifest, path)
     layout = SubfileLayout(int(manifest["n_ranks"]), int(manifest["n_groups"]))
     fields: Dict[str, np.ndarray] = {}
     for name, meta in manifest["fields"].items():
-        flat = read_subfiles(directory, name, layout, int(meta["size"]))
+        for fname, crc in (meta.get("crc32") or {}).items():
+            fpath = directory / fname
+            try:
+                actual = zlib.crc32(fpath.read_bytes())
+            except OSError as exc:
+                raise RestartError(f"cannot read subfile {fname}: {exc}",
+                                   manifest=path, field=name) from None
+            if actual != int(crc):
+                raise RestartError(
+                    f"subfile {fname} fails its CRC (corrupt payload)",
+                    manifest=path, field=name,
+                    expected=int(crc), actual=actual,
+                )
+        try:
+            flat = read_subfiles(directory, name, layout, int(meta["size"]))
+        except (OSError, ValueError) as exc:
+            raise RestartError(
+                f"cannot reassemble field from subfiles: {exc}",
+                manifest=path, field=name, expected=int(meta["size"]),
+            ) from None
         fields[name] = flat.astype(meta["dtype"], copy=False).reshape(meta["shape"])
     return fields, dict(manifest["scalars"])

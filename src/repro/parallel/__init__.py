@@ -1,6 +1,15 @@
 """Simulated MPI runtime, decompositions, halo exchange, topology tools."""
 
-from .comm import CollectiveCost, Request, SimComm, SimWorld, TrafficLedger
+from .comm import (
+    CollectiveCost,
+    CommTimeoutError,
+    CommTransientError,
+    RankFailure,
+    Request,
+    SimComm,
+    SimWorld,
+    TrafficLedger,
+)
 from .decomp import (
     Block1D,
     Block2D,
@@ -23,6 +32,9 @@ __all__ = [
     "Request",
     "TrafficLedger",
     "CollectiveCost",
+    "CommTransientError",
+    "CommTimeoutError",
+    "RankFailure",
     "block_ranges",
     "Block1D",
     "Block2D",

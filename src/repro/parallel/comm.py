@@ -32,9 +32,51 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SimWorld", "SimComm", "Request", "TrafficLedger", "CollectiveCost"]
+__all__ = [
+    "SimWorld",
+    "SimComm",
+    "Request",
+    "TrafficLedger",
+    "CollectiveCost",
+    "CommTransientError",
+    "CommTimeoutError",
+    "RankFailure",
+]
 
 ANY_TAG = -1
+
+
+class CommTransientError(RuntimeError):
+    """A send failed transiently (injected link glitch); retrying the same
+    send may succeed.  Carries the offending (src, dst, tag) edge."""
+
+    def __init__(self, src: int, dst: int, tag: int, attempt: int = 0) -> None:
+        super().__init__(
+            f"transient send failure src={src} dst={dst} tag={tag}"
+            f" (attempt {attempt})"
+        )
+        self.src, self.dst, self.tag, self.attempt = src, dst, tag, attempt
+
+
+class CommTimeoutError(TimeoutError):
+    """A receive timed out — the structured form of the runtime's
+    deadlock guard, naming the offending (src, dst, tag) so a dead or
+    hung peer is diagnosable instead of an anonymous hang."""
+
+    def __init__(self, src: Optional[int], dst: int, tag: int, timeout: float) -> None:
+        super().__init__(
+            f"recv on rank {dst} from src={'any' if src is None else src} "
+            f"tag={tag} timed out after {timeout}s (dead or hung peer?)"
+        )
+        self.src, self.dst, self.tag, self.timeout = src, dst, tag, timeout
+
+
+class RankFailure(RuntimeError):
+    """A rank was killed by the fault plan (simulated node failure)."""
+
+    def __init__(self, rank: int, op: str) -> None:
+        super().__init__(f"rank {rank} killed by fault plan during {op}")
+        self.rank, self.op = rank, op
 
 
 @dataclass
@@ -190,9 +232,12 @@ class Request:
 class _WorldState:
     """Shared state for a set of ranks: mailboxes, rendezvous, ledger."""
 
-    def __init__(self, n_ranks: int, timeout: float) -> None:
+    def __init__(self, n_ranks: int, timeout: float, faults: Any = None) -> None:
         self.n_ranks = n_ranks
         self.timeout = timeout
+        # Opt-in fault injector (e.g. repro.resilience.CommFaultInjector);
+        # None keeps the hot path to a single branch per send/recv.
+        self.faults = faults
         self.mailboxes = [_Mailbox() for _ in range(n_ranks)]
         self.ledger = TrafficLedger()
         self.barrier = threading.Barrier(n_ranks)
@@ -231,18 +276,45 @@ class SimComm:
     # -- point to point ------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking (buffered) send with value semantics."""
+        """Blocking (buffered) send with value semantics.
+
+        With a fault injector installed on the world, the injector may
+        raise (:class:`CommTransientError`, :class:`RankFailure`), corrupt
+        the payload, or drop the message (by returning ``None``) before
+        anything is delivered or recorded in the ledger.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
         payload = _copy_payload(obj)
+        faults = self._world.faults
+        if faults is not None:
+            payload = faults.on_send(self.rank, dest, tag, payload)
+            if payload is None:  # dropped on the wire
+                return
         self._world.ledger.record_p2p(self.rank, dest, _payload_nbytes(payload))
         self._world.mailboxes[dest].put(self.rank, tag, payload)
 
-    def recv(self, source: Optional[int] = None, tag: int = ANY_TAG) -> Any:
-        """Blocking receive; ``source=None`` means any source."""
-        _, _, payload = self._world.mailboxes[self.rank].get(
-            source, tag, self._world.timeout
-        )
+    def recv(
+        self,
+        source: Optional[int] = None,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking receive; ``source=None`` means any source.
+
+        ``timeout`` overrides the world's default deadlock guard for this
+        call; expiry raises :class:`CommTimeoutError` naming the edge.
+        """
+        faults = self._world.faults
+        if faults is not None:
+            faults.on_recv(self.rank, source, tag)
+        limit = self._world.timeout if timeout is None else timeout
+        try:
+            _, _, payload = self._world.mailboxes[self.rank].get(source, tag, limit)
+        except CommTimeoutError:
+            raise
+        except TimeoutError:
+            raise CommTimeoutError(source, self.rank, tag, limit) from None
         return payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -251,8 +323,13 @@ class SimComm:
         self.send(obj, dest, tag)
         return Request(lambda: None, eager=True)
 
-    def irecv(self, source: Optional[int] = None, tag: int = ANY_TAG) -> Request:
-        return Request(lambda: self.recv(source, tag))
+    def irecv(
+        self,
+        source: Optional[int] = None,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Request:
+        return Request(lambda: self.recv(source, tag, timeout=timeout))
 
     def sendrecv(
         self, obj: Any, dest: int, source: Optional[int] = None,
@@ -416,10 +493,21 @@ class _SubComm(SimComm):
             self.rank, tag + self._TAG_OFFSET, payload
         )
 
-    def recv(self, source: Optional[int] = None, tag: int = ANY_TAG) -> Any:
+    def recv(
+        self,
+        source: Optional[int] = None,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Any:
         wtag = tag if tag == ANY_TAG else tag + self._TAG_OFFSET
         my_world = self._world_ranks[self.rank]
-        _, _, payload = self._world.mailboxes[my_world].get(source, wtag, self._world.timeout)
+        limit = self._world.timeout if timeout is None else timeout
+        try:
+            _, _, payload = self._world.mailboxes[my_world].get(source, wtag, limit)
+        except CommTimeoutError:
+            raise
+        except TimeoutError:
+            raise CommTimeoutError(source, self.rank, tag, limit) from None
         return payload
 
     # For subcomms we route collectives through gather-to-0 + bcast over p2p.
@@ -516,13 +604,21 @@ class SimWorld:
         Number of ranks (threads). Functional tests typically use 2–64.
     timeout:
         Seconds a blocking receive may wait before declaring deadlock.
+    faults:
+        Optional fault injector (``on_send(src, dst, tag, payload)`` /
+        ``on_recv(rank, source, tag)`` protocol, e.g.
+        :class:`repro.resilience.CommFaultInjector`).  ``None`` (the
+        default) keeps every send/recv at one extra branch.
     """
 
-    def __init__(self, n_ranks: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self, n_ranks: int, timeout: float = 30.0, faults: Any = None
+    ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         self.n_ranks = n_ranks
         self._timeout = timeout
+        self._faults = faults
         self._state: Optional[_WorldState] = None
 
     @property
@@ -537,7 +633,7 @@ class SimWorld:
         Exceptions on any rank are re-raised in the caller (first failing
         rank wins), after all threads have been joined.
         """
-        state = _WorldState(self.n_ranks, self._timeout)
+        state = _WorldState(self.n_ranks, self._timeout, faults=self._faults)
         self._state = state
         results: List[Any] = [None] * self.n_ranks
         errors: List[Tuple[int, BaseException]] = []
@@ -562,9 +658,14 @@ class SimWorld:
             t.join()
         if errors:
             errors.sort(key=lambda e: e[0])
-            # Prefer the root cause over secondary BrokenBarrierErrors that
-            # other ranks see when the failing rank aborts the barrier.
-            primary = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
+            # Prefer the root cause over secondary errors: a killed rank
+            # (RankFailure) makes its peers time out and/or break barriers,
+            # so those must not mask the failure that caused them.
+            killed = [e for e in errors if isinstance(e[1], RankFailure)]
+            primary = killed or [
+                e for e in errors
+                if not isinstance(e[1], (threading.BrokenBarrierError, TimeoutError))
+            ]
             rank, exc = (primary or errors)[0]
             raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
         return results

@@ -1,0 +1,83 @@
+"""Fault injection + resilience: survive rank faults, corrupt restarts,
+and AI-physics blow-ups.
+
+Two halves, per the production discipline the paper's companion efforts
+report (Duan et al. on 40M-core failure handling, Zanna et al. on
+guardrails around learned physics):
+
+* **Fault injection** — a seeded, JSON-serializable :class:`FaultPlan`
+  that can kill ranks, glitch/drop/corrupt messages in the simulated
+  runtime, damage restart sets on disk, and poison AI-physics output;
+* **Resilience machinery** — checksummed atomic rotating checkpoints
+  (:class:`CheckpointManager`), retry-with-backoff
+  (:func:`retry_with_backoff`) and structured comm timeouts, a task-
+  domain watchdog, and the per-column physics guardrail
+  (:class:`GuardedPhysics`).
+
+Everything is opt-in: with :class:`ResilienceConfig` disabled (the
+default) the driver takes the pre-resilience code paths and adds zero
+messages to the :class:`~repro.parallel.comm.TrafficLedger`.
+
+The chaos harness lives in :mod:`repro.resilience.chaos` (imported
+lazily here — it drives the coupled model, which itself imports this
+package).
+"""
+
+from __future__ import annotations
+
+from .checkpoint import CheckpointManager
+from .config import ResilienceConfig
+from .errors import (
+    CheckpointError,
+    CommTimeoutError,
+    CommTransientError,
+    RankFailure,
+    ResilienceError,
+    RestartError,
+    WatchdogTimeout,
+)
+from .faults import (
+    CheckpointFault,
+    CommFault,
+    CommFaultInjector,
+    FaultPlan,
+    PhysicsFault,
+    PhysicsFaultInjector,
+    corrupt_checkpoint,
+)
+from .guardrail import GuardedPhysics, GuardrailLimits
+from .retry import RetryPolicy, retry_with_backoff
+
+__all__ = [
+    "ResilienceConfig",
+    "ResilienceError",
+    "CheckpointError",
+    "WatchdogTimeout",
+    "RestartError",
+    "CommTransientError",
+    "CommTimeoutError",
+    "RankFailure",
+    "FaultPlan",
+    "CommFault",
+    "CheckpointFault",
+    "PhysicsFault",
+    "CommFaultInjector",
+    "PhysicsFaultInjector",
+    "corrupt_checkpoint",
+    "CheckpointManager",
+    "GuardedPhysics",
+    "GuardrailLimits",
+    "RetryPolicy",
+    "retry_with_backoff",
+    "run_chaos",
+    "ChaosReport",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: chaos imports repro.esm, which imports this package.
+    if name in ("run_chaos", "ChaosReport"):
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,313 @@
+"""Chaos harness: prove a coupled run survives an injected fault plan.
+
+``run_chaos`` executes a :class:`~repro.resilience.faults.FaultPlan`
+end to end, in (up to) three stages:
+
+1. **Comm stage** — replays the plan's comm faults through a 4-rank
+   simulated world driving a p2p :class:`~repro.coupler.Rearranger`
+   between two block decompositions, with the configured retry budget
+   and receive timeout.  The faulted transfer is compared bit for bit
+   against a fault-free twin: transient faults must be fully *masked*
+   (retried sends deliver the identical buffered payload); drops, kills,
+   and corruption must surface as structured errors or as an unmasked
+   difference — never as a hang.
+2. **Crash stage** — runs the coupled model with the physics injector
+   installed until ``crash_at_coupling``, damages checkpoints on disk
+   per the plan, then builds a *fresh* model, recovers from the newest
+   valid checkpoint (corrupt sets are skipped and counted), and resumes
+   to the target coupling count.
+3. **Bitwise twin** — a no-crash model with the same configuration and
+   the same (step-keyed) physics faults runs straight through; the
+   recovered run's final state must match it bit for bit, because
+   replayed steps re-inject identically and recovery restores exact
+   state.
+
+The report aggregates every ``resilience.*`` counter so an experiment
+where nothing was actually injected (or nothing actually recovered) is
+visible, not silently green.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..obs import Obs
+from ..utils.rng import seeded
+from .faults import (
+    CommFaultInjector,
+    FaultPlan,
+    PhysicsFaultInjector,
+    corrupt_checkpoint,
+)
+
+__all__ = ["ChaosReport", "run_chaos", "default_chaos_config"]
+
+#: Every intervention counter the resilience layer can emit.
+RESILIENCE_COUNTERS = (
+    "resilience.faults_injected",
+    "resilience.retries",
+    "resilience.checkpoints_written",
+    "resilience.checkpoint_fallbacks",
+    "resilience.restores",
+    "resilience.physics_fallback_columns",
+    "resilience.physics_fallback_events",
+    "resilience.watchdog_aborts",
+)
+
+
+@dataclass
+class ChaosReport:
+    """What a chaos run did and whether the faults were masked."""
+
+    plan_faults: int
+    couplings: int
+    crash_at: Optional[int] = None
+    recovered_from: Optional[str] = None
+    comm_masked: Optional[bool] = None
+    comm_error: Optional[str] = None
+    bitwise_identical: Optional[bool] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def survived(self) -> bool:
+        """The run completed every coupling it was asked for (a surfaced
+        comm error is still surviving — it is structured, not a hang)."""
+        return self.bitwise_identical is not False
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos: {self.plan_faults} planned fault(s), "
+            f"{self.couplings} coupling(s)",
+        ]
+        if self.comm_masked is not None:
+            lines.append(f"  comm stage masked: {self.comm_masked}")
+        if self.comm_error is not None:
+            lines.append(f"  comm stage surfaced: {self.comm_error}")
+        if self.crash_at is not None:
+            lines.append(
+                f"  crashed at coupling {self.crash_at}, "
+                f"recovered from {self.recovered_from}"
+            )
+        if self.bitwise_identical is not None:
+            lines.append(
+                f"  bitwise identical to fault-free twin: "
+                f"{self.bitwise_identical}"
+            )
+        for name in RESILIENCE_COUNTERS:
+            value = self.counters.get(name, 0.0)
+            if value:
+                lines.append(f"  {name} = {value:g}")
+        return "\n".join(lines)
+
+
+def default_chaos_config(checkpoint_dir=None, checkpoint_every: int = 2):
+    """A laptop-scale coupled configuration with resilience armed —
+    the configuration the CLI chaos path and the smoke test run."""
+    from ..esm import AP3ESMConfig
+    from .config import ResilienceConfig
+
+    resilience = ResilienceConfig(
+        enabled=True,
+        checkpoint_every=checkpoint_every if checkpoint_dir else 0,
+        checkpoint_dir=checkpoint_dir,
+        max_retries=3,
+        recv_timeout_s=5.0,
+    )
+    return AP3ESMConfig(resilience=resilience)
+
+
+def _sum_counters(obs: Obs) -> Dict[str, float]:
+    """Total every counter across the parent handle and its forks."""
+    totals: Dict[str, float] = {}
+    for handle in obs.all_ranks():
+        for name in handle.metrics.names():
+            metric = handle.metrics.get(name)
+            if getattr(metric, "kind", None) == "counter":
+                totals[name] = totals.get(name, 0.0) + metric.value
+    return totals
+
+
+# -- stage 1: comm faults through the rearranger ---------------------------
+
+
+def _comm_stage(plan: FaultPlan, res, obs: Obs, report: ChaosReport) -> None:
+    from ..coupler import AttrVect, GlobalSegMap, Rearranger, Router
+    from ..parallel.comm import SimWorld
+
+    n_ranks, per_rank = 4, 8
+    gsize = n_ranks * per_rank
+    # Block source vs reversed-block destination: every rank exchanges
+    # with its mirror, so each (src, dst) edge in a plan is exercised.
+    src = GlobalSegMap.from_owners(np.repeat(np.arange(n_ranks), per_rank))
+    dst = GlobalSegMap.from_owners(np.repeat(np.arange(n_ranks)[::-1], per_rank))
+    router = Router.build(src, dst)
+    gfield = np.arange(float(gsize))
+    recv_timeout = res.recv_timeout_s if res.recv_timeout_s is not None else 5.0
+
+    def transfer(injector, obs_handle) -> List[np.ndarray]:
+        rearranger = Rearranger(
+            router,
+            method="p2p",
+            max_retries=res.max_retries,
+            retry_backoff_s=res.backoff_s,
+            recv_timeout=recv_timeout,
+        )
+        world = SimWorld(n_ranks, timeout=2 * recv_timeout, faults=injector)
+
+        def rank_program(comm):
+            av = AttrVect.from_dict({"f": gfield[src.local_indices(comm.rank)]})
+            out = rearranger.rearrange(
+                comm,
+                av,
+                len(dst.local_indices(comm.rank)),
+                obs=obs_handle.fork(comm.rank) if obs_handle is not None else None,
+            )
+            return out.data.copy()
+
+        return world.run(rank_program)
+
+    clean = transfer(None, None)
+    try:
+        faulted = transfer(CommFaultInjector(plan, obs=obs), obs)
+    except RuntimeError as exc:
+        # Drops and kills surface as structured errors (the point: a
+        # clean diagnostic, not a hang); record and move on.
+        cause = exc.__cause__ if exc.__cause__ is not None else exc
+        report.comm_error = f"{type(cause).__name__}: {cause}"
+        return
+    report.comm_masked = all(
+        np.array_equal(a, b) for a, b in zip(faulted, clean)
+    )
+
+
+# -- stages 2+3: crash, recover, and the bitwise twin ----------------------
+
+
+def _final_state(model) -> Dict[str, np.ndarray]:
+    return {
+        "atm.h": model.atm.swe.h.copy(),
+        "atm.u": model.atm.swe.u.copy(),
+        "atm.t_col": model.atm.t_col.copy(),
+        "atm.tracer": model.atm.tracer.copy(),
+        "ocn.t": model.ocn.t.copy(),
+        "ocn.s": model.ocn.s.copy(),
+        "ocn.u": model.ocn.u.copy(),
+        "ocn.eta": model.ocn.bt.eta.copy(),
+        "clock.time": np.asarray(model.clock.time),
+        "n_couplings": np.asarray(float(model.n_couplings)),
+    }
+
+
+def _build_model(config, obs, plan: FaultPlan, count_obs):
+    from ..esm import AP3ESM
+
+    model = AP3ESM(config, obs=obs)
+    model.init()
+    if plan.physics and model.guarded_physics is not None:
+        model.guarded_physics.injector = PhysicsFaultInjector(
+            plan, obs=count_obs
+        )
+    return model
+
+def _corrupt_planned(plan: FaultPlan, manager) -> List[str]:
+    damaged = []
+    ckpts = manager.checkpoints()
+    for i, fault in enumerate(plan.checkpoints):
+        if not ckpts:
+            break
+        victim = ckpts[fault.index % len(ckpts)]
+        corrupt_checkpoint(
+            victim, fault.kind,
+            rng=seeded("chaos-corrupt", plan.seed, i),
+        )
+        damaged.append(victim.name)
+    return damaged
+
+
+def _crash_stage(
+    plan: FaultPlan, config, couplings: int, obs: Obs, report: ChaosReport
+) -> None:
+    res = config.resilience
+    every = res.checkpoint_every
+    crash_at = plan.crash_at_coupling
+    if crash_at is None:
+        # Just past the second checkpoint: corrupting the newest set
+        # still leaves an older one to fall back to, with work to replay.
+        crash_at = min(couplings, 2 * every + 1)
+    crash_at = max(every, min(crash_at, couplings))
+    report.crash_at = crash_at
+
+    # Run to the crash point, writing checkpoints along the way, then
+    # abandon the model (the "crash") and damage checkpoints per plan.
+    victim = _build_model(config, obs, plan, count_obs=obs)
+    victim.run_couplings(crash_at)
+    victim.scheduler.shutdown()
+    _corrupt_planned(plan, victim.checkpoints)
+
+    # A fresh process: recover from the newest valid set and resume.
+    survivor = _build_model(config, obs, plan, count_obs=obs)
+    restored = survivor.recover()
+    report.recovered_from = restored.name
+    survivor.run_couplings(couplings - survivor.n_couplings)
+    state = _final_state(survivor)
+    survivor.scheduler.shutdown()
+
+    # The twin never crashes (and never checkpoints — same physics
+    # faults, separate directory-free config), so any divergence is the
+    # recovery's fault.
+    twin_config = dataclasses.replace(
+        config,
+        resilience=dataclasses.replace(
+            res, checkpoint_every=0, checkpoint_dir=None
+        ),
+    )
+    twin = _build_model(twin_config, None, plan, count_obs=None)
+    twin.run_couplings(couplings)
+    twin_state = _final_state(twin)
+    twin.scheduler.shutdown()
+
+    report.bitwise_identical = all(
+        np.array_equal(state[k], twin_state[k]) for k in state
+    )
+
+
+def run_chaos(
+    plan: FaultPlan,
+    config=None,
+    couplings: int = 6,
+    obs: Optional[Obs] = None,
+) -> ChaosReport:
+    """Execute ``plan`` against a coupled run and report what happened.
+
+    ``config`` must have ``resilience.enabled``; when it also configures
+    checkpointing, the crash/recover/twin stages run (and ``couplings``
+    must leave room past the first checkpoint).  ``None`` builds
+    :func:`default_chaos_config` with checkpointing off — comm and
+    physics faults only.
+    """
+    if config is None:
+        config = default_chaos_config()
+    res = config.resilience
+    if not res.enabled:
+        raise ValueError("chaos needs config.resilience.enabled=True")
+    if couplings < 1:
+        raise ValueError("couplings must be >= 1")
+    obs = obs if obs is not None else Obs()
+    report = ChaosReport(plan_faults=plan.n_faults, couplings=couplings)
+
+    if plan.comm:
+        _comm_stage(plan, res, obs, report)
+
+    if res.checkpoint_every > 0:
+        _crash_stage(plan, config, couplings, obs, report)
+    else:
+        model = _build_model(config, obs, plan, count_obs=obs)
+        model.run_couplings(couplings)
+        model.scheduler.shutdown()
+
+    report.counters = _sum_counters(obs)
+    return report

@@ -1,0 +1,209 @@
+"""Rotating, checksummed, atomically-written checkpoints.
+
+The discipline the 40M-core coupled runs report as first-order
+engineering (Duan et al.): a checkpoint that cannot half-exist, a
+manifest that can prove every byte, and a rotation that always holds a
+fallback.
+
+* **Atomic**: a checkpoint is staged under a dot-prefixed temp directory
+  and renamed into place only after its manifest (itself written
+  temp-then-``os.replace``) covers every file — a crash at any instant
+  leaves either the previous complete set or an ignorable temp.
+* **Checksummed**: the manifest records size + crc32 of every file in the
+  set (including the per-component ``restart.json`` manifests, which are
+  themselves CRC'd per subfile — two independent layers).
+* **Rotating**: the newest ``keep`` checkpoints survive; restore walks
+  newest → oldest, skipping invalid sets and counting each skip as a
+  ``resilience.checkpoint_fallbacks`` intervention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from .errors import CheckpointError
+
+__all__ = ["CheckpointManager"]
+
+_MANIFEST = "checkpoint.json"
+_PREFIX = "ckpt-"
+_VERSION = 1
+
+
+class CheckpointManager:
+    """Owns one rotating checkpoint directory.
+
+    ``save``/``restore_latest_valid`` take callables (e.g.
+    ``model.save_restart`` / ``model.load_restart``) so the manager works
+    for any component or the whole coupled system without importing them.
+    """
+
+    def __init__(self, root: Union[str, Path], keep: int = 3, obs=None) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.root = Path(root)
+        self.keep = keep
+        self.obs = obs
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- write -------------------------------------------------------------
+
+    def save(self, saver: Callable[[Path], None], step: int) -> Path:
+        """Write checkpoint ``step`` atomically and prune the rotation.
+
+        ``saver(directory)`` must materialize the state under the given
+        (staging) directory; the manager then manifests and publishes it.
+        """
+        if self.obs is None:
+            return self._save(saver, step)
+        with self.obs.span("resilience.checkpoint", step=step):
+            path = self._save(saver, step)
+        self.obs.counter("resilience.checkpoints_written").inc()
+        return path
+
+    def _save(self, saver: Callable[[Path], None], step: int) -> Path:
+        final = self.root / f"{_PREFIX}{step:08d}"
+        staging = self.root / f".tmp-{final.name}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        if final.exists():  # re-checkpoint of the same step: replace it
+            shutil.rmtree(final)
+        staging.mkdir(parents=True)
+        saver(staging)
+        files: Dict[str, Dict[str, int]] = {}
+        for f in sorted(p for p in staging.rglob("*") if p.is_file()):
+            rel = f.relative_to(staging).as_posix()
+            data = f.read_bytes()
+            files[rel] = {"size": len(data), "crc32": zlib.crc32(data)}
+        manifest = {"version": _VERSION, "step": int(step), "files": files}
+        tmp_manifest = staging / (_MANIFEST + ".tmp")
+        tmp_manifest.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(tmp_manifest, staging / _MANIFEST)
+        os.rename(staging, final)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        ckpts = self.checkpoints()
+        for old in ckpts[: -self.keep]:
+            shutil.rmtree(old, ignore_errors=True)
+        # Leftover staging directories from a crashed writer are garbage.
+        for tmp in self.root.glob(f".tmp-{_PREFIX}*"):
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    # -- read --------------------------------------------------------------
+
+    def checkpoints(self) -> List[Path]:
+        """Published checkpoints, oldest → newest."""
+        return sorted(self.root.glob(f"{_PREFIX}*"))
+
+    def step_of(self, path: Union[str, Path]) -> int:
+        return int(Path(path).name[len(_PREFIX):])
+
+    def validate(self, path: Union[str, Path]) -> None:
+        """Raise :class:`CheckpointError` unless every manifested file
+        exists with the recorded size and CRC (and nothing is missing
+        from the manifest)."""
+        path = Path(path)
+        manifest_path = path / _MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except OSError:
+            raise CheckpointError("checkpoint has no manifest",
+                                  path=path, reason="missing manifest") from None
+        except json.JSONDecodeError as exc:
+            raise CheckpointError("checkpoint manifest is not valid JSON",
+                                  path=path, reason=str(exc)) from None
+        if manifest.get("version") != _VERSION:
+            raise CheckpointError(
+                "checkpoint manifest has unsupported version",
+                path=path, reason=f"version={manifest.get('version')!r}",
+            )
+        files = manifest.get("files", {})
+        for rel, meta in files.items():
+            f = path / rel
+            try:
+                data = f.read_bytes()
+            except OSError:
+                raise CheckpointError("checkpoint file missing",
+                                      path=path, reason=rel) from None
+            if len(data) != meta["size"]:
+                raise CheckpointError(
+                    "checkpoint file truncated",
+                    path=path,
+                    reason=f"{rel}: {len(data)} of {meta['size']} bytes",
+                )
+            if zlib.crc32(data) != meta["crc32"]:
+                raise CheckpointError(
+                    "checkpoint file fails its CRC (corrupt payload)",
+                    path=path, reason=rel,
+                )
+        on_disk = {
+            p.relative_to(path).as_posix()
+            for p in path.rglob("*") if p.is_file()
+        } - {_MANIFEST}
+        extra = on_disk - set(files)
+        if extra:
+            raise CheckpointError(
+                "checkpoint holds files the manifest does not cover",
+                path=path, reason=", ".join(sorted(extra)[:3]),
+            )
+
+    def latest_valid(self) -> Optional[Path]:
+        """Newest checkpoint that passes validation (None if none do);
+        counts every invalid set skipped as a checkpoint fallback."""
+        for ckpt in reversed(self.checkpoints()):
+            try:
+                self.validate(ckpt)
+                return ckpt
+            except CheckpointError:
+                if self.obs is not None:
+                    self.obs.counter("resilience.checkpoint_fallbacks").inc()
+        return None
+
+    def restore_latest_valid(self, loader: Callable[[Path], None]) -> Path:
+        """Load the newest valid checkpoint via ``loader(directory)``.
+
+        Walks newest → oldest; a set that fails validation *or* whose
+        load raises a restart error is skipped (counted as a fallback)
+        and the next older one is tried.  Raises :class:`CheckpointError`
+        when nothing on disk survives.
+        """
+        from ..io.restart import RestartError
+
+        span = (self.obs.span("resilience.restore")
+                if self.obs is not None else _NULL_CTX)
+        with span:
+            tried = 0
+            for ckpt in reversed(self.checkpoints()):
+                tried += 1
+                try:
+                    self.validate(ckpt)
+                    loader(ckpt)
+                except (CheckpointError, RestartError):
+                    if self.obs is not None:
+                        self.obs.counter("resilience.checkpoint_fallbacks").inc()
+                    continue
+                if self.obs is not None:
+                    self.obs.counter("resilience.restores").inc()
+                return ckpt
+        raise CheckpointError(
+            "no valid checkpoint to restore from",
+            path=self.root, reason=f"{tried} candidate(s) all failed",
+        )
+
+
+class _Null:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_CTX = _Null()

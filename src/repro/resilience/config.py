@@ -1,0 +1,53 @@
+"""Resilience configuration (the ``resilience`` section of AP3ESMConfig).
+
+Kept dependency-free so the driver, the CLI, and the chaos harness can
+all import it without touching the rest of the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ResilienceConfig"]
+
+
+@dataclass
+class ResilienceConfig:
+    """Opt-in resilience machinery for a coupled run.
+
+    Everything is off by default (``enabled=False``): the driver then
+    takes exactly the pre-resilience code paths — no guard wrapper, no
+    checkpoint manager, no watchdog, zero extra messages or branches on
+    the hot loop beyond one ``is None`` check.
+    """
+
+    enabled: bool = False
+    #: Wrap the physics suite in a :class:`GuardedPhysics` that falls back
+    #: to the conventional parameterization for NaN/blow-up columns.
+    guard_physics: bool = True
+    #: Write a rotating checkpoint every N couplings (0 = never).
+    checkpoint_every: int = 0
+    #: Rotating checkpoint directory (required when checkpoint_every > 0).
+    checkpoint_dir: Optional[str] = None
+    #: How many checkpoints the rotation keeps on disk.
+    checkpoint_keep: int = 3
+    #: Retries for transient comm failures (rearranger sends).
+    max_retries: int = 3
+    #: Base backoff between retries, doubling per attempt (0 = immediate;
+    #: the simulated runtime needs no real waiting).
+    backoff_s: float = 0.0
+    #: Per-receive timeout surfacing a dead peer as CommTimeoutError
+    #: (None = the world's default deadlock guard).
+    recv_timeout_s: Optional[float] = None
+    #: Abort waiting on a task domain after this many seconds
+    #: (None = wait forever, the pre-resilience behavior).
+    watchdog_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every > 0 requires checkpoint_dir")

@@ -1,0 +1,56 @@
+"""The resilience error taxonomy, in one import surface.
+
+The concrete classes live with the layer that raises them — comm errors
+in :mod:`repro.parallel.comm`, restart errors in :mod:`repro.io.restart`
+— so low-level modules never import upward; this module re-exports them
+next to the errors the resilience machinery itself raises
+(:class:`CheckpointError`, :class:`WatchdogTimeout`).
+"""
+
+from __future__ import annotations
+
+from ..io.restart import RestartError
+from ..parallel.comm import CommTimeoutError, CommTransientError, RankFailure
+
+__all__ = [
+    "ResilienceError",
+    "CheckpointError",
+    "WatchdogTimeout",
+    "RestartError",
+    "CommTransientError",
+    "CommTimeoutError",
+    "RankFailure",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for errors raised by the resilience machinery itself."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint failed validation, or no valid checkpoint exists."""
+
+    def __init__(self, message: str, *, path=None, reason: str | None = None) -> None:
+        detail = message
+        if path is not None:
+            detail += f" [checkpoint={path}]"
+        if reason is not None:
+            detail += f" [reason={reason}]"
+        super().__init__(detail)
+        self.path = None if path is None else str(path)
+        self.reason = reason
+
+
+class WatchdogTimeout(ResilienceError):
+    """A task domain exceeded its watchdog budget and was abandoned with
+    a diagnostic instead of deadlocking the driver."""
+
+    def __init__(self, domain: str, timeout_s: float) -> None:
+        super().__init__(
+            f"task domain {domain!r} did not finish within its "
+            f"{timeout_s:g}s watchdog budget — aborting the wait instead "
+            "of deadlocking (dead rank or hung communication in that "
+            "domain?)"
+        )
+        self.domain = domain
+        self.timeout_s = timeout_s

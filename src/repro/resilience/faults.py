@@ -1,0 +1,340 @@
+"""Deterministic fault injection: the FaultPlan and its injectors.
+
+A :class:`FaultPlan` is a seeded, JSON-serializable description of every
+fault a chaos run will inject:
+
+* **comm faults** — transient send failures (succeed on retry), dropped
+  or bit-corrupted messages, and rank kills, executed inside the
+  simulated MPI runtime by :class:`CommFaultInjector`;
+* **checkpoint faults** — truncation, bit-flips, and stale manifest
+  versions applied to restart sets on disk by
+  :func:`corrupt_checkpoint`;
+* **physics faults** — NaN or blow-up tendencies injected into the
+  (AI) physics output by :class:`PhysicsFaultInjector`, keyed on the
+  atmosphere *model step* so a replay after checkpoint recovery
+  re-injects the identical faults (the property the chaos harness's
+  bitwise comparison relies on).
+
+Everything is deterministic via :mod:`repro.utils.rng`; nothing here is
+imported by the runtime unless a plan is actually installed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..parallel.comm import CommTransientError, RankFailure
+from ..utils.rng import seeded
+
+__all__ = [
+    "CommFault",
+    "CheckpointFault",
+    "PhysicsFault",
+    "FaultPlan",
+    "CommFaultInjector",
+    "PhysicsFaultInjector",
+    "corrupt_checkpoint",
+]
+
+_COMM_KINDS = ("transient", "drop", "corrupt", "kill")
+_CKPT_KINDS = ("bitflip", "truncate", "stale")
+_PHYS_KINDS = ("nan", "blowup")
+
+
+@dataclass(frozen=True)
+class CommFault:
+    """One fault on the simulated interconnect.
+
+    ``match`` selects which send on the (src, dst) edge is hit (0-based,
+    counted per edge); ``times`` is how many consecutive attempts of that
+    send fail for ``transient`` faults (a retry beyond that succeeds).
+    ``kill`` faults ignore the edge and kill ``rank`` at its
+    ``after_ops``-th comm operation.
+    """
+
+    kind: str
+    src: int = 0
+    dst: int = 0
+    match: int = 0
+    times: int = 1
+    rank: int = 0
+    after_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _COMM_KINDS:
+            raise ValueError(f"unknown comm fault kind {self.kind!r}; "
+                             f"choose from {_COMM_KINDS}")
+
+
+@dataclass(frozen=True)
+class CheckpointFault:
+    """Corruption applied to one checkpoint directory at crash time.
+
+    ``index`` selects the checkpoint in chronological order (negative
+    indexes from the newest, Python-style: -1 = latest).
+    """
+
+    kind: str
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CKPT_KINDS:
+            raise ValueError(f"unknown checkpoint fault kind {self.kind!r}; "
+                             f"choose from {_CKPT_KINDS}")
+
+
+@dataclass(frozen=True)
+class PhysicsFault:
+    """Corrupt the physics suite's output at one atmosphere model step.
+
+    Either list explicit ``columns``, or give ``n_columns`` and let the
+    plan's seed pick them deterministically.
+    """
+
+    kind: str
+    step: int
+    columns: Tuple[int, ...] = ()
+    n_columns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PHYS_KINDS:
+            raise ValueError(f"unknown physics fault kind {self.kind!r}; "
+                             f"choose from {_PHYS_KINDS}")
+        if not self.columns and self.n_columns <= 0:
+            raise ValueError("physics fault needs columns or n_columns > 0")
+
+
+@dataclass
+class FaultPlan:
+    """The complete, seeded description of a chaos experiment."""
+
+    seed: int = 0
+    comm: List[CommFault] = field(default_factory=list)
+    checkpoints: List[CheckpointFault] = field(default_factory=list)
+    physics: List[PhysicsFault] = field(default_factory=list)
+    #: Coupling index at which the chaos harness simulates a crash
+    #: (None = let the harness pick one past the first checkpoint).
+    crash_at_coupling: Optional[int] = None
+
+    # -- (de)serialization -------------------------------------------------
+
+    @staticmethod
+    def from_dict(data: Dict) -> "FaultPlan":
+        known = {"seed", "comm", "checkpoints", "physics", "crash_at_coupling"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        return FaultPlan(
+            seed=int(data.get("seed", 0)),
+            comm=[CommFault(**f) for f in data.get("comm", [])],
+            checkpoints=[CheckpointFault(**f) for f in data.get("checkpoints", [])],
+            physics=[
+                PhysicsFault(**{**f, "columns": tuple(f.get("columns", ()))})
+                for f in data.get("physics", [])
+            ],
+            crash_at_coupling=data.get("crash_at_coupling"),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        return FaultPlan.from_dict(json.loads(text))
+
+    @staticmethod
+    def from_file(path: Union[str, Path]) -> "FaultPlan":
+        return FaultPlan.from_json(Path(path).read_text())
+
+    def to_json(self) -> str:
+        data = asdict(self)
+        data["physics"] = [
+            {**f, "columns": list(f["columns"])} for f in data["physics"]
+        ]
+        return json.dumps(data, indent=2, sort_keys=True)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.comm) + len(self.checkpoints) + len(self.physics)
+
+
+class CommFaultInjector:
+    """Executes a plan's comm faults inside the simulated runtime.
+
+    Installed via ``SimWorld(n, faults=injector)``; the runtime calls
+    ``on_send``/``on_recv`` (see :class:`repro.parallel.comm.SimWorld`).
+    Thread-safe: ranks are threads.  A live ``obs`` handle counts every
+    injection under ``resilience.faults_injected``.
+    """
+
+    def __init__(self, plan: FaultPlan, obs=None) -> None:
+        self._plan = plan
+        self._obs = obs
+        self._lock = threading.Lock()
+        self._edge_sends: Dict[Tuple[int, int], int] = {}
+        self._rank_ops: Dict[int, int] = {}
+        self._remaining: Dict[int, int] = {
+            i: f.times for i, f in enumerate(plan.comm) if f.kind == "transient"
+        }
+        self._fired: set = set()
+        self._kills = {f.rank: f.after_ops for f in plan.comm if f.kind == "kill"}
+        self.injected = 0
+
+    def _count(self) -> None:
+        self.injected += 1
+        if self._obs is not None:
+            self._obs.counter("resilience.faults_injected").inc()
+
+    def _check_kill(self, rank: int, op: str) -> None:
+        budget = self._kills.get(rank)
+        if budget is None:
+            return
+        done = self._rank_ops.get(rank, 0)
+        if done >= budget:
+            del self._kills[rank]
+            self._count()
+            raise RankFailure(rank, op)
+        self._rank_ops[rank] = done + 1
+
+    def on_send(self, src: int, dst: int, tag: int, payload):
+        """May raise, corrupt (returns a new payload), or drop (returns
+        None); otherwise returns the payload unchanged."""
+        with self._lock:
+            self._check_kill(src, f"send(dst={dst}, tag={tag})")
+            edge = (src, dst)
+            seq = self._edge_sends.get(edge, 0)
+            for i, f in enumerate(self._plan.comm):
+                if f.kind == "kill" or (f.src, f.dst) != edge or f.match != seq:
+                    continue
+                if f.kind == "transient":
+                    left = self._remaining.get(i, 0)
+                    if left > 0:
+                        self._remaining[i] = left - 1
+                        self._count()
+                        # Do NOT advance the edge counter: the retry is
+                        # attempt seq again, failing until times exhausted.
+                        raise CommTransientError(src, dst, tag,
+                                                 attempt=f.times - left)
+                elif i not in self._fired:
+                    self._fired.add(i)
+                    self._edge_sends[edge] = seq + 1
+                    self._count()
+                    if f.kind == "drop":
+                        return None
+                    return _bitflip_payload(
+                        payload, seeded("comm-corrupt", self._plan.seed, i)
+                    )
+            self._edge_sends[edge] = seq + 1
+            return payload
+
+    def on_recv(self, rank: int, source, tag: int) -> None:
+        with self._lock:
+            self._check_kill(rank, f"recv(src={source}, tag={tag})")
+
+
+def _bitflip_payload(payload, rng: np.random.Generator):
+    """Flip one bit of an ndarray payload (other payload types pass
+    through untouched — the rearranger only moves arrays)."""
+    if not isinstance(payload, np.ndarray) or payload.nbytes == 0:
+        return payload
+    corrupted = payload.copy()
+    raw = corrupted.view(np.uint8).reshape(-1)
+    pos = int(rng.integers(0, raw.size))
+    raw[pos] ^= np.uint8(1 << int(rng.integers(0, 8)))
+    return corrupted
+
+
+class PhysicsFaultInjector:
+    """Applies a plan's physics faults to a tendencies object in place.
+
+    Keyed on the atmosphere model step (monotone, restored by restart),
+    so replays after checkpoint recovery re-inject identically.  Returns
+    the number of columns corrupted at this step.
+    """
+
+    def __init__(self, plan: FaultPlan, obs=None) -> None:
+        self._by_step: Dict[int, List[PhysicsFault]] = {}
+        for f in plan.physics:
+            self._by_step.setdefault(f.step, []).append(f)
+        self._seed = plan.seed
+        self._obs = obs
+
+    @property
+    def steps(self) -> List[int]:
+        return sorted(self._by_step)
+
+    def apply(self, tend, step: int) -> int:
+        faults = self._by_step.get(step)
+        if not faults:
+            return 0
+        ncol = tend.dt.shape[0]
+        hit: set = set()
+        for f in faults:
+            if f.columns:
+                cols = [c for c in f.columns if 0 <= c < ncol]
+            else:
+                rng = seeded("physics-fault", self._seed, f.kind, f.step)
+                cols = list(rng.choice(ncol, size=min(f.n_columns, ncol),
+                                       replace=False))
+            idx = np.asarray(cols, dtype=int)
+            if f.kind == "nan":
+                tend.dt[idx, :] = np.nan
+                tend.dq[idx, :] = np.nan
+            else:  # blowup: far past any physical tendency magnitude
+                tend.dt[idx, :] = 1.0e6
+                tend.du[idx, :] = 1.0e6
+            hit.update(cols)
+        if self._obs is not None and hit:
+            self._obs.counter("resilience.faults_injected").inc(len(faults))
+        return len(hit)
+
+
+def corrupt_checkpoint(
+    path: Union[str, Path],
+    kind: str,
+    rng: Optional[np.random.Generator] = None,
+) -> Path:
+    """Damage a checkpoint/restart directory on disk, one of the three
+    corruption modes the resilience layer must detect:
+
+    * ``bitflip`` — XOR one bit of one subfile payload;
+    * ``truncate`` — chop a subfile short;
+    * ``stale`` — rewrite every manifest's version to an unsupported one.
+
+    Returns the file actually damaged.
+    """
+    if kind not in _CKPT_KINDS:
+        raise ValueError(f"unknown corruption kind {kind!r}; "
+                         f"choose from {_CKPT_KINDS}")
+    path = Path(path)
+    rng = rng if rng is not None else seeded("corrupt-checkpoint", str(path), kind)
+    if kind == "stale":
+        manifests = sorted(path.rglob("*.json"))
+        if not manifests:
+            raise FileNotFoundError(f"no manifest under {path}")
+        for m in manifests:
+            data = json.loads(m.read_text())
+            data["version"] = 99
+            m.write_text(json.dumps(data))
+        return manifests[0]
+    subfiles = sorted(path.rglob("*.bin"))
+    if not subfiles:
+        raise FileNotFoundError(f"no subfiles under {path}")
+    victim = subfiles[int(rng.integers(0, len(subfiles)))]
+    raw = bytearray(victim.read_bytes())
+    if kind == "truncate":
+        victim.write_bytes(bytes(raw[: max(1, len(raw) // 2)]))
+    else:  # bitflip
+        pos = int(rng.integers(0, len(raw)))
+        raw[pos] ^= 1 << int(rng.integers(0, 8))
+        victim.write_bytes(bytes(raw))
+    return victim
+
+
+def file_crc(path: Union[str, Path]) -> int:
+    """crc32 of a file's bytes (the checksum the manifests store)."""
+    return zlib.crc32(Path(path).read_bytes())

@@ -1,0 +1,64 @@
+"""Retry-with-backoff for simulated transient failures.
+
+Deterministic: exponential backoff with no jitter, and a zero base delay
+by default — the simulated runtime has nothing to wait *for*, the retry
+discipline (bounded attempts, counted interventions) is what matters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Tuple, Type, TypeVar
+
+from ..parallel.comm import CommTransientError
+
+__all__ = ["RetryPolicy", "retry_with_backoff"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, how long to back off, on what errors."""
+
+    max_retries: int = 3
+    backoff_s: float = 0.0
+    retry_on: Tuple[Type[BaseException], ...] = (CommTransientError,)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.backoff_s < 0:
+            raise ValueError("max_retries and backoff_s must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): base * 2^(n-1)."""
+        return self.backoff_s * (2.0 ** max(attempt - 1, 0))
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    policy: RetryPolicy = RetryPolicy(),
+    obs=None,
+    counter: str = "resilience.retries",
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` retrying on the policy's transient errors.
+
+    Every retry increments the obs ``counter``; the final failure is
+    re-raised unchanged once the budget is spent.  A retried success is
+    bit-identical to an unfaulted call by construction — ``fn`` is simply
+    invoked again with the same closure state.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except policy.retry_on:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise
+            if obs is not None:
+                obs.counter(counter).inc()
+            delay = policy.delay(attempt)
+            if delay > 0:
+                sleep(delay)
