@@ -40,6 +40,7 @@ __all__ = [
     "evaluate_all_curves",
     "weak_scaling_series",
     "coupled_curve",
+    "paper_coupled_model",
     "predict_pairing_sypd",
 ]
 
@@ -271,6 +272,27 @@ def replace_workload(wl: ComponentWorkload, serial: float) -> ComponentWorkload:
     )
 
 
+def paper_coupled_model(label: str) -> CoupledPerfModel:
+    """The paper-calibrated coupled model for a coupled curve label
+    ('3v2' or '1v1'), without evaluating the curve.
+
+    The same object :func:`coupled_curve` builds internally; elastic
+    recovery uses it to price degraded-mode continuation
+    (:meth:`CoupledPerfModel.degraded_estimate`) after a shrink.
+    """
+    curve = STRONG_SCALING_CURVES[f"coupled_{label}"]
+    coupled = _build_coupled_model(label)
+
+    def split(r: float) -> Tuple[int, int]:
+        total = max(2, int(r) // CORES_PER_SUNWAY_PROCESS)
+        return coupled.balance_resources(total)
+
+    anchor_points = [p for p in curve.points if p.anchor]
+    return coupled.calibrated_coupled(
+        [(*split(p.resources), p.sypd) for p in anchor_points]
+    )
+
+
 def coupled_curve(label: str) -> CurveResult:
     """AP3ESM coupled curves, assembled from *standalone* calibrations.
 
@@ -281,6 +303,39 @@ def coupled_curve(label: str) -> CurveResult:
     machine model faces.
     """
     curve = STRONG_SCALING_CURVES[f"coupled_{label}"]
+    coupled = _build_coupled_model(label)
+
+    def split(r: float) -> Tuple[int, int]:
+        total = max(2, int(r) // CORES_PER_SUNWAY_PROCESS)
+        return coupled.balance_resources(total)
+
+    # Calibrate the two coupled-only terms (inter-domain sync imbalance +
+    # driver serial time) on the curve's anchor endpoints; interior points
+    # stay predictions.
+    anchor_points = [p for p in curve.points if p.anchor]
+    coupled = coupled.calibrated_coupled(
+        [(*split(p.resources), p.sypd) for p in anchor_points]
+    )
+
+    resources = [p.resources for p in curve.points]
+    modeled = []
+    for r in resources:
+        n1, n2 = split(r)
+        modeled.append(coupled.predict_sypd(n1, n2))
+    return CurveResult(
+        curve=curve,
+        resources=resources,
+        published=[p.sypd for p in curve.points],
+        modeled=modeled,
+        anchors=[p.anchor for p in curve.points],
+        compute_scale=coupled.model1.compute_scale,
+        serial_seconds=coupled.serial_seconds,
+        sync_imbalance=coupled.sync_imbalance,
+    )
+
+
+def _build_coupled_model(label: str) -> CoupledPerfModel:
+    """Uncalibrated-coupled (component-calibrated) model for a label."""
     machine = sunway_oceanlight()
     model = PerfModel(machine, mode="accelerated")
 
@@ -323,35 +378,7 @@ def coupled_curve(label: str) -> CurveResult:
             "ice": float(ocfg.nlon * ocfg.nlat) * 8 * 2,
         },
     )
-    coupled = CoupledPerfModel.from_layout(
+    return CoupledPerfModel.from_layout(
         paper_layout(), {"atm": wl_a, "ocn": wl_o},
         model1=cal_a, model2=cal_o, coupling=coupling,
-    )
-
-    def split(r: float) -> Tuple[int, int]:
-        total = max(2, int(r) // CORES_PER_SUNWAY_PROCESS)
-        return coupled.balance_resources(total)
-
-    # Calibrate the two coupled-only terms (inter-domain sync imbalance +
-    # driver serial time) on the curve's anchor endpoints; interior points
-    # stay predictions.
-    anchor_points = [p for p in curve.points if p.anchor]
-    coupled = coupled.calibrated_coupled(
-        [(*split(p.resources), p.sypd) for p in anchor_points]
-    )
-
-    resources = [p.resources for p in curve.points]
-    modeled = []
-    for r in resources:
-        n1, n2 = split(r)
-        modeled.append(coupled.predict_sypd(n1, n2))
-    return CurveResult(
-        curve=curve,
-        resources=resources,
-        published=[p.sypd for p in curve.points],
-        modeled=modeled,
-        anchors=[p.anchor for p in curve.points],
-        compute_scale=cal_a.compute_scale,
-        serial_seconds=coupled.serial_seconds,
-        sync_imbalance=coupled.sync_imbalance,
     )

@@ -60,6 +60,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rotating checkpoint directory")
     run.add_argument("--checkpoint-keep", type=int, default=3,
                      help="checkpoints kept in the rotation (default 3)")
+    run.add_argument("--recovery-policy", choices=("abort", "shrink", "spare"),
+                     default="abort",
+                     help="what to do when a rank dies mid-run: abort "
+                          "(default, pre-elastic behavior), shrink "
+                          "(survivors absorb the lost work and continue "
+                          "degraded), or spare (an idle rank takes the slot; "
+                          "bitwise-identical to a fault-free run); non-abort "
+                          "policies require --checkpoint-every/--checkpoint-dir")
+    run.add_argument("--spare-ranks", type=int, default=1, metavar="K",
+                     help="idle ranks pre-allocated for --recovery-policy "
+                          "spare (default 1)")
     run.add_argument("--faults", default=None, metavar="PLAN_JSON",
                      help="chaos mode: inject this FaultPlan, crash, recover "
                           "from the newest valid checkpoint, and verify the "
@@ -103,12 +114,19 @@ def _cmd_info() -> int:
 def _resilience_config(args: argparse.Namespace):
     """Build the ResilienceConfig the run-coupled flags describe (None
     when no resilience flag was given — the zero-overhead default)."""
-    if not (args.checkpoint_every or args.checkpoint_dir or args.faults):
+    elastic = getattr(args, "recovery_policy", "abort") != "abort"
+    if not (args.checkpoint_every or args.checkpoint_dir or args.faults
+            or elastic):
         return None
     from repro.resilience import ResilienceConfig
 
     if args.checkpoint_every and not args.checkpoint_dir:
         raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if elastic and not (args.checkpoint_every and args.checkpoint_dir):
+        raise SystemExit(
+            f"--recovery-policy {args.recovery_policy} needs a rollback "
+            "target: pass --checkpoint-every and --checkpoint-dir"
+        )
     return ResilienceConfig(
         enabled=True,
         checkpoint_every=args.checkpoint_every,
@@ -116,6 +134,8 @@ def _resilience_config(args: argparse.Namespace):
         checkpoint_keep=args.checkpoint_keep,
         max_retries=3,
         recv_timeout_s=5.0,
+        recovery_policy=getattr(args, "recovery_policy", "abort"),
+        spare_ranks=getattr(args, "spare_ranks", 1),
     )
 
 
@@ -164,6 +184,16 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
     print(f"running {args.days:g} coupled days "
           f"({schedule} task domains, {args.precision} storage)...")
     model.run_days(args.days)
+    for ev in model.recovery_events:
+        print(f"recovered ({ev['policy']}) from {ev['error']} in "
+              f"{ev['domain']} at coupling {ev['failed_at_coupling']}: "
+              f"rolled back to {ev['restored_to_coupling']}, replayed "
+              f"{ev['replayed_couplings']} coupling(s)")
+    if model.scheduler.degraded:
+        est = model.degraded_sypd()
+        print(f"degraded layout {model.scheduler.degraded}: modeled "
+              f"{est['sypd_degraded']:.3g} SYPD "
+              f"({est['slowdown']:.3f}x slowdown vs fault-free)")
     mem = model.memory_report()
     if mem["n_fp32"] or mem["n_fp32_groupscaled"]:
         print(f"mixed-precision state: {mem['bytes_fp64']:.0f} -> "

@@ -106,6 +106,36 @@ class GlobalSegMap:
             out[s : s + l] = p
         return out
 
+    # -- elastic repair ------------------------------------------------------------
+
+    def renumber(self, old_to_new: Dict[int, int]) -> "GlobalSegMap":
+        """Relabel ranks through ``old_to_new`` (holes stay holes).
+
+        Used after a spare promotion where slot numbering is unchanged
+        (identity map) or any relabelling that keeps ownership intact.
+        """
+        pes = np.array([old_to_new.get(int(p), int(p)) for p in self.pes], dtype=np.int64)
+        return GlobalSegMap(self.gsize, self.starts.copy(), self.lengths.copy(), pes)
+
+    def shrink(self, dead: "List[int]") -> Tuple["GlobalSegMap", Dict[int, int]]:
+        """Repaired GSMap after the dead ranks' indices are re-partitioned
+        across survivors (nearest surviving owner along index order) and
+        survivors densely renumbered — the coupler-side mirror of
+        :meth:`repro.parallel.SimWorld.shrink`.
+
+        Returns ``(new_gsmap, old_to_new)``.
+        """
+        from ..parallel.decomp import shrink_owners
+
+        owners = self.owner_array()
+        live = owners >= 0
+        # Compact over live cells so holes neither adopt nor get adopted;
+        # nearest-in-index-order over the compacted array is nearest live.
+        new_compact, old_to_new = shrink_owners(owners[live], dead, n_ranks=self.n_pes)
+        new_owners = np.full_like(owners, -1)
+        new_owners[live] = new_compact
+        return GlobalSegMap.from_owners(new_owners), old_to_new
+
     # -- offline precompute (§5.2.4) -----------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:

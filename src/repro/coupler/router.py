@@ -93,6 +93,31 @@ class Router:
             + sum(v.nbytes for v in self.recv.values())
         )
 
+    # -- application ---------------------------------------------------------------------
+
+    def redistribute(
+        self,
+        src_shards: Dict[int, np.ndarray],
+        dst_sizes: Dict[int, int],
+    ) -> Dict[int, np.ndarray]:
+        """Apply the transfer table driver-side: move values from per-rank
+        source shards (each in the owner's ascending local order) into
+        per-rank destination shards.
+
+        This is the data-movement step of elastic re-decomposition: the
+        Router built between the old and the repaired GSMap *is* the
+        migration plan for survivor-held state.  Positions not covered by
+        any transfer pair (holes on the source side) are left NaN so a
+        partial redistribute is detectable.
+        """
+        out: Dict[int, np.ndarray] = {
+            q: np.full(n, np.nan, dtype=np.float64) for q, n in dst_sizes.items()
+        }
+        for (p, q), spos in self.send.items():
+            shard = src_shards[p]
+            out[q][self.recv[(p, q)]] = np.asarray(shard, dtype=np.float64)[spos]
+        return out
+
     # -- offline precompute ----------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:

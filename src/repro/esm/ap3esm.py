@@ -241,6 +241,25 @@ class AP3ESM:
                 res.checkpoint_dir, keep=res.checkpoint_keep, obs=self.obs
             )
 
+        # Elastic recovery: None (the default `abort` policy) keeps the
+        # coupling loop on the pre-elastic path behind one `is None`
+        # branch; `shrink`/`spare` arm the recovering loop.
+        self._recovery = None
+        self.recovery_events: list = []
+        if res.enabled and res.recovery_policy != "abort":
+            from ..resilience.elastic import RecoveryPolicy
+
+            if self.checkpoints is None:
+                raise ValueError(
+                    f"recovery_policy={res.recovery_policy!r} needs a "
+                    "checkpoint to roll back to: set "
+                    "resilience.checkpoint_every/checkpoint_dir"
+                )
+            self._recovery = RecoveryPolicy.parse(res.recovery_policy)
+            self._spares_left = res.spare_ranks
+            self._failed_at: Optional[int] = None
+            self._failed_count = 0
+
         self.n_couplings = 0
         self._initialized = True
 
@@ -385,6 +404,8 @@ class AP3ESM:
             self._pending.wait()
 
     def run_couplings(self, n: int) -> None:
+        if self._recovery is not None:
+            return self._run_couplings_elastic(n)
         every = self.config.resilience.checkpoint_every
         for _ in range(n):
             self.step_coupling()
@@ -395,6 +416,62 @@ class AP3ESM:
                 self.checkpoint()
         # Leave no thread mutating ocean state once control returns.
         self._wait_ocean()
+
+    def _run_couplings_elastic(self, n: int) -> None:
+        """The recovering coupling loop (``recovery_policy`` shrink/spare).
+
+        A rank-loss-class failure surfacing from either task domain rolls
+        the whole coupled state back to the newest valid checkpoint via
+        :meth:`recover_from_failure`, then the loop replays forward —
+        deterministically, since every component restores bitwise.  The
+        same coupling failing ``max_retries`` consecutive times (a hard
+        fault no rollback can clear) re-raises.
+        """
+        from ..resilience.errors import (
+            CommRevokedError,
+            CommTimeoutError,
+            RankFailure,
+            WatchdogTimeout,
+        )
+
+        every = self.config.resilience.checkpoint_every
+        target = self.n_couplings + n
+        # Seed checkpoint so a failure before the first interval has a
+        # rollback target (idempotent: same-step saves replace).
+        if self.n_couplings == 0:
+            self.checkpoint()
+        while True:
+            try:
+                if self.n_couplings >= target:
+                    self._check_pending()
+                    return
+                self.step_coupling()
+                if self.n_couplings % every == 0:
+                    # A latent ocean-unit failure must surface *before*
+                    # the checkpoint — otherwise the checkpoint bakes in
+                    # an un-stepped ocean and rollback restores poison.
+                    self._check_pending()
+                    self.checkpoint()
+            except (
+                RankFailure,
+                CommRevokedError,
+                CommTimeoutError,
+                WatchdogTimeout,
+            ) as exc:
+                self.recover_from_failure(exc)
+
+    def _check_pending(self) -> None:
+        """Join any in-flight ocean run and surface its failure *now*.
+
+        Lagged coupling keeps a unit failure latent in the handle until
+        publish; the elastic loop calls this before checkpoints and at
+        the end of its window so a poisoned run is never checkpointed or
+        handed back to the caller.  The export stays unpublished —
+        ``result()`` is idempotent and publishing happens only at the
+        alarm."""
+        self._wait_ocean()
+        if self._pending is not None:
+            self._pending.result()
 
     # -- resilience: rotating checkpoints + recovery ------------------------------
 
@@ -415,6 +492,109 @@ class AP3ESM:
                                "(set config.resilience.checkpoint_*)")
         self._wait_ocean()
         return self.checkpoints.restore_latest_valid(self.load_restart)
+
+    #: Consecutive failures of the same coupling before recovery gives up
+    #: (a fault no rollback can clear — e.g. a deterministic component bug).
+    MAX_RECOVERY_RETRIES = 3
+
+    def recover_from_failure(self, exc: BaseException) -> str:
+        """ULFM-style driver recovery: abandon the failed domain's
+        outstanding work (*revoke*), roll the whole coupled state back to
+        the newest valid checkpoint (*shrink*'s state repair), and let
+        the caller replay forward deterministically.
+
+        Under ``spare`` a pre-allocated idle rank replaces the dead one —
+        the decomposition is unchanged, so the replay is bitwise-identical
+        to a fault-free twin; the spare pool is decremented and, once
+        exhausted, the failure surfaces.  Under ``shrink`` the domain the
+        failure was attributed to is marked degraded (fewer ranks carry
+        the same decomposed work) and the layout/metrics report it.
+
+        Attribution heuristic: ``WatchdogTimeout`` names its domain; any
+        other failure is charged to domain 2 when an unpublished ocean run
+        was outstanding, else to domain 1.  Attribution only affects
+        degradation bookkeeping — rollback always covers the full coupled
+        state.
+
+        Returns the checkpoint directory restored from.
+        """
+        if self._recovery is None:
+            raise RuntimeError(
+                "elastic recovery is not armed (recovery_policy=abort)"
+            ) from exc
+        from ..resilience.elastic import RecoveryPolicy
+
+        failed_at = self.n_couplings
+        if failed_at == self._failed_at:
+            self._failed_count += 1
+        else:
+            self._failed_at, self._failed_count = failed_at, 1
+        if self._failed_count > self.MAX_RECOVERY_RETRIES:
+            raise exc
+
+        policy = self._recovery
+        domain = getattr(exc, "domain", None) or (
+            "domain2" if self._pending is not None else "domain1"
+        )
+        obs = self.obs
+        with obs.span(
+            "resilience.recovery",
+            policy=policy.value,
+            domain=domain,
+            error=type(exc).__name__,
+            coupling=failed_at,
+        ):
+            if policy is RecoveryPolicy.SPARE and self._spares_left <= 0:
+                obs.counter("resilience.spares_exhausted").inc()
+                raise exc
+            self.scheduler.reset("domain2")
+            self._pending = None
+            restored = self.checkpoints.restore_latest_valid(self.load_restart)
+            replayed = failed_at - self.n_couplings
+            if policy is RecoveryPolicy.SPARE:
+                self._spares_left -= 1
+                obs.counter("resilience.spares_used").inc()
+            else:
+                self.scheduler.mark_degraded(domain)
+            obs.counter("resilience.recoveries").inc()
+            obs.counter("resilience.ranks_lost").inc(
+                len(getattr(exc, "dead", ())) or 1
+            )
+            obs.counter("resilience.replayed_couplings").inc(replayed)
+            obs.gauge("resilience.recovery.coupling").set(float(self.n_couplings))
+        self.recovery_events.append({
+            "policy": policy.value,
+            "domain": domain,
+            "error": type(exc).__name__,
+            "failed_at_coupling": failed_at,
+            "restored_to_coupling": self.n_couplings,
+            "replayed_couplings": replayed,
+            "checkpoint": str(restored),
+        })
+        return restored
+
+    def degraded_sypd(self, label: str = "3v2", total_cores: int = 2_000_000):
+        """Machine-model SYPD estimate for the current (possibly degraded)
+        layout: the paper-calibrated coupled model is balanced at
+        ``total_cores``, then each domain's modeled process count is
+        docked by the ranks the scheduler recorded as lost.  Emits
+        ``resilience.degraded.*`` gauges and returns the
+        :meth:`~repro.machine.perfmodel.CoupledPerfModel.degraded_estimate`
+        dict."""
+        from ..bench.scaling import CORES_PER_SUNWAY_PROCESS, paper_coupled_model
+
+        coupled = paper_coupled_model(label)
+        total = max(2, int(total_cores) // CORES_PER_SUNWAY_PROCESS)
+        n1, n2 = coupled.balance_resources(total)
+        lost = self.scheduler.degraded
+        est = coupled.degraded_estimate(
+            n1, n2,
+            lost1=min(lost.get("domain1", 0), n1 - 1),
+            lost2=min(lost.get("domain2", 0), n2 - 1),
+        )
+        self.obs.gauge("resilience.degraded.sypd").set(est["sypd_degraded"])
+        self.obs.gauge("resilience.degraded.slowdown").set(est["slowdown"])
+        return est
 
     def run_days(self, days: float) -> None:
         per_day = 86400.0 / self.dt_couple

@@ -82,6 +82,18 @@ def _layout(domains: Sequence[TaskDomain]) -> Dict[str, Dict[str, object]]:
     }
 
 
+def _tag_domain(exc: BaseException, name: str) -> None:
+    """Stamp an escaping unit exception with the domain it came from, so
+    elastic recovery can attribute the failure without guessing.  Never
+    overwrites (WatchdogTimeout already names its domain) and never
+    raises (slotted exceptions just go untagged)."""
+    if getattr(exc, "domain", None) is None:
+        try:
+            exc.domain = name
+        except Exception:
+            pass
+
+
 class TaskHandle:
     """Join handle for a launched domain unit.
 
@@ -190,6 +202,7 @@ class TaskDomainScheduler:
         )
         self._domain_obs: Dict[str, Any] = {}
         self._outstanding: List[TaskHandle] = []
+        self._degraded: Dict[str, int] = {}
 
     # -- layout ------------------------------------------------------------
 
@@ -197,8 +210,28 @@ class TaskDomainScheduler:
         return self._by_name[name]
 
     def layout(self) -> Dict[str, Dict[str, object]]:
-        """The layout dict the machine model prices (§5.1.2)."""
-        return _layout(self.domains)
+        """The layout dict the machine model prices (§5.1.2).  Domains
+        running degraded after elastic recovery additionally carry their
+        ``lost_ranks`` count (absent when nothing was lost, so the
+        fault-free layout is unchanged)."""
+        out = _layout(self.domains)
+        for name, lost in self._degraded.items():
+            if lost:
+                out[name]["lost_ranks"] = lost
+        return out
+
+    @property
+    def degraded(self) -> Dict[str, int]:
+        """Ranks lost per domain (empty when no recovery happened)."""
+        return dict(self._degraded)
+
+    def mark_degraded(self, name: str, lost_ranks: int = 1) -> None:
+        """Record that a domain continues with fewer ranks after a
+        shrink recovery."""
+        if name not in self._by_name:
+            raise KeyError(name)
+        self._degraded[name] = self._degraded.get(name, 0) + int(lost_ranks)
+        self.obs.counter("resilience.domains_degraded").inc()
 
     # -- execution ---------------------------------------------------------
 
@@ -218,7 +251,11 @@ class TaskDomainScheduler:
         """Run ``unit(obs)`` inline under the domain's span."""
         domain = self._by_name[name]
         with self.obs.span(f"cpl.domain.{domain.name}"):
-            return unit(self.obs)
+            try:
+                return unit(self.obs)
+            except BaseException as exc:
+                _tag_domain(exc, domain.name)
+                raise
 
     def launch(self, name: str, unit: Callable[[Any], Any]) -> TaskHandle:
         """Schedule ``unit(obs)``; returns a join handle.
@@ -231,12 +268,20 @@ class TaskDomainScheduler:
         domain = self._by_name[name]
         if self._executor is None:
             with self.obs.span(f"cpl.domain.{domain.name}"):
-                return TaskHandle(value=unit(self.obs))
+                try:
+                    return TaskHandle(value=unit(self.obs), name=domain.name)
+                except BaseException as exc:
+                    _tag_domain(exc, domain.name)
+                    raise
         domain_obs = self._obs_for(name)
 
         def run() -> Any:
             with domain_obs.span(f"cpl.domain.{domain.name}"):
-                return unit(domain_obs)
+                try:
+                    return unit(domain_obs)
+                except BaseException as exc:
+                    _tag_domain(exc, domain.name)
+                    raise
 
         handle = TaskHandle(
             future=self._executor.submit(run),
@@ -253,6 +298,28 @@ class TaskDomainScheduler:
         for handle in self._outstanding:
             handle.wait()
         self._outstanding = []
+
+    def reset(self, name: str) -> None:
+        """Abandon a failed domain's outstanding work so it can re-enter
+        the schedule after elastic recovery.
+
+        Handles belonging to ``name`` are dropped without joining (a unit
+        hung on a dead rank would otherwise deadlock the driver or trip
+        the watchdog again during recovery); in concurrent mode the
+        executor is recycled so an abandoned worker thread cannot block a
+        relaunched unit.
+        """
+        if name not in self._by_name:
+            raise KeyError(name)
+        self._outstanding = [
+            h for h in self._outstanding if h._name != name
+        ]
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(1, len(self.domains) - 1),
+                thread_name_prefix="task-domain",
+            )
 
     def shutdown(self) -> None:
         """Drain and release the thread pool (idempotent)."""

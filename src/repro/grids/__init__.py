@@ -3,7 +3,7 @@ grid with synthetic earth (ocean/ice), partitioners, and remapping."""
 
 from .icos import IcosahedralGrid, icosahedral_counts
 from .partition import IcosPartition, tripolar_blocks
-from .remap import RemapMatrix, nearest_remap
+from .remap import RemapMatrix, index_remap, nearest_remap
 from .sphere import (
     arc_length,
     lonlat_to_xyz,
@@ -25,6 +25,7 @@ __all__ = [
     "tripolar_blocks",
     "RemapMatrix",
     "nearest_remap",
+    "index_remap",
     "trsk",
     "normalize",
     "lonlat_to_xyz",

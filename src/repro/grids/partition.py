@@ -53,6 +53,15 @@ class IcosPartition:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         owners = partition_cells_space_filling(grid.lon_cell, grid.lat_cell, n_ranks)
+        return IcosPartition.from_owners(grid, owners, n_ranks)
+
+    @staticmethod
+    def from_owners(
+        grid: IcosahedralGrid, owners: np.ndarray, n_ranks: int
+    ) -> "IcosPartition":
+        """Partition from an explicit owner array (the path elastic
+        recovery re-enters with a repaired decomposition)."""
+        owners = np.asarray(owners)
         local = [np.sort(np.where(owners == r)[0]) for r in range(n_ranks)]
 
         # One-ring halos through edge adjacency.
@@ -66,6 +75,16 @@ class IcosPartition:
             ext = np.unique(neighbors[owners[neighbors] != r])
             halo.append(ext)
         return IcosPartition(grid, n_ranks, owners.astype(np.int64), local, halo)
+
+    def shrink(self, dead: List[int]) -> "IcosPartition":
+        """Repaired partition after rank loss: the dead ranks' cells are
+        absorbed by the nearest survivors along the SFC index order and
+        survivors are densely renumbered (same ordering as
+        :meth:`repro.parallel.SimWorld.shrink`)."""
+        from ..parallel.decomp import shrink_owners
+
+        new_owners, old_to_new = shrink_owners(self.owners, dead, n_ranks=self.n_ranks)
+        return IcosPartition.from_owners(self.grid, new_owners, len(old_to_new))
 
     def surface_to_volume(self, rank: int) -> float:
         """|halo| / |owned| for a rank — the communication-to-computation

@@ -25,7 +25,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.spatial import cKDTree
 
-__all__ = ["RemapMatrix", "nearest_remap"]
+__all__ = ["RemapMatrix", "nearest_remap", "index_remap"]
 
 
 @dataclass
@@ -89,6 +89,36 @@ class RemapMatrix:
         if abs(dst) < 1e-300 or abs(src) < 1e-300:
             return out
         return out * (src / dst)
+
+
+def index_remap(src_gidx: np.ndarray, dst_gidx: np.ndarray) -> csr_matrix:
+    """Selection matrix S with ``dst_values = S @ src_values`` where both
+    sides carry the *same* global indices in different local orders.
+
+    This is the exact (weight-1) remap elastic recovery uses to move a
+    checkpointed shard, stored in the dead rank's old local order, onto a
+    survivor's new local order: no interpolation, bitwise value identity.
+    Every destination index must be present on the source side.
+    """
+    src_gidx = np.asarray(src_gidx, dtype=np.int64).ravel()
+    dst_gidx = np.asarray(dst_gidx, dtype=np.int64).ravel()
+    order = np.argsort(src_gidx, kind="stable")
+    pos = np.searchsorted(src_gidx[order], dst_gidx)
+    if np.any(pos >= src_gidx.size) or np.any(src_gidx[order][np.minimum(pos, src_gidx.size - 1)] != dst_gidx):
+        missing = dst_gidx[
+            (pos >= src_gidx.size)
+            | (src_gidx[order][np.minimum(pos, src_gidx.size - 1)] != dst_gidx)
+        ]
+        raise ValueError(
+            f"destination indices missing from source: {missing[:8].tolist()}"
+            + ("..." if missing.size > 8 else "")
+        )
+    cols = order[pos]
+    rows = np.arange(dst_gidx.size)
+    return csr_matrix(
+        (np.ones(dst_gidx.size), (rows, cols)),
+        shape=(dst_gidx.size, src_gidx.size),
+    )
 
 
 def nearest_remap(

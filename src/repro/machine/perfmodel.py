@@ -490,6 +490,31 @@ class CoupledPerfModel:
     def predict_sypd(self, n_procs1: int, n_procs2: int) -> float:
         return sypd_from_walltime(SECONDS_PER_DAY, self.time_per_day(n_procs1, n_procs2))
 
+    def degraded_estimate(
+        self, n_procs1: int, n_procs2: int, lost1: int = 0, lost2: int = 0
+    ) -> Dict[str, float]:
+        """Post-shrink throughput: the same workload on the processes that
+        survive a rank loss (elastic recovery's degraded-mode continuation).
+
+        Returns the fault-free and degraded SYPD plus the slowdown factor
+        — what an operator uses to decide between continuing shrunk and
+        draining for a repair.
+        """
+        if not 0 <= lost1 < n_procs1 or not 0 <= lost2 < n_procs2:
+            raise ValueError(
+                f"lost ranks ({lost1}, {lost2}) must leave at least one "
+                f"process per domain of ({n_procs1}, {n_procs2})"
+            )
+        full = self.predict_sypd(n_procs1, n_procs2)
+        degraded = self.predict_sypd(n_procs1 - lost1, n_procs2 - lost2)
+        return {
+            "sypd_full": full,
+            "sypd_degraded": degraded,
+            "slowdown": full / degraded if degraded > 0 else float("inf"),
+            "procs_domain1": float(n_procs1 - lost1),
+            "procs_domain2": float(n_procs2 - lost2),
+        }
+
     def sequential_time_per_day(self, total_procs: int) -> float:
         """§5.1.2's *other* strategy: "all components are executed
         sequentially within a single domain" — every component gets the

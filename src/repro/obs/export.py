@@ -28,7 +28,28 @@ __all__ = [
     "write_chrome_trace",
     "text_report",
     "timing_summary",
+    "resilience_interventions",
 ]
+
+
+def resilience_interventions(
+    metrics: Iterable[MetricsRegistry],
+) -> Dict[str, float]:
+    """Total every nonzero ``resilience.*`` counter across ranks.
+
+    The resilience layer counts each intervention (retries, checkpoint
+    fallbacks, physics fallbacks, recoveries, replayed work, spares
+    used); a run that needed none returns ``{}``.
+    """
+    totals: Dict[str, float] = {}
+    for reg in metrics:
+        for name in reg.names():
+            if not name.startswith("resilience."):
+                continue
+            metric = reg.get(name)
+            if getattr(metric, "kind", None) == "counter" and metric.value:
+                totals[name] = totals.get(name, 0.0) + metric.value
+    return totals
 
 
 def _jsonable(value: Any) -> Any:
@@ -126,6 +147,12 @@ def text_report(
                 f"{name:<44}{summary['min']:>14.6g}{summary['max']:>14.6g}"
                 f"{summary['sum']:>16.6g}"
             )
+        sections.append("\n".join(lines))
+    interventions = resilience_interventions(metric_list)
+    if interventions:
+        lines = ["== resilience interventions =="]
+        for name in sorted(interventions):
+            lines.append(f"{name:<44}{interventions[name]:>14g}")
         sections.append("\n".join(lines))
     return "\n".join(sections)
 

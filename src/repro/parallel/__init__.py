@@ -2,8 +2,10 @@
 
 from .comm import (
     CollectiveCost,
+    CommRevokedError,
     CommTimeoutError,
     CommTransientError,
+    ElasticOutcome,
     RankFailure,
     Request,
     SimComm,
@@ -17,6 +19,8 @@ from .decomp import (
     factor_2d,
     partition_cells_contiguous,
     partition_cells_space_filling,
+    reassign_dead_ranks,
+    shrink_owners,
 )
 from .halo import GraphHalo, StructuredHalo, local_with_halo
 from .topology import (
@@ -34,8 +38,12 @@ __all__ = [
     "CollectiveCost",
     "CommTransientError",
     "CommTimeoutError",
+    "CommRevokedError",
     "RankFailure",
+    "ElasticOutcome",
     "block_ranges",
+    "reassign_dead_ranks",
+    "shrink_owners",
     "Block1D",
     "Block2D",
     "factor_2d",

@@ -40,7 +40,9 @@ __all__ = [
     "CollectiveCost",
     "CommTransientError",
     "CommTimeoutError",
+    "CommRevokedError",
     "RankFailure",
+    "ElasticOutcome",
 ]
 
 ANY_TAG = -1
@@ -77,6 +79,43 @@ class RankFailure(RuntimeError):
     def __init__(self, rank: int, op: str) -> None:
         super().__init__(f"rank {rank} killed by fault plan during {op}")
         self.rank, self.op = rank, op
+
+
+class CommRevokedError(RuntimeError):
+    """The communicator was revoked after a rank failure (the ULFM
+    ``MPI_Comm_revoke`` analogue): once a death is known, every further
+    operation on the world raises this, so survivors reach the recovery
+    path promptly and consistently instead of timing out one by one.
+    Carries the raising rank and the dead set as agreed at revoke time."""
+
+    def __init__(self, rank: int, dead) -> None:
+        dead = tuple(sorted(dead))
+        super().__init__(
+            f"communicator revoked on rank {rank}: dead rank(s) {list(dead)}"
+        )
+        self.rank = rank
+        self.dead = dead
+
+
+@dataclass
+class ElasticOutcome:
+    """What an elastic run produced: per-rank results for ranks that ran
+    to completion, plus the agreed set of dead ranks and the survivors
+    whose work was interrupted by the revocation.
+
+    ``results[r]`` is ``None`` for dead and interrupted ranks.  The
+    driver decides what to do next — typically ``SimWorld.shrink`` or
+    ``SimWorld.promote_spares`` followed by re-decomposition and a
+    restore/replay from the last checkpoint.
+    """
+
+    results: List[Any]
+    dead: Tuple[int, ...]
+    interrupted: Tuple[int, ...]
+
+    @property
+    def failed(self) -> bool:
+        return len(self.dead) > 0
 
 
 @dataclass
@@ -185,17 +224,35 @@ class _Mailbox:
                 return msrc, mtag, payload
         return None
 
-    def get(self, src: Optional[int], tag: int, timeout: float) -> Tuple[int, int, Any]:
+    def get(
+        self,
+        src: Optional[int],
+        tag: int,
+        timeout: float,
+        abort: Optional[Callable[[], None]] = None,
+    ) -> Tuple[int, int, Any]:
+        """Blocking matched receive.  ``abort`` (if given) is polled on
+        every wake-up and may raise to interrupt the wait — the hook the
+        world's revocation uses to free receivers blocked on a dead peer."""
         deadline = None if timeout is None else (threading.TIMEOUT_MAX if timeout < 0 else timeout)
         with self._cond:
+            if abort is not None:
+                abort()
             found = self._match(src, tag)
             while found is None:
                 if not self._cond.wait(timeout=deadline):
                     raise TimeoutError(
                         f"recv(src={src}, tag={tag}) timed out after {timeout}s"
                     )
+                if abort is not None:
+                    abort()
                 found = self._match(src, tag)
             return found
+
+    def interrupt(self) -> None:
+        """Wake every blocked getter so it re-polls its abort hook."""
+        with self._cond:
+            self._cond.notify_all()
 
     def probe(self, src: Optional[int], tag: int) -> bool:
         with self._cond:
@@ -243,6 +300,27 @@ class _WorldState:
         self.barrier = threading.Barrier(n_ranks)
         self._rendezvous_lock = threading.Lock()
         self._slots: Dict[str, List[Any]] = {}
+        # Revocation state (elastic runs): once a rank dies, the world is
+        # revoked and every further comm op raises CommRevokedError.
+        self.revoked = False
+        self.dead: set = set()
+        self._death_lock = threading.Lock()
+
+    def revoke(self, dead_rank: int) -> None:
+        """Record a death and revoke the world: abort the collective
+        barrier and wake every blocked receiver so survivors surface
+        :class:`CommRevokedError` promptly instead of timing out."""
+        with self._death_lock:
+            self.dead.add(dead_rank)
+            self.revoked = True
+        self.barrier.abort()
+        for mb in self.mailboxes:
+            mb.interrupt()
+
+    def check_revoked(self, rank: int) -> None:
+        if self.revoked:
+            with self._death_lock:
+                raise CommRevokedError(rank, self.dead)
 
     def exchange(self, key: str, rank: int, value: Any) -> List[Any]:
         """All ranks deposit a value under ``key``; all get the full list.
@@ -251,12 +329,19 @@ class _WorldState:
         built.  Two barriers bracket the slot table so that consecutive
         collectives with the same key cannot race.
         """
+        self.check_revoked(rank)
         with self._rendezvous_lock:
             slots = self._slots.setdefault(key, [None] * self.n_ranks)
         slots[rank] = value
-        self.barrier.wait()
-        result = list(slots)
-        self.barrier.wait()
+        try:
+            self.barrier.wait()
+            result = list(slots)
+            self.barrier.wait()
+        except threading.BrokenBarrierError:
+            # A revoked world breaks the barrier by design; translate to
+            # the structured error so survivors reach the recovery path.
+            self.check_revoked(rank)
+            raise
         if rank == 0:
             with self._rendezvous_lock:
                 self._slots.pop(key, None)
@@ -285,6 +370,8 @@ class SimComm:
         """
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
+        if self._world.revoked:
+            self._world.check_revoked(self.rank)
         payload = _copy_payload(obj)
         faults = self._world.faults
         if faults is not None:
@@ -310,8 +397,11 @@ class SimComm:
             faults.on_recv(self.rank, source, tag)
         limit = self._world.timeout if timeout is None else timeout
         try:
-            _, _, payload = self._world.mailboxes[self.rank].get(source, tag, limit)
-        except CommTimeoutError:
+            _, _, payload = self._world.mailboxes[self.rank].get(
+                source, tag, limit,
+                abort=lambda: self._world.check_revoked(self.rank),
+            )
+        except (CommTimeoutError, CommRevokedError):
             raise
         except TimeoutError:
             raise CommTimeoutError(source, self.rank, tag, limit) from None
@@ -609,14 +699,40 @@ class SimWorld:
         ``on_recv(rank, source, tag)`` protocol, e.g.
         :class:`repro.resilience.CommFaultInjector`).  ``None`` (the
         default) keeps every send/recv at one extra branch.
+    n_spares:
+        Pre-allocated idle ranks (``RecoveryPolicy.spare``).  Spares do
+        not run the program; :meth:`promote_spares` fills dead slots with
+        them so the decomposition — and therefore the continuation — is
+        unchanged relative to a fault-free twin.
     """
 
     def __init__(
-        self, n_ranks: int, timeout: float = 30.0, faults: Any = None
+        self,
+        n_ranks: int,
+        timeout: float = 30.0,
+        faults: Any = None,
+        n_spares: int = 0,
+        parent_ranks: Optional[Sequence[int]] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
+        if n_spares < 0:
+            raise ValueError("n_spares must be >= 0")
         self.n_ranks = n_ranks
+        self.n_spares = n_spares
+        # Identity of each slot in the *original* world's numbering: after
+        # shrink/promote the dense ranks 0..n-1 map back to these ids, so
+        # per-rank artifacts (checkpoint subfiles, fault-plan entries)
+        # remain addressable across repairs.
+        self.parent_ranks: Tuple[int, ...] = (
+            tuple(parent_ranks) if parent_ranks is not None else tuple(range(n_ranks))
+        )
+        if len(self.parent_ranks) != n_ranks:
+            raise ValueError("parent_ranks must have one entry per rank")
+        self._spare_ids: Tuple[int, ...] = tuple(
+            range(max(self.parent_ranks, default=-1) + 1,
+                  max(self.parent_ranks, default=-1) + 1 + n_spares)
+        )
         self._timeout = timeout
         self._faults = faults
         self._state: Optional[_WorldState] = None
@@ -669,3 +785,135 @@ class SimWorld:
             rank, exc = (primary or errors)[0]
             raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
         return results
+
+    # -- elastic (ULFM-style) runs --------------------------------------
+
+    def run_elastic(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> ElasticOutcome:
+        """Run ``fn`` like :meth:`run`, but survive rank deaths.
+
+        A :class:`RankFailure` on any rank revokes the world (the
+        ``MPI_Comm_revoke`` analogue): the collective barrier is aborted
+        and blocked receivers are woken, so survivors raise
+        :class:`CommRevokedError` promptly instead of timing out one by
+        one.  After every thread has been joined — the join is the
+        agreement point, playing the role of ``MPIX_Comm_agree`` in this
+        threaded runtime — the outcome classifies each rank as completed,
+        dead, or interrupted.  Exceptions unrelated to the failure are
+        re-raised exactly as :meth:`run` would.
+        """
+        state = _WorldState(self.n_ranks, self._timeout, faults=self._faults)
+        self._state = state
+        results: List[Any] = [None] * self.n_ranks
+        dead: List[int] = []
+        interrupted: List[int] = []
+        errors: List[Tuple[int, BaseException]] = []
+        lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            comm = SimComm(state, rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except RankFailure:
+                with lock:
+                    dead.append(rank)
+                state.revoke(rank)
+            except (CommRevokedError, CommTimeoutError, threading.BrokenBarrierError) as exc:
+                # Collateral damage of a death — but only if a death was in
+                # fact recorded by the time we classify (post-join below).
+                with lock:
+                    interrupted.append(rank)
+                    errors.append((rank, exc))
+            except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                with lock:
+                    errors.append((rank, exc))
+                state.barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"simrank-{r}", daemon=True)
+            for r in range(self.n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if dead:
+            # Agreement reached: deaths explain the interruptions; any
+            # remaining error is a genuine (unrelated) program failure.
+            real = [
+                e for e in errors
+                if e[0] not in interrupted
+            ]
+            if real:
+                real.sort(key=lambda e: e[0])
+                rank, exc = real[0]
+                raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+            return ElasticOutcome(
+                results=results,
+                dead=tuple(sorted(dead)),
+                interrupted=tuple(sorted(interrupted)),
+            )
+        if errors:
+            errors.sort(key=lambda e: e[0])
+            primary = [
+                e for e in errors
+                if not isinstance(e[1], (threading.BrokenBarrierError, TimeoutError))
+            ]
+            rank, exc = (primary or errors)[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return ElasticOutcome(results=results, dead=(), interrupted=())
+
+    def shrink(self, dead: Sequence[int], faults: Any = None) -> "SimWorld":
+        """Repaired world with the dead ranks removed and survivors densely
+        renumbered in ascending order (the ``MPIX_Comm_shrink`` analogue).
+
+        ``parent_ranks`` of the new world maps each new rank back to its
+        identity in the original world, so per-rank checkpoint subfiles
+        stay addressable.  ``faults`` optionally installs a new injector
+        (the old one's kill entries have already fired).
+        """
+        dead_set = set(dead)
+        if not dead_set:
+            raise ValueError("shrink requires at least one dead rank")
+        if not dead_set <= set(range(self.n_ranks)):
+            raise ValueError(f"dead ranks {sorted(dead_set)} out of range 0..{self.n_ranks - 1}")
+        survivors = [r for r in range(self.n_ranks) if r not in dead_set]
+        if not survivors:
+            raise ValueError("cannot shrink: no survivors")
+        new = SimWorld(
+            len(survivors),
+            timeout=self._timeout,
+            faults=faults,
+            n_spares=self.n_spares,
+            parent_ranks=[self.parent_ranks[r] for r in survivors],
+        )
+        new._spare_ids = self._spare_ids
+        return new
+
+    def promote_spares(self, dead: Sequence[int], faults: Any = None) -> "SimWorld":
+        """Repaired world of the *same size*: each dead slot is filled by a
+        pre-allocated spare rank, so the decomposition (and therefore the
+        continuation) is unchanged relative to a fault-free twin.
+        """
+        dead_sorted = sorted(set(dead))
+        if not dead_sorted:
+            raise ValueError("promote_spares requires at least one dead rank")
+        if len(dead_sorted) > len(self._spare_ids):
+            raise ValueError(
+                f"{len(dead_sorted)} dead rank(s) but only "
+                f"{len(self._spare_ids)} spare(s) pre-allocated"
+            )
+        parents = list(self.parent_ranks)
+        pool = list(self._spare_ids)
+        for r in dead_sorted:
+            parents[r] = pool.pop(0)
+        new = SimWorld(
+            self.n_ranks,
+            timeout=self._timeout,
+            faults=faults,
+            n_spares=len(pool),
+            parent_ranks=parents,
+        )
+        new._spare_ids = tuple(pool)
+        return new

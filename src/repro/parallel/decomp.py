@@ -20,6 +20,8 @@ __all__ = [
     "factor_2d",
     "partition_cells_contiguous",
     "partition_cells_space_filling",
+    "reassign_dead_ranks",
+    "shrink_owners",
 ]
 
 
@@ -214,3 +216,65 @@ def partition_cells_space_filling(
     for rank, (s, e) in enumerate(block_ranges(n, n_ranks)):
         owners[order[s:e]] = rank
     return owners
+
+
+def reassign_dead_ranks(owners: np.ndarray, dead: Sequence[int]) -> np.ndarray:
+    """Reassign every cell owned by a dead rank to its nearest surviving
+    owner along the index order.
+
+    For the (contiguous or SFC) block partitions above this preserves
+    block contiguity of each survivor's cell set: a dead rank's block is
+    split between the survivors adjacent to it in index order, each half
+    absorbed by the nearer one.  Owners keep their *original* rank
+    numbers; compose with :func:`shrink_owners` to densify.
+    """
+    owners = np.asarray(owners)
+    dead_set = set(int(d) for d in dead)
+    survivors = sorted(set(int(o) for o in owners.tolist()) - dead_set)
+    if not survivors:
+        raise ValueError("no surviving owners to absorb the dead ranks' cells")
+    out = owners.copy()
+    is_dead = np.isin(out, list(dead_set))
+    if not is_dead.any():
+        return out
+    idx = np.nonzero(is_dead)[0]
+    alive_idx = np.nonzero(~is_dead)[0]
+    if alive_idx.size == 0:
+        raise ValueError("every cell is owned by a dead rank")
+    # For each orphaned cell, adopt the owner of the nearest alive cell in
+    # index order (ties go left, keeping the split deterministic).
+    pos = np.searchsorted(alive_idx, idx)
+    left = np.clip(pos - 1, 0, alive_idx.size - 1)
+    right = np.clip(pos, 0, alive_idx.size - 1)
+    dist_left = np.abs(idx - alive_idx[left])
+    dist_right = np.abs(alive_idx[right] - idx)
+    choose_left = dist_left <= dist_right
+    adopted = np.where(choose_left, alive_idx[left], alive_idx[right])
+    out[idx] = out[adopted]
+    return out
+
+
+def shrink_owners(
+    owners: np.ndarray, dead: Sequence[int], n_ranks: int | None = None
+) -> Tuple[np.ndarray, dict]:
+    """Reassign dead ranks' cells and densify the surviving rank numbers.
+
+    Returns ``(new_owners, old_to_new)`` where survivors are renumbered
+    0..n_survivors-1 in ascending order of their old rank — the same
+    ordering :meth:`repro.parallel.SimWorld.shrink` uses, so the owner
+    array and the repaired world agree on who is who.  Pass ``n_ranks``
+    when some survivors may own zero cells (they still occupy a slot in
+    the repaired world and must be counted in the renumbering).
+    """
+    owners = np.asarray(owners)
+    reassigned = reassign_dead_ranks(owners, dead)
+    dead_set = set(int(d) for d in dead)
+    if n_ranks is not None:
+        old_ranks = sorted(set(range(n_ranks)) - dead_set)
+    else:
+        old_ranks = sorted(set(int(o) for o in owners.tolist()) - dead_set)
+    old_to_new = {old: new for new, old in enumerate(old_ranks)}
+    new_owners = np.empty_like(reassigned)
+    for old, new in old_to_new.items():
+        new_owners[reassigned == old] = new
+    return new_owners, old_to_new

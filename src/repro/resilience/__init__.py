@@ -27,8 +27,15 @@ from __future__ import annotations
 
 from .checkpoint import CheckpointManager
 from .config import ResilienceConfig
+from .elastic import (
+    ElasticFieldRun,
+    ElasticRunResult,
+    RecoveryEvent,
+    RecoveryPolicy,
+)
 from .errors import (
     CheckpointError,
+    CommRevokedError,
     CommTimeoutError,
     CommTransientError,
     RankFailure,
@@ -41,6 +48,7 @@ from .faults import (
     CommFault,
     CommFaultInjector,
     FaultPlan,
+    FaultPlanError,
     PhysicsFault,
     PhysicsFaultInjector,
     corrupt_checkpoint,
@@ -56,8 +64,14 @@ __all__ = [
     "RestartError",
     "CommTransientError",
     "CommTimeoutError",
+    "CommRevokedError",
     "RankFailure",
+    "RecoveryPolicy",
+    "RecoveryEvent",
+    "ElasticFieldRun",
+    "ElasticRunResult",
     "FaultPlan",
+    "FaultPlanError",
     "CommFault",
     "CheckpointFault",
     "PhysicsFault",

@@ -56,6 +56,13 @@ RESILIENCE_COUNTERS = (
     "resilience.physics_fallback_columns",
     "resilience.physics_fallback_events",
     "resilience.watchdog_aborts",
+    "resilience.recoveries",
+    "resilience.ranks_lost",
+    "resilience.replayed_steps",
+    "resilience.replayed_couplings",
+    "resilience.spares_used",
+    "resilience.spares_exhausted",
+    "resilience.domains_degraded",
 )
 
 
@@ -70,13 +77,26 @@ class ChaosReport:
     comm_masked: Optional[bool] = None
     comm_error: Optional[str] = None
     bitwise_identical: Optional[bool] = None
+    kill_ranks: Optional[int] = None
+    shrink_recovered: Optional[bool] = None
+    shrink_ranks_after: Optional[int] = None
+    shrink_mass_drift: Optional[float] = None
+    shrink_sypd_degraded: Optional[float] = None
+    spare_bitwise_identical: Optional[bool] = None
     counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def survived(self) -> bool:
         """The run completed every coupling it was asked for (a surfaced
-        comm error is still surviving — it is structured, not a hang)."""
-        return self.bitwise_identical is not False
+        comm error is still surviving — it is structured, not a hang),
+        the shrink continuation conserved the global invariant, and the
+        spare continuation matched the fault-free twin bit for bit."""
+        return (
+            self.bitwise_identical is not False
+            and self.spare_bitwise_identical is not False
+            and (self.shrink_mass_drift is None
+                 or self.shrink_mass_drift < 1e-9)
+        )
 
     def summary(self) -> str:
         lines = [
@@ -97,6 +117,19 @@ class ChaosReport:
                 f"  bitwise identical to fault-free twin: "
                 f"{self.bitwise_identical}"
             )
+        if self.kill_ranks is not None:
+            lines.append(
+                f"  kill stage: {self.kill_ranks} rank(s) killed; "
+                f"shrink recovered: {self.shrink_recovered} "
+                f"(to {self.shrink_ranks_after} rank(s), "
+                f"mass drift {self.shrink_mass_drift:.3g}); "
+                f"spare bitwise identical: {self.spare_bitwise_identical}"
+            )
+            if self.shrink_sypd_degraded is not None:
+                lines.append(
+                    f"  degraded-mode SYPD estimate: "
+                    f"{self.shrink_sypd_degraded:.3g}"
+                )
         for name in RESILIENCE_COUNTERS:
             value = self.counters.get(name, 0.0)
             if value:
@@ -181,6 +214,65 @@ def _comm_stage(plan: FaultPlan, res, obs: Obs, report: ChaosReport) -> None:
         return
     report.comm_masked = all(
         np.array_equal(a, b) for a, b in zip(faulted, clean)
+    )
+
+
+# -- stage 1b: kill-and-continue (elastic recovery) ------------------------
+
+
+def _kill_perf_estimate():
+    """(coupled model, n_procs1, n_procs2) for the degraded-SYPD gauge —
+    best-effort: the kill stage must not depend on the bench package."""
+    try:
+        from ..bench.scaling import CORES_PER_SUNWAY_PROCESS, paper_coupled_model
+
+        coupled = paper_coupled_model("3v2")
+        n1, n2 = coupled.balance_resources(
+            max(2, 2_000_000 // CORES_PER_SUNWAY_PROCESS)
+        )
+        return coupled, n1, n2
+    except Exception:
+        return None
+
+
+def _kill_stage(plan: FaultPlan, obs: Obs, report: ChaosReport) -> None:
+    """Kill-and-continue: replay the plan's ``kill`` faults through the
+    elastic recovery loop under each non-abort policy.
+
+    ``shrink`` must complete every step on the surviving ranks with the
+    global invariant conserved; ``spare`` must match the fault-free twin
+    bit for bit (the decomposition never changed).  The twin runs the
+    same field program with no faults under ``abort``.
+    """
+    import tempfile
+
+    from .elastic import ElasticFieldRun, RecoveryPolicy
+
+    kills = [f for f in plan.comm if f.kind == "kill"]
+    report.kill_ranks = len({f.rank for f in kills})
+    perf = _kill_perf_estimate()
+
+    def run(policy, faults, obs_handle):
+        with tempfile.TemporaryDirectory(prefix="chaos-kill-") as d:
+            return ElasticFieldRun(
+                d, policy=policy, faults=faults, obs=obs_handle,
+                perf_estimate=perf,
+            ).run()
+
+    twin = run(RecoveryPolicy.ABORT, None, None)
+
+    shrink = run(RecoveryPolicy.SHRINK, plan, obs)
+    report.shrink_recovered = (
+        shrink.survived_failure and shrink.steps == twin.steps
+    )
+    report.shrink_ranks_after = shrink.n_ranks
+    report.shrink_mass_drift = shrink.mass_drift
+    if shrink.recoveries and shrink.recoveries[-1].sypd_degraded is not None:
+        report.shrink_sypd_degraded = shrink.recoveries[-1].sypd_degraded
+
+    spare = run(RecoveryPolicy.SPARE, plan, obs)
+    report.spare_bitwise_identical = bool(
+        np.array_equal(spare.field, twin.field)
     )
 
 
@@ -301,6 +393,8 @@ def run_chaos(
 
     if plan.comm:
         _comm_stage(plan, res, obs, report)
+    if any(f.kind == "kill" for f in plan.comm):
+        _kill_stage(plan, obs, report)
 
     if res.checkpoint_every > 0:
         _crash_stage(plan, config, couplings, obs, report)

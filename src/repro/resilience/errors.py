@@ -10,7 +10,12 @@ next to the errors the resilience machinery itself raises
 from __future__ import annotations
 
 from ..io.restart import RestartError
-from ..parallel.comm import CommTimeoutError, CommTransientError, RankFailure
+from ..parallel.comm import (
+    CommRevokedError,
+    CommTimeoutError,
+    CommTransientError,
+    RankFailure,
+)
 
 __all__ = [
     "ResilienceError",
@@ -19,6 +24,7 @@ __all__ = [
     "RestartError",
     "CommTransientError",
     "CommTimeoutError",
+    "CommRevokedError",
     "RankFailure",
 ]
 

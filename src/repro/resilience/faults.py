@@ -25,6 +25,7 @@ import json
 import threading
 import zlib
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,10 +39,25 @@ __all__ = [
     "CheckpointFault",
     "PhysicsFault",
     "FaultPlan",
+    "FaultPlanError",
     "CommFaultInjector",
     "PhysicsFaultInjector",
     "corrupt_checkpoint",
 ]
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed validation; names the offending key/path so a
+    malformed JSON file is diagnosable instead of surfacing as a raw
+    ``KeyError``/``TypeError`` deep in the injectors.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old unknown-key errors keep working.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"fault plan: {message} [at {path}]")
+        self.path = path
 
 _COMM_KINDS = ("transient", "drop", "corrupt", "kill")
 _CKPT_KINDS = ("bitflip", "truncate", "stale")
@@ -127,24 +143,46 @@ class FaultPlan:
 
     @staticmethod
     def from_dict(data: Dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError("$", f"plan must be an object, got {type(data).__name__}")
         known = {"seed", "comm", "checkpoints", "physics", "crash_at_coupling"}
         unknown = set(data) - known
         if unknown:
-            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+            raise FaultPlanError(
+                "$", f"unknown fault-plan keys: {sorted(unknown)}"
+            )
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise FaultPlanError("$.seed", f"seed must be an integer, got {seed!r}")
+        crash = data.get("crash_at_coupling")
+        if crash is not None and (not isinstance(crash, int) or isinstance(crash, bool)):
+            raise FaultPlanError(
+                "$.crash_at_coupling",
+                f"crash_at_coupling must be an integer or null, got {crash!r}",
+            )
         return FaultPlan(
-            seed=int(data.get("seed", 0)),
-            comm=[CommFault(**f) for f in data.get("comm", [])],
-            checkpoints=[CheckpointFault(**f) for f in data.get("checkpoints", [])],
-            physics=[
-                PhysicsFault(**{**f, "columns": tuple(f.get("columns", ()))})
-                for f in data.get("physics", [])
-            ],
-            crash_at_coupling=data.get("crash_at_coupling"),
+            seed=seed,
+            comm=_parse_entries("comm", data.get("comm", []), CommFault),
+            checkpoints=_parse_entries(
+                "checkpoints", data.get("checkpoints", []), CheckpointFault
+            ),
+            physics=_parse_entries(
+                "physics", data.get("physics", []), PhysicsFault,
+                transform=lambda f: {**f, "columns": tuple(f.get("columns", ()))},
+            ),
+            crash_at_coupling=crash,
         )
 
     @staticmethod
     def from_json(text: str) -> "FaultPlan":
-        return FaultPlan.from_dict(json.loads(text))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(
+                f"$ (line {exc.lineno}, column {exc.colno})",
+                f"not valid JSON: {exc.msg}",
+            ) from None
+        return FaultPlan.from_dict(data)
 
     @staticmethod
     def from_file(path: Union[str, Path]) -> "FaultPlan":
@@ -160,6 +198,53 @@ class FaultPlan:
     @property
     def n_faults(self) -> int:
         return len(self.comm) + len(self.checkpoints) + len(self.physics)
+
+
+def _parse_entries(section: str, entries, cls, transform=None) -> List:
+    """Build fault dataclasses from a plan section, converting every
+    malformed entry into a :class:`FaultPlanError` naming its path."""
+    if not isinstance(entries, (list, tuple)):
+        raise FaultPlanError(
+            f"$.{section}",
+            f"must be a list of objects, got {type(entries).__name__}",
+        )
+    out: List = []
+    valid = {f.name for f in dataclass_fields(cls)}
+    for i, entry in enumerate(entries):
+        path = f"$.{section}[{i}]"
+        if not isinstance(entry, dict):
+            raise FaultPlanError(
+                path, f"must be an object, got {type(entry).__name__}"
+            )
+        extra = set(entry) - valid
+        if extra:
+            raise FaultPlanError(
+                f"{path}.{sorted(extra)[0]}",
+                f"unknown key(s) {sorted(extra)} (valid: {sorted(valid)})",
+            )
+        payload = transform(entry) if transform is not None else entry
+        for f in dataclass_fields(cls):
+            if f.name not in payload:
+                continue
+            v = payload[f.name]
+            if f.type in ("int", int) and (
+                not isinstance(v, int) or isinstance(v, bool)
+            ):
+                raise FaultPlanError(
+                    f"{path}.{f.name}",
+                    f"{f.name} must be an integer, got {v!r}",
+                )
+            if f.type in ("str", str) and not isinstance(v, str):
+                raise FaultPlanError(
+                    f"{path}.{f.name}",
+                    f"{f.name} must be a string, got {v!r}",
+                )
+        try:
+            out.append(cls(**payload))
+        except (ValueError, TypeError) as exc:
+            key = f".{'kind'}" if "kind" in str(exc) else ""
+            raise FaultPlanError(f"{path}{key}", str(exc)) from None
+    return out
 
 
 class CommFaultInjector:
