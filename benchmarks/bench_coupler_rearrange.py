@@ -15,7 +15,16 @@ import numpy as np
 import pytest
 
 from repro.bench import banner, format_table
-from repro.coupler import AttrVect, FieldRegistry, GlobalSegMap, Rearranger, Router
+from repro.bench import PerfBaseline, compare_baselines
+from repro.coupler import (
+    AttrVect,
+    CouplerCache,
+    FieldRegistry,
+    GlobalSegMap,
+    Rearranger,
+    RearrangePlan,
+    Router,
+)
 from repro.parallel import SimWorld
 from repro.parallel.collectives import cost_alltoall, cost_alltoall_sparse
 
@@ -74,9 +83,9 @@ def test_coupler_report(maps, router, emit_report, obs):
 
     with tempfile.TemporaryDirectory() as tmp:
         path = pathlib.Path(tmp) / "router.npz"
-        router.save(path)
+        router.to_file(path)
         t0 = time.perf_counter()
-        Router.load(path)
+        Router.from_file(path)
         load_s = time.perf_counter() - t0
 
     # 2. Field pruning.
@@ -141,10 +150,10 @@ def test_p2p_moves_less_than_alltoall(maps, router):
 
 def test_offline_tables_roundtrip(maps, router, tmp_path):
     src, dst = maps
-    src.save(tmp_path / "gsmap.npz")
-    router.save(tmp_path / "router.npz")
-    src2 = GlobalSegMap.load(tmp_path / "gsmap.npz")
-    router2 = Router.load(tmp_path / "router.npz")
+    src.to_file(tmp_path / "gsmap.npz")
+    router.to_file(tmp_path / "router.npz")
+    src2 = GlobalSegMap.from_file(tmp_path / "gsmap.npz")
+    router2 = Router.from_file(tmp_path / "router.npz")
     assert np.array_equal(src2.owner_array(), src.owner_array())
     assert router2.n_pairs == router.n_pairs
 
@@ -172,3 +181,171 @@ def test_benchmark_router_build(benchmark, maps):
 
 def test_benchmark_p2p_rearrange(benchmark, maps, router):
     benchmark(_run_world, maps, router, "p2p")
+
+
+# -- coalesced plans, the cache, and the JSON perf baseline ------------------
+
+PLAN_BUNDLES = {
+    "x2o": ["taux", "tauy", "swnet", "lwdn"],
+    "i2x": ["ifrac", "tsurf"],
+}
+N_PLAN_FIELDS = sum(len(f) for f in PLAN_BUNDLES.values())
+
+BENCH_JSON = "BENCH_coupler.json"
+BASELINE_DIR = __import__("pathlib").Path(__file__).parent / "baselines"
+
+
+def _bundle_values(src, rank):
+    idx = src.local_indices(rank)
+    return {
+        name: AttrVect.from_dict(
+            {f: np.arange(GSIZE, dtype=float)[idx] * (i + 1)
+             for i, f in enumerate(fields)}
+        )
+        for name, fields in PLAN_BUNDLES.items()
+    }
+
+
+def _run_granularity_world(maps, router, granularity):
+    """Ship both PLAN_BUNDLES through the legacy rearranger layouts."""
+    src, dst = maps
+    world = SimWorld(N_PES)
+    rearranger = Rearranger(router, method="p2p", granularity=granularity)
+
+    def program(comm):
+        dst_lsize = len(dst.local_indices(comm.rank))
+        for av in _bundle_values(src, comm.rank).values():
+            rearranger.rearrange(comm, av, dst_lsize)
+
+    world.run(program)
+    return world.ledger
+
+
+def _run_plan_world(maps, router):
+    src, dst = maps
+    plan = RearrangePlan.compile(router, PLAN_BUNDLES)
+    world = SimWorld(N_PES)
+
+    def program(comm):
+        plan.execute(
+            comm, _bundle_values(src, comm.rank), len(dst.local_indices(comm.rank))
+        )
+
+    world.run(program)
+    return plan, world.ledger
+
+
+def _edges(router):
+    return sum(1 for (p, q) in router.send if p != q)
+
+
+def test_plan_beats_field_granularity_on_the_ledger(maps, router):
+    """The coalescing chain: per-field > per-bundle > one plan message
+    per edge, all over the same Router."""
+    led_field = _run_granularity_world(maps, router, "field")
+    led_bundle = _run_granularity_world(maps, router, "bundle")
+    plan, led_plan = _run_plan_world(maps, router)
+    edges = _edges(router)
+    assert led_plan.p2p_messages == edges
+    assert led_bundle.p2p_messages == edges * len(PLAN_BUNDLES)
+    assert led_field.p2p_messages == edges * N_PLAN_FIELDS
+    assert led_field.p2p_messages >= N_PLAN_FIELDS * led_plan.p2p_messages
+    assert plan.message_counts(N_PES)["message_reduction"] == N_PLAN_FIELDS
+
+
+def test_cache_cold_build_warm_load(maps, tmp_path):
+    """The offline preprocessing step, automated: the second run resolves
+    the same content key and never calls Router.build."""
+    src, dst = maps
+    cold = CouplerCache(tmp_path)
+    cold.get_gsmap("src", src.owner_array())
+    cold.get_gsmap("dst", dst.owner_array())
+    cold.get_router("src", "dst", src, dst)
+    assert (cold.hits, cold.misses) == (0, 3)
+    warm = CouplerCache(tmp_path)
+    warm.get_gsmap("src", src.owner_array())
+    warm.get_gsmap("dst", dst.owner_array())
+    warm.get_router("src", "dst", src, dst)
+    assert (warm.hits, warm.misses) == (3, 0)
+    assert warm.build_time_saved_s > 0.0
+
+
+def _bench_document(maps, router, tmp_path):
+    src, dst = maps
+    doc = PerfBaseline(suite="coupler")
+    edges = _edges(router)
+
+    # Deterministic message arithmetic (gated).
+    led_field = _run_granularity_world(maps, router, "field")
+    led_bundle = _run_granularity_world(maps, router, "bundle")
+    plan, led_plan = _run_plan_world(maps, router)
+    led_a2a = _run_world(maps, router, "alltoall")
+    doc.record("router.edges", edges)
+    doc.record("plan.p2p_messages", led_plan.p2p_messages)
+    doc.record("bundle.p2p_messages", led_bundle.p2p_messages)
+    doc.record("field.p2p_messages", led_field.p2p_messages)
+    doc.record("alltoall.total_messages", led_a2a.total_messages)
+    doc.record("plan.message_reduction",
+               plan.message_counts(N_PES)["message_reduction"])
+
+    # Pruning arithmetic (gated).
+    reg = FieldRegistry.cesm_default()
+    reg.mark_used("x2o", ["Foxx_taux", "Foxx_tauy", "Foxx_swnet",
+                          "Foxx_lwdn", "Foxx_sen", "Foxx_lat", "Foxx_rain"])
+    savings = reg.savings("x2o", lsize=GSIZE // N_PES)
+    doc.record("prune.x2o_fraction_saved", savings["fraction_saved"])
+    doc.record("prune.x2o_bytes_after", savings["bytes_after"], unit="B")
+
+    # Cache behaviour (gated counts).
+    cold = CouplerCache(tmp_path / "bench-cache")
+    cold.get_router("src", "dst", src, dst)
+    warm = CouplerCache(tmp_path / "bench-cache")
+    warm.get_router("src", "dst", src, dst)
+    doc.record("cache.cold_misses", cold.misses)
+    doc.record("cache.warm_hits", warm.hits)
+
+    # Modeled time at paper scale (gated, deterministic model output).
+    p, nbytes, lat, bw = 100_000, 64 * 1024, 2.5e-6, 2.0e10
+    m_d, b_d = cost_alltoall(nbytes, p)
+    m_s, b_s = cost_alltoall_sparse(nbytes, 16, p)
+    doc.record("model.dense_alltoall_s", m_d * lat + b_d / bw, kind="model", unit="s")
+    doc.record("model.sparse_p2p_s", m_s * lat + b_s / bw, kind="model", unit="s")
+    doc.record("model.plan_latency_s", edges * lat, kind="model", unit="s")
+    doc.record("model.field_latency_s", edges * N_PLAN_FIELDS * lat,
+               kind="model", unit="s")
+
+    # Wall times (informational only — never gated).
+    t0 = time.perf_counter()
+    Router.build(src, dst)
+    doc.record("wall.router_build_ms", (time.perf_counter() - t0) * 1e3,
+               kind="wall", unit="ms")
+    path = tmp_path / "bench-router.npz"
+    router.to_file(path)
+    t0 = time.perf_counter()
+    Router.from_file(path)
+    doc.record("wall.router_load_ms", (time.perf_counter() - t0) * 1e3,
+               kind="wall", unit="ms")
+    return doc
+
+
+def test_emit_bench_coupler_json(maps, router, tmp_path, report_dir):
+    """Emit BENCH_coupler.json — the document the CI perf gate compares
+    against benchmarks/baselines/BENCH_coupler.json."""
+    doc = _bench_document(maps, router, tmp_path)
+    out = doc.write(report_dir / BENCH_JSON)
+    print(f"\n[bench-json] {out}")
+    assert PerfBaseline.from_file(out).metrics == doc.metrics
+
+
+def test_gate_against_committed_baseline(maps, router, tmp_path):
+    """The acceptance check the CI job runs: the fresh document must pass
+    the 15 % gate against the committed baseline."""
+    baseline_path = BASELINE_DIR / BENCH_JSON
+    if not baseline_path.exists():
+        pytest.skip("no committed baseline yet")
+    doc = _bench_document(maps, router, tmp_path)
+    comparison = compare_baselines(
+        doc, PerfBaseline.from_file(baseline_path), tolerance=0.15
+    )
+    print("\n" + comparison.report())
+    assert comparison.ok, comparison.report()

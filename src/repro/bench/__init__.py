@@ -1,5 +1,12 @@
-"""Benchmark support: published reference data, scaling runners, reports."""
+"""Benchmark support: published reference data, scaling runners, reports,
+and the JSON perf-baseline regression gate."""
 
+from .baseline import (
+    BaselineComparison,
+    PerfBaseline,
+    compare_baselines,
+    load_baseline,
+)
 from .paper_data import (
     CORES_PER_SUNWAY_PROCESS,
     HEADLINES,
@@ -40,4 +47,8 @@ __all__ = [
     "format_table",
     "format_curve_result",
     "banner",
+    "PerfBaseline",
+    "BaselineComparison",
+    "compare_baselines",
+    "load_baseline",
 ]

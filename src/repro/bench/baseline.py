@@ -1,0 +1,210 @@
+"""JSON perf baselines and the CI regression gate.
+
+Benchmarks emit ``BENCH_<suite>.json`` documents — flat metric maps with
+a *kind* per metric — and CI compares them against the committed
+baselines under ``benchmarks/baselines/``:
+
+* ``count`` — deterministic arithmetic (message counts, bytes moved,
+  cache hits): gated hard, any drift beyond tolerance fails;
+* ``model`` — deterministic performance-model output (modeled seconds,
+  SYPD): gated with the same tolerance;
+* ``wall`` — measured wall time on whatever machine ran the suite:
+  **informational only**, reported but never failed (CI runners are too
+  noisy to gate on).
+
+The gate is symmetric by default — an unexplained 10× *improvement* in a
+``count`` metric usually means the benchmark stopped measuring the thing
+it used to measure, which is just as much a regression of the baseline's
+meaning.  Refresh the baseline deliberately by re-running the suite and
+committing the new JSON.
+
+CLI (used by the CI job)::
+
+    python -m repro.bench.baseline compare CURRENT BASELINE [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "PerfBaseline",
+    "BaselineComparison",
+    "compare_baselines",
+    "load_baseline",
+]
+
+_VERSION = 1
+_KINDS = ("count", "model", "wall")
+#: Relative difference below which two values are "the same" even when
+#: the baseline value is 0 (guards the 0-vs-1e-12 division).
+_ABS_FLOOR = 1e-12
+
+
+@dataclass
+class PerfBaseline:
+    """One suite's metric document (what ``BENCH_<suite>.json`` holds)."""
+
+    suite: str
+    metrics: Dict[str, Dict[str, Union[float, str]]] = field(default_factory=dict)
+
+    def record(self, name: str, value: float, kind: str = "count",
+               unit: str = "") -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        self.metrics[name] = {"value": float(value), "kind": kind, "unit": unit}
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"version": _VERSION, "suite": self.suite, "metrics": self.metrics},
+            indent=2, sort_keys=True,
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @staticmethod
+    def from_json(text: str) -> "PerfBaseline":
+        doc = json.loads(text)
+        if doc.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {doc.get('version')!r}"
+            )
+        return PerfBaseline(suite=doc["suite"], metrics=doc["metrics"])
+
+    @staticmethod
+    def from_file(path: Union[str, Path]) -> "PerfBaseline":
+        return PerfBaseline.from_json(Path(path).read_text())
+
+
+def load_baseline(path: Union[str, Path]) -> PerfBaseline:
+    return PerfBaseline.from_file(path)
+
+
+@dataclass
+class MetricDelta:
+    name: str
+    kind: str
+    baseline: float
+    current: float
+
+    @property
+    def rel_change(self) -> float:
+        if abs(self.baseline) < _ABS_FLOOR:
+            return 0.0 if abs(self.current) < _ABS_FLOOR else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of comparing a fresh run against the committed baseline."""
+
+    suite: str
+    tolerance: float
+    regressions: List[MetricDelta] = field(default_factory=list)
+    informational: List[MetricDelta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no gated metric drifted and none disappeared."""
+        return not self.regressions and not self.missing
+
+    def report(self) -> str:
+        lines = [f"perf gate: suite={self.suite} tolerance={self.tolerance:.0%} "
+                 f"checked={self.checked} -> {'OK' if self.ok else 'FAIL'}"]
+        for d in self.regressions:
+            lines.append(
+                f"  REGRESSION {d.name} [{d.kind}]: "
+                f"{d.baseline:.6g} -> {d.current:.6g} ({d.rel_change:+.1%})"
+            )
+        for name in self.missing:
+            lines.append(f"  MISSING {name}: in baseline but not in current run")
+        for d in self.informational:
+            mark = " (drifted)" if abs(d.rel_change) > self.tolerance else ""
+            lines.append(
+                f"  wall {d.name}: {d.baseline:.6g} -> {d.current:.6g} "
+                f"({d.rel_change:+.1%}){mark}"
+            )
+        for name in self.added:
+            lines.append(f"  new metric {name} (not yet in baseline)")
+        return "\n".join(lines)
+
+
+def compare_baselines(
+    current: PerfBaseline,
+    baseline: PerfBaseline,
+    tolerance: float = 0.15,
+    symmetric: bool = True,
+) -> BaselineComparison:
+    """Compare a fresh suite run against the committed baseline.
+
+    ``count``/``model`` metrics whose relative change exceeds
+    ``tolerance`` (in either direction when ``symmetric``, else only
+    when worse, i.e. larger) are regressions; ``wall`` metrics are
+    always informational.  Metrics present in the baseline but absent
+    from the current run fail the gate (the benchmark lost coverage);
+    new metrics are reported but pass.
+    """
+    cmp = BaselineComparison(suite=current.suite, tolerance=tolerance)
+    for name, meta in sorted(baseline.metrics.items()):
+        cur = current.metrics.get(name)
+        if cur is None:
+            cmp.missing.append(name)
+            continue
+        delta = MetricDelta(
+            name=name,
+            kind=str(meta.get("kind", "count")),
+            baseline=float(meta["value"]),
+            current=float(cur["value"]),
+        )
+        if delta.kind == "wall":
+            cmp.informational.append(delta)
+            continue
+        cmp.checked += 1
+        change = delta.rel_change
+        over = abs(change) > tolerance if symmetric else change > tolerance
+        if over:
+            cmp.regressions.append(delta)
+    cmp.added = sorted(set(current.metrics) - set(baseline.metrics))
+    return cmp
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.baseline",
+        description="Compare a BENCH_*.json run against a committed baseline.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    c = sub.add_parser("compare", help="gate a fresh run against a baseline")
+    c.add_argument("current", help="BENCH_*.json emitted by the benchmark run")
+    c.add_argument("baseline", help="committed baseline JSON")
+    c.add_argument("--tolerance", type=float, default=0.15,
+                   help="relative drift allowed on count/model metrics "
+                        "(default 0.15)")
+    c.add_argument("--one-sided", action="store_true",
+                   help="only fail on increases (worse), not improvements")
+    args = parser.parse_args(argv)
+
+    comparison = compare_baselines(
+        PerfBaseline.from_file(args.current),
+        PerfBaseline.from_file(args.baseline),
+        tolerance=args.tolerance,
+        symmetric=not args.one_sided,
+    )
+    print(comparison.report())
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

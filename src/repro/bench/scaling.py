@@ -245,6 +245,7 @@ def predict_pairing_sypd(label: str, total_cores: float) -> Dict[str, float]:
             "ocn": float(ocfg.nlon * ocfg.nlat) * 8 * 8,
             "ice": float(ocfg.nlon * ocfg.nlat) * 8 * 2,
         },
+        fields_per_exchange={"atm": 8.0, "ocn": 8.0, "ice": 2.0},
     )
     coupled = CoupledPerfModel.from_layout(
         paper_layout(), {"atm": wl_a, "ocn": wl_o},
@@ -377,6 +378,7 @@ def _build_coupled_model(label: str) -> CoupledPerfModel:
             "ocn": float(ocfg.nlon * ocfg.nlat) * 8 * 8,
             "ice": float(ocfg.nlon * ocfg.nlat) * 8 * 2,
         },
+        fields_per_exchange={"atm": 8.0, "ocn": 8.0, "ice": 2.0},
     )
     return CoupledPerfModel.from_layout(
         paper_layout(), {"atm": wl_a, "ocn": wl_o},

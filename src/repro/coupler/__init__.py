@@ -1,8 +1,11 @@
 """CPL7/MCT-style coupler machinery: GSMap, AttrVect, Router, rearranger,
-clocks/alarms, and the coupling-field registry with pruning."""
+compiled rearrange plans, the offline construction cache, clocks/alarms,
+and the coupling-field registry with end-to-end pruning."""
 
 from .attrvect import AttrVect
+from .cache import CouplerCache
 from .clock import Alarm, Clock
+from .exchange import CoupledExchange
 from .fields import (
     CESM_A2X_FIELDS,
     CESM_I2X_FIELDS,
@@ -11,6 +14,7 @@ from .fields import (
     FieldRegistry,
 )
 from .gsmap import GlobalSegMap
+from .plan import RearrangePlan
 from .rearranger import Rearranger
 from .router import Router
 
@@ -19,6 +23,9 @@ __all__ = [
     "AttrVect",
     "Router",
     "Rearranger",
+    "RearrangePlan",
+    "CouplerCache",
+    "CoupledExchange",
     "Clock",
     "Alarm",
     "FieldRegistry",

@@ -73,17 +73,24 @@ class FieldRegistry:
     def pruned(self, path: str) -> List[str]:
         """Fields that survive pruning (registered AND used), in
         registration order (deterministic message layout)."""
+        if path not in self.registered:
+            raise KeyError(f"unknown path {path!r}; have {sorted(self.registered)}")
         used = self.used[path]
         return [f for f in self.registered[path] if f in used]
+
+    def n_used(self, path: str) -> int:
+        """Number of fields surviving pruning on ``path``."""
+        return len(self.pruned(path))
 
     def savings(self, path: str, lsize: int, itemsize: int = 8) -> Dict[str, float]:
         """Bytes saved per exchange by pruning this path."""
         n_reg = len(self.registered[path])
-        n_used = len(self.pruned(path))
+        n_used = self.n_used(path)
         return {
             "registered_fields": float(n_reg),
             "used_fields": float(n_used),
             "bytes_before": float(n_reg * lsize * itemsize),
             "bytes_after": float(n_used * lsize * itemsize),
-            "fraction_saved": 1.0 - (n_used / n_reg if n_reg else 0.0),
+            # An empty registration saves nothing (0/0 -> 0, not 1).
+            "fraction_saved": 1.0 - (n_used / n_reg) if n_reg else 0.0,
         }

@@ -4,14 +4,15 @@ A GSMap describes which MPI rank owns which global grid indices, as a list
 of (start, length, pe) segments.  §5.2.4 of the paper: "the memory in a CG
 of Sunway cannot satisfy the requirements for MCT to construct the GSMap
 ... the two data structures are generated **offline** as a preprocessing
-step" — reproduced here by :meth:`GlobalSegMap.save` /
-:meth:`GlobalSegMap.load` (binary .npz) plus a :func:`build cost model
-<GlobalSegMap.build_cost>` exposing why online construction hurts.
+step" — reproduced here by :meth:`GlobalSegMap.to_file` /
+:meth:`GlobalSegMap.from_file` (binary .npz) plus a :func:`build cost
+model <GlobalSegMap.build_cost>` exposing why online construction hurts.
 """
 
 from __future__ import annotations
 
 import io
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
@@ -138,14 +139,14 @@ class GlobalSegMap:
 
     # -- offline precompute (§5.2.4) -----------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
+    def to_file(self, path: Union[str, Path]) -> None:
         np.savez_compressed(
             path, gsize=self.gsize, starts=self.starts,
             lengths=self.lengths, pes=self.pes,
         )
 
     @staticmethod
-    def load(path: Union[str, Path]) -> "GlobalSegMap":
+    def from_file(path: Union[str, Path]) -> "GlobalSegMap":
         with np.load(path) as data:
             return GlobalSegMap(
                 gsize=int(data["gsize"]),
@@ -153,6 +154,23 @@ class GlobalSegMap:
                 lengths=data["lengths"],
                 pes=data["pes"],
             )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Deprecated alias for :meth:`to_file` (same on-disk format)."""
+        warnings.warn(
+            "GlobalSegMap.save is deprecated; use GlobalSegMap.to_file",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.to_file(path)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "GlobalSegMap":
+        """Deprecated alias for :meth:`from_file` (same on-disk format)."""
+        warnings.warn(
+            "GlobalSegMap.load is deprecated; use GlobalSegMap.from_file",
+            DeprecationWarning, stacklevel=2,
+        )
+        return GlobalSegMap.from_file(path)
 
     def memory_bytes(self) -> int:
         """Resident size of the segment table (what a CG must hold)."""

@@ -1,6 +1,6 @@
 """Rearranger: execute a Router transfer over the simulated MPI runtime.
 
-Two implementations, exactly the before/after of §5.2.4:
+Two methods, exactly the before/after of §5.2.4:
 
 * ``alltoall`` — "the original all-to-all MPI was inefficient": every rank
   participates in a dense collective, sending (mostly empty) buffers to
@@ -9,8 +9,19 @@ Two implementations, exactly the before/after of §5.2.4:
   overlaps communication and computation": only actual Router partners
   exchange messages, posted as isend/irecv.
 
-Both produce identical results (tested); the traffic ledger shows the
-difference the machine model prices.
+Orthogonally, ``granularity`` selects the message layout on the p2p
+path — the second before/after of the coupler fast path:
+
+* ``"field"`` — MCT's legacy layout: one message per *field* per partner
+  (an AttrVect of n fields posts n sends to each destination rank);
+* ``"bundle"`` (default) — all fields bound for one partner travel in a
+  single 2-D block per edge.
+
+:meth:`plan` compiles the next step up: a
+:class:`~repro.coupler.plan.RearrangePlan` coalescing *multiple* bundles
+into one message per edge, frozen once per Router and reused every
+coupling step.  All layouts produce identical results (tested); the
+traffic ledger shows the difference the machine model prices.
 """
 
 from __future__ import annotations
@@ -47,6 +58,11 @@ class Rearranger:
 
     router: Router
     method: Literal["p2p", "alltoall"] = "p2p"
+    #: Message layout on the p2p path: ``"bundle"`` ships one 2-D block
+    #: per partner; ``"field"`` reproduces MCT's legacy one-message-per-
+    #: field-per-partner layout (the un-coalesced baseline the benchmarks
+    #: compare against).
+    granularity: Literal["bundle", "field"] = "bundle"
     max_retries: int = 0
     retry_backoff_s: float = 0.0
     recv_timeout: Optional[float] = None
@@ -54,15 +70,31 @@ class Rearranger:
     def __post_init__(self) -> None:
         if self.method not in ("p2p", "alltoall"):
             raise ValueError("method must be 'p2p' or 'alltoall'")
+        if self.granularity not in ("bundle", "field"):
+            raise ValueError("granularity must be 'bundle' or 'field'")
         if self.max_retries < 0 or self.retry_backoff_s < 0:
             raise ValueError("max_retries and retry_backoff_s must be >= 0")
 
-    def _isend_with_retry(self, comm: SimComm, payload, dest: int, obs) -> Request:
+    def plan(self, bundles) -> "RearrangePlan":
+        """Compile a :class:`~repro.coupler.plan.RearrangePlan` over this
+        rearranger's Router, inheriting its resilience knobs.  ``bundles``
+        maps bundle names to field lists (see ``RearrangePlan.compile``)."""
+        from .plan import RearrangePlan
+
+        return RearrangePlan.compile(
+            self.router,
+            bundles,
+            max_retries=self.max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            recv_timeout=self.recv_timeout,
+        )
+
+    def _isend_with_retry(self, comm: SimComm, payload, dest: int, obs, tag: int = _TAG) -> Request:
         """Post a send, retrying transient failures within budget."""
         attempt = 0
         while True:
             try:
-                return comm.isend(payload, dest, tag=_TAG)
+                return comm.isend(payload, dest, tag=tag)
             except CommTransientError:
                 attempt += 1
                 if attempt > self.max_retries:
@@ -119,6 +151,7 @@ class Rearranger:
         recvs = {p: idx for (p, q), idx in self.router.recv.items() if q == me}
 
         if self.method == "p2p":
+            per_field = self.granularity == "field"
             reqs = []
             for q, idx in sorted(sends.items()):
                 payload = src_av.data[:, idx] if src_av is not None else np.zeros((n_fields, 0))
@@ -130,6 +163,19 @@ class Rearranger:
                     self_idx = recvs.get(me)
                     if self_idx is not None:
                         out[:, self_idx] = payload
+                elif per_field:
+                    # Legacy MCT layout: one message per field, each on
+                    # its own tag so matching never depends on ordering.
+                    for fi in range(n_fields):
+                        row = payload[fi]
+                        if self.max_retries:
+                            reqs.append(
+                                self._isend_with_retry(comm, row, q, obs, tag=_TAG + fi)
+                            )
+                        else:
+                            reqs.append(comm.isend(row, q, tag=_TAG + fi))
+                        sent_bytes += int(row.nbytes)
+                        sent_messages += 1
                 else:
                     if self.max_retries:
                         reqs.append(self._isend_with_retry(comm, payload, q, obs))
@@ -140,7 +186,13 @@ class Rearranger:
             for p, idx in sorted(recvs.items()):
                 if p == me:
                     continue
-                out[:, idx] = comm.recv(source=p, tag=_TAG, timeout=self.recv_timeout)
+                if per_field:
+                    for fi in range(n_fields):
+                        out[fi, idx] = comm.recv(
+                            source=p, tag=_TAG + fi, timeout=self.recv_timeout
+                        )
+                else:
+                    out[:, idx] = comm.recv(source=p, tag=_TAG, timeout=self.recv_timeout)
             Request.waitall(reqs)
         else:
             buffers = []
@@ -165,12 +217,18 @@ class Rearranger:
 
     # -- analytics ---------------------------------------------------------------
 
-    def message_counts(self, n_ranks: int) -> Dict[str, float]:
+    def message_counts(self, n_ranks: int, n_fields: int = 1) -> Dict[str, float]:
         """Messages on the critical path for each method (the machine
         model's latency term): dense all-to-all posts n-1 sends and n-1
         receives per rank; sparse p2p posts only real partners — counting
         *both* the send side and the recv-side fan-in, since a rank that
-        receives from many sources pays those postings too."""
+        receives from many sources pays those postings too.
+
+        ``n_fields`` prices the granularity axis: the legacy per-field
+        layout multiplies every p2p posting by the field count, which the
+        bundle layout (and, across bundles, a compiled
+        :class:`~repro.coupler.plan.RearrangePlan`) collapses back to one.
+        """
         send_partners = np.zeros(n_ranks)
         recv_partners = np.zeros(n_ranks)
         for (p, q) in self.router.send:
@@ -180,10 +238,14 @@ class Rearranger:
             if p != q:
                 recv_partners[q] += 1
         posts = send_partners + recv_partners
+        posts_max = float(posts.max()) if n_ranks else 0.0
         return {
             "alltoall_messages_per_rank": float(2 * (n_ranks - 1)),
-            "p2p_messages_per_rank_max": float(posts.max()) if n_ranks else 0.0,
+            "p2p_messages_per_rank_max": posts_max,
             "p2p_messages_per_rank_mean": float(posts.mean()) if n_ranks else 0.0,
             "p2p_send_partners_max": float(send_partners.max()) if n_ranks else 0.0,
             "p2p_recv_partners_max": float(recv_partners.max()) if n_ranks else 0.0,
+            "field_messages_per_rank_max": posts_max * n_fields,
+            "bundle_messages_per_rank_max": posts_max,
+            "message_reduction": float(n_fields),
         }

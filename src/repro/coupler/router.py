@@ -5,11 +5,13 @@ easily build a mapping between the location of one grid point on a
 processor and its location on another processor" (§5.2.4).  Construction
 intersects every source rank's index set with every destination rank's —
 the O(M x N)-ish work and memory that motivated the paper's **offline**
-precomputation, which :meth:`Router.save`/:meth:`Router.load` provide.
+precomputation, which :meth:`Router.to_file`/:meth:`Router.from_file`
+provide (and :class:`repro.coupler.cache.CouplerCache` automates).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
@@ -120,7 +122,7 @@ class Router:
 
     # -- offline precompute ----------------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
+    def to_file(self, path: Union[str, Path]) -> None:
         payload: Dict[str, np.ndarray] = {
             "meta": np.array([self.src_gsize, self.dst_gsize], dtype=np.int64)
         }
@@ -131,7 +133,7 @@ class Router:
         np.savez_compressed(path, **payload)
 
     @staticmethod
-    def load(path: Union[str, Path]) -> "Router":
+    def from_file(path: Union[str, Path]) -> "Router":
         send: Dict[Tuple[int, int], np.ndarray] = {}
         recv: Dict[Tuple[int, int], np.ndarray] = {}
         with np.load(path) as data:
@@ -143,6 +145,23 @@ class Router:
                 target = send if kind == "s" else recv
                 target[(int(p), int(q))] = data[key]
         return Router(int(meta[0]), int(meta[1]), send, recv)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Deprecated alias for :meth:`to_file` (same on-disk format)."""
+        warnings.warn(
+            "Router.save is deprecated; use Router.to_file",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.to_file(path)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Router":
+        """Deprecated alias for :meth:`from_file` (same on-disk format)."""
+        warnings.warn(
+            "Router.load is deprecated; use Router.from_file",
+            DeprecationWarning, stacklevel=2,
+        )
+        return Router.from_file(path)
 
 
 def _local_positions(gsmap: GlobalSegMap) -> np.ndarray:

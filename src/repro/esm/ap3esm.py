@@ -37,7 +37,13 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..atm import GristConfig, GristModel
-from ..coupler import Clock, FieldRegistry
+from ..coupler import (
+    Clock,
+    CoupledExchange,
+    CouplerCache,
+    FieldRegistry,
+    RearrangePlan,
+)
 from ..grids.remap import nearest_remap
 from ..ice import CiceModel
 from ..lnd import LandModel
@@ -56,8 +62,22 @@ KELVIN = 273.15
 OCEAN_ALBEDO = 0.07
 OCEAN_EMISSIVITY = 0.96
 
-#: Fields of the published ocean export, in restart order.
+#: The driver-native coupling-field registry (§5.2.4): per path, what the
+#: producing component registers vs. what this driver actually reads.
+#: Registered lists mirror each component's ``export_state`` (a2x's six
+#: diagnostic fields are optional — absent until the physics populates
+#: them); used sets are exactly the reads in ``_domain1_unit`` /
+#: ``_ocean_forcing`` / the components' ``import_state``.
 _O2X_FIELDS = ("sst", "sss", "ssh", "u_surf", "v_surf", "freezing")
+_O2X_USED = ("sst", "u_surf", "v_surf", "freezing")
+_A2X_FIELDS = (
+    "taux", "tauy", "t_bot", "q_bot", "u_bot", "v_bot",
+    "gsw", "glw", "precip", "shflx", "lhflx", "cloud_fraction",
+)
+_A2X_USED = ("taux", "tauy", "t_bot", "gsw", "glw", "precip", "shflx", "lhflx")
+_X2O_FIELDS = ("taux", "tauy", "heat_flux", "fresh_flux")
+_I2X_FIELDS = ("ice_fraction", "ice_thickness", "ice_tsurf", "albedo")
+_I2X_USED = ("ice_fraction", "ice_tsurf")
 
 
 @dataclass
@@ -73,6 +93,12 @@ class AP3ESMConfig:
     ocn_couple_ratio: int = 5      # paper: atm 180/day vs ocn 36/day
     precision: str = "fp64"        # 'fp64' or 'mixed' (§5.2.3)
     concurrent_domains: bool = False  # run domain 2 on its own thread
+    #: Apply FieldRegistry pruning to every coupling-path handoff
+    #: (§5.2.4); surviving fields stay bitwise identical.
+    prune_fields: bool = False
+    #: Directory for content-addressed offline GSMap/Router construction;
+    #: None disables the coupler cache (and the compiled plans).
+    coupler_cache_dir: Optional[str] = None
     physics: Optional[object] = None  # a PhysicsSuite; None = conventional
     #: Resilience machinery (guardrail, checkpoints, watchdog); disabled
     #: by default — the driver then takes the pre-resilience code paths.
@@ -213,23 +239,34 @@ class AP3ESM:
         self.ocn.dt_tracer = self.ocn.dt_baroclinic
         self.ocn_steps_per_coupling = n
 
+        # Driver-native pruned coupling-field registry (§5.2.4): registered
+        # lists mirror the component exports, used sets are the driver's
+        # actual reads; the exchange layer applies it to every handoff.
+        self.fields = FieldRegistry()
+        self.fields.register("a2x", list(_A2X_FIELDS))
+        self.fields.register("x2o", list(_X2O_FIELDS))
+        self.fields.register("o2x", list(_O2X_FIELDS))
+        self.fields.register("i2x", list(_I2X_FIELDS))
+        self.fields.mark_used("a2x", list(_A2X_USED))
+        self.fields.mark_used("x2o", list(_X2O_FIELDS))  # ocean reads all four
+        self.fields.mark_used("o2x", list(_O2X_USED))
+        self.fields.mark_used("i2x", list(_I2X_USED))
+        self.exchange = CoupledExchange(
+            self.fields, prune=cfg.prune_fields, obs=self.obs
+        )
+
+        # Offline coupler construction (content-addressed GSMap/Router
+        # cache + compiled rearrange plans); disabled unless a cache
+        # directory is configured.
+        self.coupler_cache: Optional[CouplerCache] = None
+        self.plans: Dict[str, RearrangePlan] = {}
+        if cfg.coupler_cache_dir is not None:
+            self._init_coupler_tables()
+
         # Lagged ocean coupling state: the published export domain 1
         # reads, plus the join handle of the not-yet-published run.
-        self._o2x = self.ocn.export_state()
+        self._o2x = self.exchange.transfer("o2x", self.ocn.export_state())
         self._pending: Optional[TaskHandle] = None
-
-        # Pruned coupling-field registry (§5.2.4).
-        self.fields = FieldRegistry.cesm_default()
-        self.fields.mark_used(
-            "x2o", ["Foxx_taux", "Foxx_tauy", "Foxx_swnet", "Foxx_lwdn",
-                    "Foxx_sen", "Foxx_lat", "Foxx_rain"]
-        )
-        self.fields.mark_used("o2x", ["So_t", "So_u", "So_v", "So_ssh"])
-        self.fields.mark_used("i2x", ["Si_ifrac", "Si_t"])
-        self.fields.mark_used(
-            "a2x", ["Sa_tbot", "Faxa_swndr", "Faxa_lwdn", "Faxa_rainc",
-                    "Faxa_taux", "Faxa_tauy", "Faxa_sen", "Faxa_lat"]
-        )
 
         # Rotating checkpoints (resilience): None unless configured, so
         # the coupling loop pays one `is None` branch when disabled.
@@ -300,7 +337,9 @@ class AP3ESM:
 
             self.clock.advance()
             if self.clock.ringing("cpl_ocn"):
-                forcing = self._ocean_forcing(to_ocn, i2x)
+                forcing = self.exchange.transfer(
+                    "x2o", self._ocean_forcing(to_ocn, i2x)
+                )
                 self._pending = self.scheduler.launch(
                     "domain2", lambda dom_obs: self._ocean_unit(dom_obs, forcing)
                 )
@@ -317,7 +356,7 @@ class AP3ESM:
         with obs.span("atm.run", steps=cfg.atm_steps_per_coupling):
             self.atm.run(cfg.atm_steps_per_coupling)
             self.ctx.apply_precision(self.atm)
-            a2x = self.atm.post_coupling()
+            a2x = self.exchange.transfer("a2x", self.atm.post_coupling())
 
         # --- direct atmosphere -> land -> atmosphere exchange --------
         with obs.span("lnd.step"):
@@ -349,7 +388,7 @@ class AP3ESM:
             })
             self.ice.step(self.dt_couple)
             self.ctx.apply_precision(self.ice)
-            i2x = self.ice.post_coupling()
+            i2x = self.exchange.transfer("i2x", self.ice.post_coupling())
 
         # --- ocean + ice + land -> atmosphere -------------------------
         with obs.span("cpl.o2a_merge"):
@@ -392,9 +431,10 @@ class AP3ESM:
             return self.ocn.post_coupling()
 
     def _publish_ocean(self) -> None:
-        """Join the pending ocean run and make its export visible."""
+        """Join the pending ocean run and make its export visible (routed
+        through the exchange layer, so pruning applies here too)."""
         if self._pending is not None:
-            self._o2x = self._pending.result()
+            self._o2x = self.exchange.transfer("o2x", self._pending.result())
             self._pending = None
 
     def _wait_ocean(self) -> None:
@@ -481,7 +521,7 @@ class AP3ESM:
         if self.checkpoints is None:
             raise RuntimeError("checkpointing is not configured "
                                "(set config.resilience.checkpoint_*)")
-        return self.checkpoints.save(self.save_restart, self.n_couplings)
+        return self.checkpoints.to_file(self.save_restart, self.n_couplings)
 
     def recover(self):
         """Restore the newest *valid* checkpoint (corrupt or truncated
@@ -618,9 +658,11 @@ class AP3ESM:
         self.lnd.save_restart(base / "lnd")
         save_restart(
             base / "cpl",
+            # Iterate the fields actually present: a pruned run publishes
+            # (and must restore) only the surviving o2x subset.
             fields={
                 f"o2x_{name}": np.asarray(self._o2x[name], dtype=float)
-                for name in _O2X_FIELDS
+                for name in sorted(self._o2x)
             },
             scalars={
                 "time": self.clock.time,
@@ -646,10 +688,11 @@ class AP3ESM:
         self.clock.time = scalars["time"]
         self.clock.step_count = int(scalars["step_count"])
         self.n_couplings = int(scalars["n_couplings"])
+        o2x_names = sorted(k[len("o2x_"):] for k in fields if k.startswith("o2x_"))
         self._o2x = {
             name: fields[f"o2x_{name}"].astype(bool)
             if name == "freezing" else fields[f"o2x_{name}"]
-            for name in _O2X_FIELDS
+            for name in o2x_names
         }
         # An unpublished export equals the (restored) current ocean state:
         # the run it came from had completed before the save.
@@ -661,6 +704,74 @@ class AP3ESM:
         alarm = self.clock._alarms["cpl_ocn"]
         periods_done = int(self.clock.time / alarm.interval + 1e-9)
         alarm.reset_to(periods_done)
+
+    # -- coupler fast path (§5.2.4) -------------------------------------------------------
+
+    #: Virtual ranks for the cached coupler decompositions (the coupler-
+    #: side and ocean-side layouts a distributed run would use).
+    N_COUPLER_RANKS = 4
+
+    def _init_coupler_tables(self) -> None:
+        """Offline coupler construction: resolve the GSMaps and Routers
+        for the cpl<->ocn exchange through the content-addressed
+        :class:`CouplerCache` (a warm cache skips ``Router.build``
+        entirely) and compile one :class:`RearrangePlan` per direction —
+        the o2x plan coalesces the o2x *and* i2x bundles (ice lives on
+        the ocean grid) into a single message per (src, dst) edge."""
+        cfg = self.config
+        self.coupler_cache = CouplerCache(cfg.coupler_cache_dir, obs=self.obs)
+        n = self.N_COUPLER_RANKS
+        ncells = self.ocn.grid.mask.size
+        grid = f"ocn-{cfg.ocn_nlon}x{cfg.ocn_nlat}"
+        # Coupler side: contiguous blocks; ocean side: round-robin stripes
+        # (the layouts differ, so the Routers are genuinely M-to-N).
+        cpl_owners = np.arange(ncells) * n // ncells
+        ocn_owners = np.arange(ncells) % n
+        with self.obs.span("cpl.offline_build", grid=grid, ranks=n):
+            gsmap_cpl = self.coupler_cache.get_gsmap(f"{grid}/cpl", cpl_owners)
+            gsmap_ocn = self.coupler_cache.get_gsmap(f"{grid}/ocn", ocn_owners)
+            router_x2o = self.coupler_cache.get_router(
+                f"{grid}/cpl", f"{grid}/ocn", gsmap_cpl, gsmap_ocn
+            )
+            router_o2x = self.coupler_cache.get_router(
+                f"{grid}/ocn", f"{grid}/cpl", gsmap_ocn, gsmap_cpl
+            )
+        self.gsmaps = {"cpl": gsmap_cpl, "ocn": gsmap_ocn}
+        fields_of = (
+            self.fields.pruned
+            if cfg.prune_fields
+            else lambda path: self.fields.registered[path]
+        )
+        self.plans = {
+            "x2o": RearrangePlan.compile(router_x2o, {"x2o": fields_of("x2o")}),
+            "o2x": RearrangePlan.compile(
+                router_o2x, {"o2x": fields_of("o2x"), "i2x": fields_of("i2x")}
+            ),
+        }
+
+    def coupler_report(self) -> Dict[str, object]:
+        """Fast-path accounting: per-path exchange traffic and pruning
+        savings, plus (when the cache is armed) cache hit/miss stats and
+        the compiled plans' per-field vs. coalesced message counts."""
+        self._check()
+        ocn_lsize = self.ocn.grid.mask.size
+        atm_lsize = self.atm.grid.n_cells
+        lsizes = {"a2x": atm_lsize, "x2o": ocn_lsize,
+                  "o2x": ocn_lsize, "i2x": ocn_lsize}
+        report: Dict[str, object] = {
+            "exchange": self.exchange.report(),
+            "pruning": {
+                path: self.fields.savings(path, lsizes[path])
+                for path in sorted(self.fields.registered)
+            },
+        }
+        if self.coupler_cache is not None:
+            report["cache"] = self.coupler_cache.stats()
+            report["plans"] = {
+                name: plan.message_counts(self.N_COUPLER_RANKS)
+                for name, plan in sorted(self.plans.items())
+            }
+        return report
 
     # -- performance-layout description (§5.1.2) -----------------------------------------
 

@@ -342,11 +342,46 @@ class CouplingSpec:
     ``exchanges_per_day`` maps component pair labels to coupling
     frequencies (the paper: atm 180, ocn 36, ice 180 per day);
     ``bytes_per_exchange`` is the rearranged boundary-data volume.
+
+    The latency term is granularity-aware (the coalescing axis of the
+    coupler fast path): under ``granularity="plan"`` (the compiled
+    :class:`repro.coupler.RearrangePlan` layout, default) each partner
+    edge carries ONE message per exchange; under ``"field"`` (legacy MCT)
+    it carries one message *per coupling field*, multiplying the latency
+    term by ``fields_per_exchange[label]``.  Data volume is identical
+    either way — coalescing removes message count, not bytes.
     """
 
     exchanges_per_day: Dict[str, float]
     bytes_per_exchange: Dict[str, float]
     partners: int = 16  # overlapping ranks per rearrange (sparse p2p)
+    #: Coupling fields per exchanged bundle, per pair label (what the
+    #: legacy per-field rearranger turns into separate messages).
+    fields_per_exchange: Dict[str, float] = field(default_factory=dict)
+    #: Message layout: "plan" posts one coalesced message per partner
+    #: edge per exchange; "field" posts one per field per edge.
+    granularity: str = "plan"
+
+    def __post_init__(self) -> None:
+        if self.granularity not in ("plan", "field"):
+            raise ValueError("granularity must be 'plan' or 'field'")
+
+    def messages_per_partner(self, label: str) -> float:
+        if self.granularity == "field":
+            return max(1.0, self.fields_per_exchange.get(label, 1.0))
+        return 1.0
+
+    def repriced(self, granularity: str) -> "CouplingSpec":
+        """The same coupling under the other message layout."""
+        return replace(self, granularity=granularity)
+
+    def message_reduction(self) -> Dict[str, float]:
+        """Messages saved per partner edge by coalescing (field -> plan),
+        per pair label."""
+        return {
+            label: max(1.0, self.fields_per_exchange.get(label, 1.0))
+            for label in self.exchanges_per_day
+        }
 
     def time_per_day(self, model: PerfModel, n_procs: int) -> float:
         net = model.machine.network
@@ -355,7 +390,8 @@ class CouplingSpec:
         total = 0.0
         for label, freq in self.exchanges_per_day.items():
             nbytes = self.bytes_per_exchange.get(label, 0.0) / max(n_procs, 1)
-            total += freq * (self.partners * latency + nbytes * self.partners / max(self.partners, 1) / bw)
+            messages = self.partners * self.messages_per_partner(label)
+            total += freq * (messages * latency + nbytes * self.partners / max(self.partners, 1) / bw)
         return total * model.comm_scale
 
 

@@ -9,6 +9,7 @@ script.  See :class:`Obs` for the facade components accept, and
 from .core import NULL_OBS, Obs
 from .export import (
     chrome_trace_events,
+    coupler_fastpath,
     text_report,
     timing_summary,
     write_chrome_trace,
@@ -29,4 +30,5 @@ __all__ = [
     "write_chrome_trace",
     "text_report",
     "timing_summary",
+    "coupler_fastpath",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "text_report",
     "timing_summary",
     "resilience_interventions",
+    "coupler_fastpath",
 ]
 
 
@@ -45,6 +46,23 @@ def resilience_interventions(
     for reg in metrics:
         for name in reg.names():
             if not name.startswith("resilience."):
+                continue
+            metric = reg.get(name)
+            if getattr(metric, "kind", None) == "counter" and metric.value:
+                totals[name] = totals.get(name, 0.0) + metric.value
+    return totals
+
+
+def coupler_fastpath(metrics: Iterable[MetricsRegistry]) -> Dict[str, float]:
+    """Total every nonzero ``coupler.*``/``cpl.plan.*`` counter across
+    ranks — the fast-path ledger (cache hits/misses, exchange traffic,
+    pruning savings, coalesced-plan messages).  A run that never touched
+    the fast path returns ``{}``.
+    """
+    totals: Dict[str, float] = {}
+    for reg in metrics:
+        for name in reg.names():
+            if not (name.startswith("coupler.") or name.startswith("cpl.plan.")):
                 continue
             metric = reg.get(name)
             if getattr(metric, "kind", None) == "counter" and metric.value:
@@ -153,6 +171,12 @@ def text_report(
         lines = ["== resilience interventions =="]
         for name in sorted(interventions):
             lines.append(f"{name:<44}{interventions[name]:>14g}")
+        sections.append("\n".join(lines))
+    fastpath = coupler_fastpath(metric_list)
+    if fastpath:
+        lines = ["== coupler fast path =="]
+        for name in sorted(fastpath):
+            lines.append(f"{name:<44}{fastpath[name]:>14g}")
         sections.append("\n".join(lines))
     return "\n".join(sections)
 

@@ -1,15 +1,35 @@
-"""Backend selection (compatibility shim).
+"""Deprecated backend-selection shim.
 
 The LICOM implementation-portfolio selection (§5.1.1) moved to
 :mod:`repro.pp.backends` so that backend choice is component-agnostic —
 the same execution space now drives atm/ice/lnd kernels through the
-shared ``ComponentContext``.  This module re-exports the public names so
-existing ``from repro.ocn.backends import select_backend`` call sites
-keep working.
+shared ``ComponentContext``.  Import :func:`repro.pp.select_backend` and
+``repro.pp.BACKEND_PORTFOLIO`` instead; this module lazily forwards the
+old names and emits a :class:`DeprecationWarning` on first use.
 """
 
 from __future__ import annotations
 
-from ..pp.backends import BACKEND_PORTFOLIO, select_backend
+import warnings
 
 __all__ = ["select_backend", "BACKEND_PORTFOLIO"]
+
+_FORWARDED = frozenset(__all__)
+
+
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.ocn.backends.{name} is deprecated; "
+            f"import {name} from repro.pp instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..pp import backends as _backends
+
+        return getattr(_backends, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _FORWARDED)

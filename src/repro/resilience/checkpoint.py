@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import warnings
 import zlib
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -38,9 +39,11 @@ _VERSION = 1
 class CheckpointManager:
     """Owns one rotating checkpoint directory.
 
-    ``save``/``restore_latest_valid`` take callables (e.g.
-    ``model.save_restart`` / ``model.load_restart``) so the manager works
-    for any component or the whole coupled system without importing them.
+    ``to_file``/``restore_latest_valid`` (alias ``from_file``) take
+    callables (e.g. ``model.save_restart`` / ``model.load_restart``) so
+    the manager works for any component or the whole coupled system
+    without importing them.  ``save`` is a deprecated alias kept for old
+    call sites.
     """
 
     def __init__(self, root: Union[str, Path], keep: int = 3, obs=None) -> None:
@@ -53,7 +56,7 @@ class CheckpointManager:
 
     # -- write -------------------------------------------------------------
 
-    def save(self, saver: Callable[[Path], None], step: int) -> Path:
+    def to_file(self, saver: Callable[[Path], None], step: int) -> Path:
         """Write checkpoint ``step`` atomically and prune the rotation.
 
         ``saver(directory)`` must materialize the state under the given
@@ -65,6 +68,15 @@ class CheckpointManager:
             path = self._save(saver, step)
         self.obs.counter("resilience.checkpoints_written").inc()
         return path
+
+    def save(self, saver: Callable[[Path], None], step: int) -> Path:
+        """Deprecated alias for :meth:`to_file`."""
+        warnings.warn(
+            "CheckpointManager.save is deprecated; use CheckpointManager.to_file",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.to_file(saver, step)
 
     def _save(self, saver: Callable[[Path], None], step: int) -> Path:
         final = self.root / f"{_PREFIX}{step:08d}"
@@ -196,6 +208,11 @@ class CheckpointManager:
             "no valid checkpoint to restore from",
             path=self.root, reason=f"{tried} candidate(s) all failed",
         )
+
+    def from_file(self, loader: Callable[[Path], None]) -> Path:
+        """Alias for :meth:`restore_latest_valid` — the restore half of
+        the repo-wide ``to_file``/``from_file`` persistence convention."""
+        return self.restore_latest_valid(loader)
 
 
 class _Null:

@@ -398,7 +398,7 @@ class ElasticFieldRun:
             n_do = min(self.checkpoint_every, self.steps - step)
             ckpt_step = step
             ckpt_shards = [s.copy() for s in shards]
-            manager.save(self._saver(owners, shards, step), step)
+            manager.to_file(self._saver(owners, shards, step), step)
             outcome = world.run_elastic(
                 _epoch, shards, owners, self.nu, n_do, step // self.checkpoint_every
             )

@@ -188,6 +188,13 @@ class FaultPlan:
     def from_file(path: Union[str, Path]) -> "FaultPlan":
         return FaultPlan.from_json(Path(path).read_text())
 
+    def to_file(self, path: Union[str, Path]) -> Path:
+        """Write the plan as JSON (the inverse of :meth:`from_file`)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
     def to_json(self) -> str:
         data = asdict(self)
         data["physics"] = [

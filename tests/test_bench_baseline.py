@@ -1,0 +1,91 @@
+"""Tests for the JSON perf-baseline regression gate."""
+
+import pytest
+
+from repro.bench import PerfBaseline, compare_baselines
+
+
+def _doc(**values):
+    doc = PerfBaseline(suite="t")
+    for name, (value, kind) in values.items():
+        doc.record(name, value, kind=kind)
+    return doc
+
+
+class TestPerfBaseline:
+    def test_record_validates_kind(self):
+        doc = PerfBaseline(suite="t")
+        with pytest.raises(ValueError, match="kind"):
+            doc.record("m", 1.0, kind="vibes")
+
+    def test_json_roundtrip(self, tmp_path):
+        doc = _doc(a=(3.0, "count"), b=(0.5, "model"), c=(12.0, "wall"))
+        path = doc.write(tmp_path / "BENCH_t.json")
+        loaded = PerfBaseline.from_file(path)
+        assert loaded.suite == "t"
+        assert loaded.metrics == doc.metrics
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            PerfBaseline.from_json('{"version": 99, "suite": "t", "metrics": {}}')
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        doc = _doc(a=(3.0, "count"), w=(10.0, "wall"))
+        cmp = compare_baselines(doc, doc)
+        assert cmp.ok
+        assert cmp.checked == 1  # wall is informational, not gated
+
+    def test_within_tolerance_passes(self):
+        cur = _doc(a=(110.0, "count"))
+        base = _doc(a=(100.0, "count"))
+        assert compare_baselines(cur, base, tolerance=0.15).ok
+
+    def test_regression_fails(self):
+        cur = _doc(a=(130.0, "count"))
+        base = _doc(a=(100.0, "count"))
+        cmp = compare_baselines(cur, base, tolerance=0.15)
+        assert not cmp.ok
+        assert cmp.regressions[0].name == "a"
+        assert cmp.regressions[0].rel_change == pytest.approx(0.30)
+        assert "REGRESSION" in cmp.report()
+
+    def test_symmetric_catches_improvements(self):
+        """An unexplained 2x 'improvement' in a count metric means the
+        benchmark stopped measuring what it used to — gate it."""
+        cur = _doc(a=(50.0, "count"))
+        base = _doc(a=(100.0, "count"))
+        assert not compare_baselines(cur, base).ok
+        assert compare_baselines(cur, base, symmetric=False).ok
+
+    def test_wall_never_gates(self):
+        cur = _doc(w=(1000.0, "wall"))
+        base = _doc(w=(1.0, "wall"))
+        cmp = compare_baselines(cur, base)
+        assert cmp.ok
+        assert cmp.informational[0].name == "w"
+
+    def test_missing_metric_fails_new_metric_passes(self):
+        cur = _doc(b=(1.0, "count"))
+        base = _doc(a=(1.0, "count"))
+        cmp = compare_baselines(cur, base)
+        assert not cmp.ok
+        assert cmp.missing == ["a"]
+        assert cmp.added == ["b"]
+
+    def test_zero_baseline_handled(self):
+        assert compare_baselines(_doc(a=(0.0, "count")), _doc(a=(0.0, "count"))).ok
+        cmp = compare_baselines(_doc(a=(5.0, "count")), _doc(a=(0.0, "count")))
+        assert not cmp.ok
+
+    def test_cli_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cur = _doc(a=(100.0, "count")).write(tmp_path / "cur.json")
+        base = _doc(a=(100.0, "count")).write(tmp_path / "base.json")
+        assert main(["perf-gate", str(cur), str(base)]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = _doc(a=(200.0, "count")).write(tmp_path / "bad.json")
+        assert main(["perf-gate", str(bad), str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out

@@ -58,8 +58,17 @@ class TestGSMap:
     def test_offline_save_load(self, tmp_path):
         src, _ = _two_maps()
         path = tmp_path / "gsmap.npz"
-        src.save(path)
-        loaded = GlobalSegMap.load(path)
+        src.to_file(path)
+        loaded = GlobalSegMap.from_file(path)
+        assert np.array_equal(loaded.owner_array(), src.owner_array())
+
+    def test_save_load_aliases_deprecated(self, tmp_path):
+        src, _ = _two_maps()
+        path = tmp_path / "gsmap.npz"
+        with pytest.warns(DeprecationWarning, match="to_file"):
+            src.save(path)
+        with pytest.warns(DeprecationWarning, match="from_file"):
+            loaded = GlobalSegMap.load(path)
         assert np.array_equal(loaded.owner_array(), src.owner_array())
 
     def test_build_cost_scales_with_pes(self):
@@ -138,12 +147,22 @@ class TestRouter:
         src, dst = _two_maps()
         router = Router.build(src, dst)
         path = tmp_path / "router.npz"
-        router.save(path)
-        loaded = Router.load(path)
+        router.to_file(path)
+        loaded = Router.from_file(path)
         assert loaded.n_pairs == router.n_pairs
         for key in router.send:
             assert np.array_equal(loaded.send[key], router.send[key])
             assert np.array_equal(loaded.recv[key], router.recv[key])
+
+    def test_save_load_aliases_deprecated(self, tmp_path):
+        src, dst = _two_maps()
+        router = Router.build(src, dst)
+        path = tmp_path / "router.npz"
+        with pytest.warns(DeprecationWarning, match="to_file"):
+            router.save(path)
+        with pytest.warns(DeprecationWarning, match="from_file"):
+            loaded = Router.load(path)
+        assert loaded.n_pairs == router.n_pairs
 
     def test_memory_accounting(self):
         src, dst = _two_maps()

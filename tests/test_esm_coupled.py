@@ -50,8 +50,13 @@ class TestDriver:
         )
 
     def test_field_registry_pruned(self, coupled):
-        pruned = coupled.fields.pruned("x2o")
-        assert 0 < len(pruned) < len(coupled.fields.registered["x2o"])
+        # The driver-native registry genuinely prunes the a2x, o2x, and
+        # i2x paths; x2o is fully consumed (the ocean reads all four).
+        for path in ("a2x", "o2x", "i2x"):
+            pruned = coupled.fields.pruned(path)
+            assert 0 < len(pruned) < len(coupled.fields.registered[path]), path
+        assert coupled.fields.pruned("x2o") == coupled.fields.registered["x2o"]
+        assert coupled.fields.n_used("a2x") == len(coupled.fields.pruned("a2x"))
 
     def test_task_domains_match_paper(self, coupled):
         domains = coupled.task_domains()

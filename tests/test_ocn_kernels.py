@@ -83,7 +83,7 @@ class TestBackendSelection:
 
     def test_sunway_selects_athread(self):
         from repro.machine import sunway_oceanlight
-        from repro.ocn.backends import select_backend
+        from repro.pp import select_backend
 
         label, space = select_backend(sunway_oceanlight())
         assert label == "athread"
@@ -92,7 +92,7 @@ class TestBackendSelection:
 
     def test_orise_selects_hip(self):
         from repro.machine import orise
-        from repro.ocn.backends import select_backend
+        from repro.pp import select_backend
 
         label, space = select_backend(orise())
         assert label == "hip"
@@ -102,7 +102,7 @@ class TestBackendSelection:
         """Whatever the portfolio picks, the kernels produce the reference
         answer — the point of performance portability."""
         from repro.machine import orise, sunway_oceanlight
-        from repro.ocn.backends import select_backend
+        from repro.pp import select_backend
 
         _, _, t, s = fields
         ref = linear_eos(t, s)
@@ -111,6 +111,33 @@ class TestBackendSelection:
             assert np.array_equal(run_eos(space, t, s), ref)
 
     def test_portfolio_labels_documented(self):
-        from repro.ocn.backends import BACKEND_PORTFOLIO
+        from repro.pp import BACKEND_PORTFOLIO
 
         assert {"athread", "hip", "kokkos-host", "serial"} <= set(BACKEND_PORTFOLIO)
+
+
+def test_ocn_backends_shim_warns():
+    """The old ``repro.ocn.backends`` names still resolve, but only via a
+    DeprecationWarning that points the caller at ``repro.pp``."""
+    import importlib
+    import warnings
+
+    from repro.ocn import backends as shim
+
+    with pytest.warns(DeprecationWarning, match=r"repro\.pp"):
+        fn = shim.select_backend
+    from repro.pp import select_backend
+
+    assert fn is select_backend
+    with pytest.warns(DeprecationWarning, match=r"BACKEND_PORTFOLIO"):
+        portfolio = shim.BACKEND_PORTFOLIO
+    from repro.pp import BACKEND_PORTFOLIO
+
+    assert portfolio is BACKEND_PORTFOLIO
+    with pytest.raises(AttributeError):
+        shim.not_a_backend_name
+    assert "select_backend" in dir(importlib.import_module("repro.ocn.backends"))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no warning on plain module import
+        importlib.reload(shim)
+

@@ -273,7 +273,7 @@ class TestCheckpointManager:
     def test_rotation_keeps_newest(self, tmp_path):
         mgr = CheckpointManager(tmp_path, keep=2)
         for step in (1, 2, 3):
-            mgr.save(_fake_saver(np.full(4, float(step))), step)
+            mgr.to_file(_fake_saver(np.full(4, float(step))), step)
         names = [p.name for p in mgr.checkpoints()]
         assert names == ["ckpt-00000002", "ckpt-00000003"]
         assert not list(tmp_path.glob(".tmp-*"))
@@ -281,7 +281,7 @@ class TestCheckpointManager:
     def test_validate_catches_each_corruption(self, tmp_path):
         mgr = CheckpointManager(tmp_path, keep=3)
         for kind in ("bitflip", "truncate", "stale"):
-            path = mgr.save(_fake_saver(np.arange(8.0)), 1)
+            path = mgr.to_file(_fake_saver(np.arange(8.0)), 1)
             mgr.validate(path)
             corrupt_checkpoint(path, kind)
             with pytest.raises(CheckpointError):
@@ -289,7 +289,7 @@ class TestCheckpointManager:
 
     def test_validate_catches_unmanifested_file(self, tmp_path):
         mgr = CheckpointManager(tmp_path, keep=1)
-        path = mgr.save(_fake_saver(np.arange(8.0)), 1)
+        path = mgr.to_file(_fake_saver(np.arange(8.0)), 1)
         (path / "stray.bin").write_bytes(b"oops")
         with pytest.raises(CheckpointError, match="manifest does not cover"):
             mgr.validate(path)
@@ -298,7 +298,7 @@ class TestCheckpointManager:
         obs = Obs()
         mgr = CheckpointManager(tmp_path, keep=3, obs=obs)
         for step in (1, 2, 3):
-            mgr.save(_fake_saver(np.full(4, float(step))), step)
+            mgr.to_file(_fake_saver(np.full(4, float(step))), step)
         corrupt_checkpoint(mgr.checkpoints()[-1], "bitflip")
 
         seen = {}
@@ -316,7 +316,7 @@ class TestCheckpointManager:
     def test_restore_raises_when_everything_corrupt(self, tmp_path):
         mgr = CheckpointManager(tmp_path, keep=2)
         for step in (1, 2):
-            mgr.save(_fake_saver(np.arange(4.0)), step)
+            mgr.to_file(_fake_saver(np.arange(4.0)), step)
         for ckpt in mgr.checkpoints():
             corrupt_checkpoint(ckpt, "truncate")
         with pytest.raises(CheckpointError, match="no valid checkpoint"):
