@@ -2,23 +2,34 @@
 
 Measures the portability layer's contract: the same kernels produce
 bit-identical results on every execution space (Serial, HostThreads,
-CPECluster, GPUDevice); the hash-registry launch path (the Sunway TMP
+CPECluster, GPUDevice — and ProcPool, the backend that really executes
+on separate host cores); the hash-registry launch path (the Sunway TMP
 workaround) matches direct dispatch exactly; the hybrid host-device split
 equalizes modeled finish times; and the modeled per-space kernel costs
 reproduce the MPE-vs-CPE ordering that drives Table 2.
+
+Emits ``BENCH_pp.json`` with the *measured* procs-vs-serial wall-time
+speedup (kind ``speedup``: gated >= 1x by the CI perf gate on multi-core
+runners, informational on single-core ones).
 """
+
+import multiprocessing
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.bench import banner, format_table
+from repro.bench import PerfBaseline, banner, compare_baselines, format_table
 from repro.pp import (
+    BoundKernel,
     CPECluster,
     GPUDevice,
     HostThreads,
     HybridDispatcher,
     KernelRegistry,
     MDRangePolicy,
+    ProcPool,
     Serial,
     kernel_hash,
     parallel_for,
@@ -141,3 +152,138 @@ def test_mdrange_tiling_covers(field):
 def test_benchmark_kernel_per_space(benchmark, field, name, space):
     out = np.zeros(N)
     benchmark(parallel_for, space, N, lambda idx: _stencil(out, field, idx))
+
+
+# -- the real backend: measured speedup + the JSON perf baseline -------------
+
+BENCH_JSON = "BENCH_pp.json"
+BASELINE_DIR = Path(__file__).parent / "baselines"
+HEAVY_N = 300_000
+
+
+def _heavy(idx, out, x):
+    """Compute-bound kernel: enough transcendental work per element that
+    fanning chunks across cores beats the dispatch overhead."""
+    v = x[idx].copy()
+    acc = np.zeros_like(v)
+    for _ in range(12):
+        acc += np.sin(v) * np.cos(v) + np.sqrt(np.abs(v) + 1.0)
+        v = v * 0.99 + 0.01
+    out[idx] = acc
+
+
+def _time_heavy(space, x, reps=3):
+    """Best-of-reps wall time of the heavy kernel on ``space``."""
+    out = np.zeros(HEAVY_N)
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        parallel_for(space, HEAVY_N, BoundKernel(_heavy, (out, x)))
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_procpool_bitwise_and_measured_speedup(field, emit_report):
+    """ProcPool must match Serial bit-for-bit; the measured speedup is
+    reported (and >= 1x is enforced by the perf gate on multi-core CI)."""
+    x = np.random.default_rng(1).standard_normal(HEAVY_N)
+    pool = ProcPool()  # all cores
+    try:
+        t_serial, out_serial = _time_heavy(Serial(), x)
+        t_procs, out_procs = _time_heavy(pool, x)
+        stats = pool.runtime.stats
+    finally:
+        pool.runtime.shutdown()
+    assert np.array_equal(out_serial, out_procs)
+    if pool.lanes > 1:
+        # A >1-wide pool cuts >1 chunk per launch, so nothing falls back;
+        # a 1-core host has a 1-lane pool whose single chunk correctly
+        # stays in-process.
+        assert stats.fallbacks == 0
+    cores = multiprocessing.cpu_count()
+    speedup = t_serial / t_procs
+    emit_report(
+        "pp_procpool_speedup",
+        "\n".join([
+            banner("ProcPool — real multi-core execution (shared memory)"),
+            format_table(
+                ["backend", "workers", "wall [ms]", "speedup"],
+                [("Serial", 1, f"{t_serial * 1e3:.1f}", "1.00"),
+                 ("ProcPool", pool.lanes, f"{t_procs * 1e3:.1f}",
+                  f"{speedup:.2f}")],
+            ),
+            f"\nhost cores: {cores}",
+            "bitwise identical to serial: True",
+            f"pool dispatches: {stats.dispatches}, fallbacks: {stats.fallbacks}",
+        ]),
+    )
+    if cores > 1:
+        assert speedup > 1.0, f"procs slower than serial on {cores} cores"
+
+
+def _bench_document(tmp_path):
+    doc = PerfBaseline(suite="pp")
+    x = np.random.default_rng(1).standard_normal(HEAVY_N)
+
+    # Deterministic dispatch arithmetic with a FIXED pool width (gated):
+    # a 2-worker pool sees the same chunking on every machine.
+    pool2 = ProcPool(2)
+    try:
+        out_p = np.zeros(HEAVY_N)
+        parallel_for(pool2, HEAVY_N, BoundKernel(_heavy, (out_p, x)))
+        st = pool2.runtime.stats
+        doc.record("procs.dispatches", st.dispatches)
+        doc.record("procs.tasks", st.tasks)
+        doc.record("procs.fallbacks", st.fallbacks)
+    finally:
+        pool2.runtime.shutdown()
+    out_s = np.zeros(HEAVY_N)
+    parallel_for(Serial(), HEAVY_N, BoundKernel(_heavy, (out_s, x)))
+    doc.record("procs.bitwise_identical", float(np.array_equal(out_s, out_p)))
+
+    # Modeled per-space cost ordering (gated, deterministic model output).
+    flops = 4.0 * N
+    for label, space in SPACES.items():
+        key = label.split(" ")[0].lower().replace("(", "")
+        doc.record(f"model.{key}_kernel_s", space.modeled_time(flops),
+                   kind="model", unit="s")
+
+    # Measured speedup with all cores (kind=speedup: the perf gate
+    # enforces >= 1x iff host.cores > 1).  host.cores is machine-dependent
+    # so it rides along ungated (kind=wall == informational).
+    t_serial, _ = _time_heavy(Serial(), x)
+    pool = ProcPool()
+    try:
+        t_procs, _ = _time_heavy(pool, x)
+    finally:
+        pool.runtime.shutdown()
+    doc.record("host.cores", multiprocessing.cpu_count(), kind="wall")
+    doc.record("wall.heavy_serial_ms", t_serial * 1e3, kind="wall", unit="ms")
+    doc.record("wall.heavy_procs_ms", t_procs * 1e3, kind="wall", unit="ms")
+    doc.record("speedup.procs_vs_serial", t_serial / t_procs, kind="speedup",
+               unit="x")
+    return doc
+
+
+def test_emit_bench_pp_json(tmp_path, report_dir):
+    """Emit BENCH_pp.json — the document the CI perf gate compares
+    against benchmarks/baselines/BENCH_pp.json."""
+    doc = _bench_document(tmp_path)
+    out = doc.write(report_dir / BENCH_JSON)
+    print(f"\n[bench-json] {out}")
+    assert PerfBaseline.from_file(out).metrics == doc.metrics
+
+
+def test_gate_against_committed_baseline(tmp_path):
+    """The acceptance check the CI job runs: the fresh document must pass
+    the 15 % gate against the committed baseline (speedup metrics gate
+    only the 1x floor, and only on multi-core hosts)."""
+    baseline_path = BASELINE_DIR / BENCH_JSON
+    if not baseline_path.exists():
+        pytest.skip("no committed baseline yet")
+    doc = _bench_document(tmp_path)
+    comparison = compare_baselines(
+        doc, PerfBaseline.from_file(baseline_path), tolerance=0.15
+    )
+    print("\n" + comparison.report())
+    assert comparison.ok, comparison.report()

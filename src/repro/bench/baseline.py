@@ -10,7 +10,13 @@ baselines under ``benchmarks/baselines/``:
   SYPD): gated with the same tolerance;
 * ``wall`` — measured wall time on whatever machine ran the suite:
   **informational only**, reported but never failed (CI runners are too
-  noisy to gate on).
+  noisy to gate on);
+* ``speedup`` — measured wall-time ratio (serial time / parallel time).
+  The committed value is never a target — speedup is machine-dependent —
+  but the **floor is gated**: when the current document reports a
+  ``host.cores`` metric greater than 1, a speedup below 1.0 fails (a
+  parallel backend must not be slower than serial on a multi-core host);
+  on single-core runners it is informational.
 
 The gate is symmetric by default — an unexplained 10× *improvement* in a
 ``count`` metric usually means the benchmark stopped measuring the thing
@@ -38,7 +44,7 @@ __all__ = [
 ]
 
 _VERSION = 1
-_KINDS = ("count", "model", "wall")
+_KINDS = ("count", "model", "wall", "speedup")
 #: Relative difference below which two values are "the same" even when
 #: the baseline value is 0 (guards the 0-vs-1e-12 division).
 _ABS_FLOOR = 1e-12
@@ -131,7 +137,7 @@ class BaselineComparison:
         for d in self.informational:
             mark = " (drifted)" if abs(d.rel_change) > self.tolerance else ""
             lines.append(
-                f"  wall {d.name}: {d.baseline:.6g} -> {d.current:.6g} "
+                f"  {d.kind} {d.name}: {d.baseline:.6g} -> {d.current:.6g} "
                 f"({d.rel_change:+.1%}){mark}"
             )
         for name in self.added:
@@ -150,7 +156,9 @@ def compare_baselines(
     ``count``/``model`` metrics whose relative change exceeds
     ``tolerance`` (in either direction when ``symmetric``, else only
     when worse, i.e. larger) are regressions; ``wall`` metrics are
-    always informational.  Metrics present in the baseline but absent
+    always informational; ``speedup`` metrics are gated against the 1.0
+    floor iff the current document's ``host.cores`` metric exceeds 1,
+    and informational otherwise.  Metrics present in the baseline but absent
     from the current run fail the gate (the benchmark lost coverage);
     new metrics are reported but pass.
     """
@@ -167,6 +175,21 @@ def compare_baselines(
             current=float(cur["value"]),
         )
         if delta.kind == "wall":
+            cmp.informational.append(delta)
+            continue
+        if delta.kind == "speedup":
+            # Machine-dependent: the committed value is not a target.
+            # Gate only the 1.0 floor (parallel must not be slower than
+            # serial), and only when the *current* run's host reports
+            # more than one core.
+            cores = float(current.metrics.get("host.cores", {}).get("value", 1.0))
+            if cores > 1.0:
+                cmp.checked += 1
+                if delta.current < 1.0:
+                    cmp.regressions.append(
+                        MetricDelta(delta.name, "speedup", 1.0, delta.current)
+                    )
+                    continue
             cmp.informational.append(delta)
             continue
         cmp.checked += 1

@@ -51,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
     core.add_argument("--ocn-levels", type=int, default=8)
     core.add_argument("--restart-dir", default=None,
                       help="write a restart set here at the end")
+    core.add_argument("--backend", default="serial",
+                      choices=("serial", "threads", "cpe", "gpu", "procs"),
+                      help="execution backend for component kernels; 'procs' "
+                           "fans kernels across host cores via a shared-memory "
+                           "process pool, bitwise-identical to 'serial'")
+    core.add_argument("--backend-workers", type=int, default=0, metavar="N",
+                      help="worker/lane count for --backend "
+                           "(default 0: all cores for 'procs')")
     core.add_argument("--concurrent-domains", action="store_true",
                       help="run task domain 2 (ocean) on its own thread "
                            "(§5.1.2; bitwise-identical to the serial schedule)")
@@ -186,6 +194,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         concurrent_domains=args.concurrent_domains,
         prune_fields=args.prune_fields,
         coupler_cache_dir=args.coupler_cache,
+        backend=args.backend,
+        backend_workers=args.backend_workers,
         resilience=_resilience_config(args),
     )
     print(f"chaos: injecting {plan.n_faults} fault(s) from {args.faults} "
@@ -215,12 +225,15 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
         concurrent_domains=args.concurrent_domains,
         prune_fields=args.prune_fields,
         coupler_cache_dir=args.coupler_cache,
+        backend=args.backend,
+        backend_workers=args.backend_workers,
         **cfg_kwargs,
     ), obs=obs)
     model.init()
     schedule = "concurrent" if args.concurrent_domains else "serial"
     print(f"running {args.days:g} coupled days "
-          f"({schedule} task domains, {args.precision} storage)...")
+          f"({schedule} task domains, {args.precision} storage, "
+          f"{args.backend} backend)...")
     model.run_days(args.days)
     for ev in model.recovery_events:
         print(f"recovered ({ev['policy']}) from {ev['error']} in "
@@ -250,6 +263,13 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
     rep = get_timing([model.timers], "cpl_run",
                      simulated_days=model.n_couplings * model.dt_couple / 86400.0)
     print(f"throughput: {rep.sypd:.1f} SYPD on this machine")
+    pstats = model.pool_stats()
+    if pstats is not None:
+        print(f"procs backend: {pstats.workers} worker(s), "
+              f"{pstats.dispatches} pool dispatch(es), "
+              f"{pstats.fallbacks} in-process fallback(s), "
+              f"{pstats.bytes_shared / 1e6:.1f} MB staged, "
+              f"occupancy {pstats.occupancy:.2f}")
     if args.coupler_cache or args.prune_fields:
         creport = model.coupler_report()
         if model.coupler_cache is not None:

@@ -49,7 +49,7 @@ from ..ice import CiceModel
 from ..lnd import LandModel
 from ..obs import NULL_OBS, Obs
 from ..ocn import LicomConfig, LicomModel
-from ..pp import ExecutionSpace
+from ..pp import ExecutionSpace, make_backend
 from ..resilience.config import ResilienceConfig
 from ..utils.timers import TimerRegistry
 from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
@@ -99,6 +99,13 @@ class AP3ESMConfig:
     #: Directory for content-addressed offline GSMap/Router construction;
     #: None disables the coupler cache (and the compiled plans).
     coupler_cache_dir: Optional[str] = None
+    #: Execution backend for every component kernel: 'serial' (default),
+    #: 'threads'/'cpe'/'gpu' (modeled spaces), or 'procs' — the real
+    #: shared-memory process pool, bitwise-identical to 'serial'.
+    backend: str = "serial"
+    #: Worker/lane count for the chosen backend; 0 = backend default
+    #: (all host cores for 'procs').
+    backend_workers: int = 0
     physics: Optional[object] = None  # a PhysicsSuite; None = conventional
     #: Resilience machinery (guardrail, checkpoints, watchdog); disabled
     #: by default — the driver then takes the pre-resilience code paths.
@@ -142,6 +149,7 @@ class AP3ESM:
         self.timers = TimerRegistry()
         self.obs = obs if obs is not None else NULL_OBS
         self._space = space
+        self._owned_pool = None
         self._initialized = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -202,9 +210,22 @@ class AP3ESM:
 
         # ONE shared context for all four components: execution space,
         # kernel registry (the §5.3 hash table), precision policy, obs.
+        # An explicit `space=` argument wins over the config backend name.
+        self._owned_pool = None
+        space = self._space
+        if space is None and cfg.backend != "serial":
+            space = make_backend(cfg.backend, cfg.backend_workers or None)
+            self._owned_pool = getattr(space, "runtime", None)
+        if hasattr(space, "runtime"):
+            # Real process backend: bind obs so pp.procpool.* metrics land
+            # in this run's registry, and fork the workers NOW — before
+            # the scheduler spawns threads (forking a threaded process is
+            # the classic deadlock).
+            space.runtime.obs = self.obs
+            space.runtime.ensure_started()
         ctx_kwargs = {"precision": precision_policy(cfg.precision), "obs": self.obs}
-        if self._space is not None:
-            ctx_kwargs["space"] = self._space
+        if space is not None:
+            ctx_kwargs["space"] = space
         self.ctx = ComponentContext(**ctx_kwargs)
         self.components = (self.atm, self.ocn, self.ice, self.lnd)
         for comp in self.components:
@@ -305,12 +326,23 @@ class AP3ESM:
         self._wait_ocean()
         self.scheduler.shutdown()
         with self.obs.span("esm.finalize"):
-            return {
+            out = {
                 "atm": self.atm.finalize(),
                 "ocn": self.ocn.finalize(),
                 "ice": self.ice.finalize(),
                 "lnd": self.lnd.finalize(),
             }
+        if self._owned_pool is not None:
+            st = self._owned_pool.stats
+            self.obs.gauge("pp.procpool.dispatches_total").set(float(st.dispatches))
+            self.obs.gauge("pp.procpool.fallbacks_total").set(float(st.fallbacks))
+            self._owned_pool.shutdown()
+        return out
+
+    def pool_stats(self):
+        """:class:`~repro.pp.procpool.PoolStats` of the config-owned
+        process pool, or ``None`` when the backend is not ``procs``."""
+        return self._owned_pool.stats if self._owned_pool is not None else None
 
     # -- coupling loop ---------------------------------------------------------------
 

@@ -11,13 +11,16 @@ from .execspace import (
     Serial,
 )
 from .kernels import (
+    BoundKernel,
     MDRangePolicy,
     TileProfile,
     parallel_for,
     parallel_reduce,
     parallel_scan,
+    reduction_chunks,
 )
-from .backends import BACKEND_PORTFOLIO, select_backend
+from .backends import BACKEND_PORTFOLIO, make_backend, select_backend
+from .procpool import PoolStats, ProcPool, ProcPoolRuntime, ProcPoolSpace, SharedView
 from .registry import HybridDispatcher, KernelRegistry, kernel_hash
 from .stats import KernelMetrics, ObsKernelStats, publish_tile_profile
 from .swgomp import OffloadStats, TargetLoop, target
@@ -39,9 +42,17 @@ __all__ = [
     "KernelStats",
     "MDRangePolicy",
     "TileProfile",
+    "BoundKernel",
     "parallel_for",
     "parallel_reduce",
     "parallel_scan",
+    "reduction_chunks",
+    "ProcPool",
+    "ProcPoolRuntime",
+    "ProcPoolSpace",
+    "PoolStats",
+    "SharedView",
+    "make_backend",
     "KernelRegistry",
     "kernel_hash",
     "HybridDispatcher",

@@ -19,12 +19,12 @@ re-exports these names for backward compatibility.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..machine.spec import MachineSpec
 from .execspace import CPECluster, ExecutionSpace, GPUDevice, HostThreads, Serial
 
-__all__ = ["select_backend", "BACKEND_PORTFOLIO"]
+__all__ = ["select_backend", "make_backend", "BACKEND_PORTFOLIO"]
 
 #: Implementation portfolio: label -> how it maps onto our exec spaces.
 BACKEND_PORTFOLIO = {
@@ -51,3 +51,30 @@ def select_backend(machine: MachineSpec, host_fallback_threads: int = 8) -> Tupl
     if node.cores_per_process > 1 or node.processes_per_node > 1:
         return "kokkos-host", HostThreads(host_fallback_threads)
     return "serial", Serial()
+
+
+def make_backend(name: str, workers: Optional[int] = None) -> ExecutionSpace:
+    """Construct an execution space from a CLI/config backend name.
+
+    ``serial``, ``threads`` (modeled multicore), ``cpe``, ``gpu`` are the
+    modeled spaces; ``procs`` is the *real* shared-memory process pool
+    (:func:`repro.pp.procpool.ProcPool`) that occupies host cores while
+    staying bitwise-identical to ``serial``.  ``workers`` sizes the lane
+    count where it applies (0 / None means the space default).
+    """
+    from .procpool import ProcPool  # deferred: keeps multiprocessing import lazy
+
+    n = workers if workers else None
+    table = {
+        "serial": lambda: Serial(),
+        "threads": lambda: HostThreads(n or 8),
+        "cpe": lambda: CPECluster(n or 64),
+        "gpu": lambda: GPUDevice(n or 4096),
+        "procs": lambda: ProcPool(n),
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(table)}"
+        ) from None

@@ -13,12 +13,21 @@ Each space also carries the *cost parameters* the machine model uses to
 price a kernel on that hardware (lanes, per-lane throughput, launch
 overhead), so that "which backend is faster" is a modeled quantity, not a
 hard-coded answer.
+
+Execution is factored into four overridable hooks (``run_chunks`` /
+``map_chunks`` / ``run_tiles`` / ``map_tiles``): the base class executes
+every chunk or tile serially in-process, while a *real* backend — the
+shared-memory :func:`repro.pp.procpool.ProcPool` — overrides them to fan
+the same decomposition across host cores.  The kernel layer
+(:mod:`repro.pp.kernels`) decides *what* the chunks are; the space
+decides only *where* they execute, which is how the serial path stays
+bitwise-identical when a parallel backend is swapped in.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Callable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -66,15 +75,55 @@ class ExecutionSpace:
     launch_overhead_s: float
 
     def chunks(self, n: int) -> Iterator[np.ndarray]:
-        """Partition ``range(n)`` into per-lane contiguous index chunks."""
+        """Partition ``range(n)`` into per-lane contiguous index chunks.
+
+        An empty iteration space (``n == 0``) yields **no** chunks — never
+        an empty chunk — so a flat ``parallel_for`` over zero iterations
+        calls the functor zero times, matching the MDRange path where a
+        zero extent produces zero tiles.
+        """
         if n < 0:
             raise ValueError("iteration count must be >= 0")
-        lanes = min(self.lanes, max(1, n))
+        if n == 0:
+            return
+        lanes = min(self.lanes, n)
         bounds = np.linspace(0, n, lanes + 1).astype(np.int64)
         for k in range(lanes):
             lo, hi = bounds[k], bounds[k + 1]
             if hi > lo:
                 yield np.arange(lo, hi, dtype=np.int64)
+
+    # -- execution hooks (overridden by real parallel backends) ------------
+
+    def run_chunks(self, functor: Callable, chunks: Sequence[np.ndarray]) -> None:
+        """Execute ``functor(chunk)`` for every chunk (side effects only).
+
+        The base class runs serially in-process; a real backend may fan
+        the chunks across workers, provided writes land in the caller's
+        arrays (see :mod:`repro.pp.procpool`).
+        """
+        for chunk in chunks:
+            functor(chunk)
+
+    def map_chunks(self, functor: Callable, chunks: Sequence[np.ndarray]) -> List:
+        """``[functor(chunk) for chunk in chunks]``, in chunk order.
+
+        Backends may compute the results concurrently, but the returned
+        list is always ordered like ``chunks`` — the fixed-order pairwise
+        reduction tree in :func:`repro.pp.kernels.parallel_reduce` relies
+        on this.  Functors used with ``map_chunks`` must be pure with
+        respect to their array arguments (Kokkos reducer contract).
+        """
+        return [functor(chunk) for chunk in chunks]
+
+    def run_tiles(self, functor: Callable, tiles: Sequence[Tuple[np.ndarray, ...]]) -> None:
+        """Execute ``functor(*tile)`` for every MDRange tile."""
+        for tile in tiles:
+            functor(*tile)
+
+    def map_tiles(self, functor: Callable, tiles: Sequence[Tuple[np.ndarray, ...]]) -> List:
+        """``[functor(*tile) for tile in tiles]``, in tile order."""
+        return [functor(*tile) for tile in tiles]
 
     def modeled_time(self, flops: float, n_launches: int = 1) -> float:
         """Modeled seconds to execute ``flops`` spread over all lanes."""

@@ -8,9 +8,18 @@ dimension (a tile, in ``np.ix_``-ready form).  Backends differ only in how
 they cut the index space — results are bit-identical across execution
 spaces because chunks are disjoint and ordered.
 
-``parallel_reduce`` combines per-chunk partial results with a fixed-order
-pairwise tree, so the reduction is deterministic for every space and lane
-count (the bit-for-bit validation property of §5.1).
+``parallel_reduce`` and ``parallel_scan`` decompose the iteration space
+with :func:`reduction_chunks` — a decomposition that depends **only on
+the iteration count**, never on the execution space — and combine the
+per-chunk partials with a fixed-order pairwise tree.  Because every
+backend sees the same chunks in the same order, reductions and scans are
+bit-for-bit identical across execution spaces (the §5.1 validation
+property), not merely deterministic per space.
+
+:class:`BoundKernel` is the picklable functor form (a registered
+top-level kernel bound to its runtime arguments) that real process
+backends (:mod:`repro.pp.procpool`) can ship to workers; closures still
+work everywhere but execute in-process.
 
 ``MDRangePolicy`` supports the "finer-grained tile profiling" the paper
 attributes to its Kokkos port: pass ``profile=True`` and per-tile
@@ -27,12 +36,59 @@ import numpy as np
 from .execspace import ExecutionSpace, KernelStats
 
 __all__ = [
+    "BoundKernel",
     "MDRangePolicy",
     "TileProfile",
     "parallel_for",
     "parallel_reduce",
     "parallel_scan",
+    "reduction_chunks",
 ]
+
+
+class BoundKernel:
+    """A top-level kernel function bound to its runtime arguments.
+
+    Calling ``BoundKernel(fn, args)(*idx)`` is exactly
+    ``fn(*idx, *args)`` — the form every registered kernel takes — so on
+    the serial path it is indistinguishable from the closure it replaces.
+    Unlike a closure, it is **picklable** whenever ``fn`` is a module-level
+    function, which is what lets a process backend ship the functor to
+    workers and remap its ndarray arguments into shared memory
+    (:mod:`repro.pp.procpool`).
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable, args: Tuple = ()):
+        self.fn = fn
+        self.args = tuple(args)
+
+    def __call__(self, *idx):
+        return self.fn(*idx, *self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"BoundKernel({name}, {len(self.args)} args)"
+
+
+def reduction_chunks(n: int) -> List[np.ndarray]:
+    """Space-independent chunking for reductions and scans.
+
+    The decomposition depends only on ``n`` (grain =
+    ``max(1024, ceil(n / 64))``), never on the execution space, so the
+    fixed-order combine tree sees identical partials on every backend —
+    that is what upgrades "deterministic per space" to "bit-for-bit
+    across spaces".  ``n == 0`` produces no chunks.
+    """
+    if n < 0:
+        raise ValueError("iteration count must be >= 0")
+    if n == 0:
+        return []
+    grain = max(1024, -(-n // 64))
+    return [
+        np.arange(s, min(s + grain, n), dtype=np.int64) for s in range(0, n, grain)
+    ]
 
 
 @dataclass(frozen=True)
@@ -54,7 +110,9 @@ class MDRangePolicy:
 
     def __post_init__(self) -> None:
         if not self.extents or any(e < 0 for e in self.extents):
-            raise ValueError("extents must be a non-empty tuple of >= 0")
+            # Zero extents are legal (they produce zero tiles); only a
+            # missing tuple or a negative extent is a caller error.
+            raise ValueError("extents must be a non-empty tuple of integers >= 0")
         if self.tile is not None:
             if len(self.tile) != len(self.extents):
                 raise ValueError("tile rank must match extents rank")
@@ -138,17 +196,18 @@ def parallel_for(
     and the policy is an MDRange.
     """
     if isinstance(policy, MDRangePolicy):
-        prof = TileProfile() if profile else None
-        for tile in policy.tiles():
-            functor(*tile)
-            if prof is not None:
+        tiles = policy.tiles()
+        space.run_tiles(functor, tiles)
+        prof = None
+        if profile:
+            prof = TileProfile()
+            for tile in tiles:
                 prof.record(tuple(len(ix) for ix in tile))
         if stats is not None:
             stats.record(policy.n_iterations)
         return prof
     n = int(policy)
-    for chunk in space.chunks(n):
-        functor(chunk)
+    space.run_chunks(functor, list(space.chunks(n)))
     if stats is not None:
         stats.record(n)
     return None
@@ -164,24 +223,50 @@ def parallel_reduce(
     """Reduce per-chunk partial results with a deterministic pairwise tree.
 
     ``functor(chunk_indices) -> partial`` for flat ranges, or
-    ``functor(*tile_indices) -> partial`` for MDRanges.  ``combine`` must be
-    associative-enough for the application (floating-point addition order is
-    fixed, so results are reproducible bit-for-bit on every space).
+    ``functor(*tile_indices) -> partial`` for MDRanges.  The functor must be
+    **pure** with respect to its array arguments (Kokkos reducer contract) —
+    backends may evaluate chunks in worker processes.  ``combine`` need not
+    be commutative: partials are combined in a fixed-order pairwise tree
+    over the space-independent :func:`reduction_chunks` decomposition, so
+    results are reproducible bit-for-bit on every space.
+
+    An empty iteration space — flat ``n == 0`` **or** an MDRange with any
+    zero extent — raises ``ValueError``: with a caller-supplied ``combine``
+    there is no identity element to return.
     """
-    partials = []
     if isinstance(policy, MDRangePolicy):
-        for tile in policy.tiles():
-            partials.append(functor(*tile))
         n = policy.n_iterations
+        partials = space.map_tiles(functor, policy.tiles())
     else:
         n = int(policy)
-        for chunk in space.chunks(n):
-            partials.append(functor(chunk))
+        partials = space.map_chunks(functor, reduction_chunks(n))
     if stats is not None:
         stats.record(n)
     if not partials:
-        raise ValueError("empty iteration space has no reduction identity here")
+        raise ValueError(
+            "empty iteration space has no reduction identity here "
+            "(flat n == 0 and MDRange zero extents both raise)"
+        )
     return _tree_combine(partials, combine)
+
+
+def _scan_local(
+    chunk: np.ndarray,
+    values: np.ndarray,
+    out: np.ndarray,
+    totals: np.ndarray,
+    starts: np.ndarray,
+) -> None:
+    """Per-chunk exclusive local scan; records the chunk total.
+
+    Top-level (picklable) so a process backend can run the local-scan pass
+    in workers; the chunk's slot in ``totals`` is recovered from its first
+    index via ``starts`` (chunks are contiguous and sorted).
+    """
+    v = values[chunk]
+    local = np.cumsum(v, axis=0)
+    out[chunk] = local - v  # exclusive
+    totals[np.searchsorted(starts, chunk[0])] = local[-1]
 
 
 def parallel_scan(
@@ -192,27 +277,31 @@ def parallel_scan(
 ) -> np.ndarray:
     """Exclusive prefix sum over ``values`` (length ``n``).
 
-    Implemented chunk-wise like a two-pass GPU scan: per-chunk local scans,
-    then a serial scan of chunk totals, then offset application — the
-    dependency structure real backends use, with identical output.
+    Implemented chunk-wise like a two-pass GPU scan: per-chunk local scans
+    (parallelizable, dispatched through the space), then a serial scan of
+    chunk totals with offset application.  The decomposition is the
+    space-independent :func:`reduction_chunks`, so output is bit-for-bit
+    identical on every backend.  ``n == 0`` is a legal launch and returns
+    an empty array of the same dtype/trailing shape.
     """
     values = np.asarray(values)
     if values.shape[0] != n:
         raise ValueError("values length must equal n")
     out = np.empty_like(values)
-    chunk_list = list(space.chunks(n))
-    totals = []
-    for chunk in chunk_list:
-        v = values[chunk]
-        local = np.cumsum(v, axis=0)
-        out[chunk] = local - v  # exclusive
-        totals.append(local[-1] if len(v) else np.zeros_like(values[0]))
-    offset = np.zeros_like(values[0]) if n else None
-    for chunk, total in zip(chunk_list, totals):
-        out[chunk] += offset
-        offset = offset + total
     if stats is not None:
         stats.record(n)
+    if n == 0:
+        return out
+    chunk_list = reduction_chunks(n)
+    starts = np.array([c[0] for c in chunk_list], dtype=np.int64)
+    totals = np.zeros((len(chunk_list),) + values.shape[1:], dtype=out.dtype)
+    space.run_chunks(
+        BoundKernel(_scan_local, (values, out, totals, starts)), chunk_list
+    )
+    offset = np.zeros_like(values[0])
+    for k, chunk in enumerate(chunk_list):
+        out[chunk] += offset
+        offset = offset + totals[k]
     return out
 
 

@@ -28,7 +28,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from .execspace import ExecutionSpace
-from .kernels import parallel_for
+from .kernels import BoundKernel, parallel_for
 
 __all__ = ["KernelRegistry", "kernel_hash", "HybridDispatcher"]
 
@@ -92,10 +92,13 @@ class KernelRegistry:
 
         Works for flat ranges (kernel receives one index-array chunk) and
         for :class:`~repro.pp.kernels.MDRangePolicy` (kernel receives one
-        index array per dimension, ``np.ix_``-ready).
+        index array per dimension, ``np.ix_``-ready).  The functor is a
+        picklable :class:`~repro.pp.kernels.BoundKernel`, so process
+        backends can ship registered kernels to workers; serial behavior
+        is unchanged (``BoundKernel(fn, args)(*idx) == fn(*idx, *args)``).
         """
         fn = self.lookup(handle)
-        return parallel_for(space, policy, lambda *idx: fn(*idx, *args), **kwargs)
+        return parallel_for(space, policy, BoundKernel(fn, args), **kwargs)
 
     def __len__(self) -> int:
         return len(self._table)

@@ -79,6 +79,33 @@ class TestCompare:
         cmp = compare_baselines(_doc(a=(5.0, "count")), _doc(a=(0.0, "count")))
         assert not cmp.ok
 
+    def test_speedup_gates_floor_on_multicore_host(self):
+        """speedup < 1x fails iff the current doc reports >1 host core."""
+        base = _doc(s=(1.8, "speedup"), **{"host.cores": (4.0, "wall")})
+        slow = _doc(s=(0.7, "speedup"), **{"host.cores": (4.0, "wall")})
+        cmp = compare_baselines(slow, base)
+        assert not cmp.ok
+        assert cmp.regressions[0].name == "s"
+        assert cmp.regressions[0].baseline == 1.0  # the floor, not the old value
+
+    def test_speedup_informational_on_single_core_host(self):
+        base = _doc(s=(1.8, "speedup"), **{"host.cores": (1.0, "wall")})
+        slow = _doc(s=(0.7, "speedup"), **{"host.cores": (1.0, "wall")})
+        cmp = compare_baselines(slow, base)
+        assert cmp.ok
+        assert "s" in [d.name for d in cmp.informational]
+
+    def test_speedup_never_compared_against_committed_value(self):
+        """A 10x-better machine must not trip the symmetric drift gate."""
+        base = _doc(s=(1.1, "speedup"), **{"host.cores": (16.0, "wall")})
+        fast = _doc(s=(11.0, "speedup"), **{"host.cores": (16.0, "wall")})
+        assert compare_baselines(fast, base).ok
+
+    def test_speedup_without_cores_metric_is_informational(self):
+        base = _doc(s=(1.5, "speedup"))
+        slow = _doc(s=(0.5, "speedup"))
+        assert compare_baselines(slow, base).ok
+
     def test_cli_subcommand(self, tmp_path, capsys):
         from repro.cli import main
 

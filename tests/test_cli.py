@@ -54,3 +54,26 @@ def test_typhoon_short(capsys):
     out = capsys.readouterr().out
     assert "Vmax" in out
     assert "eye radius" in out
+
+
+def test_backend_flag_parses():
+    parser = build_parser()
+    args = parser.parse_args(["run-coupled", "--backend", "procs",
+                              "--backend-workers", "2"])
+    assert args.backend == "procs"
+    assert args.backend_workers == 2
+    assert parser.parse_args(["run-coupled"]).backend == "serial"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run-coupled", "--backend", "quantum"])
+
+
+def test_run_coupled_procs_backend(capsys):
+    rc = main([
+        "run-coupled", "--days", "0.1", "--atm-level", "3",
+        "--ocn-nlon", "48", "--ocn-nlat", "32", "--ocn-levels", "5",
+        "--backend", "procs", "--backend-workers", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "procs backend" in out
+    assert "pool dispatch" in out

@@ -508,7 +508,8 @@ class TestCLIGrouping:
         assert groups["coupler"] == ["--coupler-cache", "--prune-fields"]
         assert "--precision" in groups["precision"]
         assert "--trace" in groups["observability"]
-        assert {"--days", "--atm-level", "--ocn-nlon"} <= set(groups["core"])
+        assert {"--days", "--atm-level", "--ocn-nlon",
+                "--backend", "--backend-workers"} <= set(groups["core"])
         assert {"--checkpoint-every", "--faults"} <= set(groups["resilience"])
 
     def test_defaults(self):

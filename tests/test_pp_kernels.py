@@ -7,11 +7,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.pp import (
+    BoundKernel,
     CPECluster,
     GPUDevice,
     HostThreads,
     KernelStats,
     MDRangePolicy,
+    ProcPool,
     Serial,
     parallel_for,
     parallel_reduce,
@@ -223,3 +225,129 @@ def test_mdrange_single_tile_covers_everything():
 
     parallel_for(Serial(), policy, body)
     assert np.all(out == 1.0)
+
+
+# -- empty-iteration-space semantics (the documented edge-case contract) ---
+
+
+def test_mdrange_zero_extents_are_legal_and_produce_zero_tiles():
+    """Zero extents pass validation (only negatives raise) and yield no
+    tiles — the MDRange analogue of ``chunks(0)`` yielding no chunks."""
+    for extents in [(0,), (0, 5), (5, 0), (3, 0, 4)]:
+        policy = MDRangePolicy(extents=extents)
+        assert policy.tiles() == []
+        assert policy.n_iterations == 0
+    with pytest.raises(ValueError, match="non-empty tuple of integers >= 0"):
+        MDRangePolicy(extents=(3, -1))
+
+
+@pytest.mark.parametrize("space", SPACES, ids=lambda s: s.name)
+def test_parallel_for_empty_flat_and_mdrange_consistent(space):
+    """A flat n=0 and a zero-extent MDRange both call the functor zero
+    times (and never with an empty index array)."""
+    calls = []
+    parallel_for(space, 0, lambda idx: calls.append(len(idx)))
+    parallel_for(space, MDRangePolicy((0, 4)), lambda a, b: calls.append(0))
+    assert calls == []
+
+
+@pytest.mark.parametrize("space", SPACES, ids=lambda s: s.name)
+def test_parallel_reduce_empty_flat_and_mdrange_consistent(space):
+    """Flat n=0 and zero-extent MDRange raise the same documented error."""
+    with pytest.raises(ValueError, match="no reduction identity"):
+        parallel_reduce(space, 0, lambda idx: 0.0)
+    with pytest.raises(ValueError, match="no reduction identity"):
+        parallel_reduce(space, MDRangePolicy((4, 0)), lambda a, b: 0.0)
+
+
+def test_chunks_negative_raises():
+    with pytest.raises(ValueError):
+        list(Serial().chunks(-1))
+
+
+# -- backend-parametrized bitwise identity, including the real ProcPool ----
+
+def _bit_body(idx, out, x):
+    out[idx] = np.sin(x[idx]) * np.exp(-x[idx])
+
+
+def _bit_partial(idx, x):
+    return x[idx].sum()
+
+
+def _bit_tile(kz, jy, out):
+    out[np.ix_(kz, jy)] = np.cos(kz[:, None] * 0.1) + jy[None, :] * 0.01
+
+
+@pytest.fixture(scope="module")
+def procpool():
+    space = ProcPool(2)
+    yield space
+    space.runtime.shutdown()
+
+
+@pytest.fixture(scope="module")
+def all_backends(procpool):
+    return SPACES + [procpool]
+
+
+def test_for_reduce_scan_bitwise_across_all_backends(all_backends):
+    """§5.1's validation property, now including a backend that really
+    executes on separate processes: identical bits from every space."""
+    rng = np.random.default_rng(11)
+    n = 20_000
+    x = rng.standard_normal(n)
+    ref_out = None
+    ref_sum = None
+    ref_scan = None
+    for space in all_backends:
+        out = np.zeros(n)
+        parallel_for(space, n, BoundKernel(_bit_body, (out, x)))
+        total = parallel_reduce(space, n, BoundKernel(_bit_partial, (x,)))
+        scanned = parallel_scan(space, n, x)
+        if ref_out is None:
+            ref_out, ref_sum, ref_scan = out, total, scanned
+        else:
+            assert np.array_equal(out, ref_out), space.name
+            assert total == ref_sum, space.name
+            assert np.array_equal(scanned, ref_scan), space.name
+
+
+def test_mdrange_bitwise_across_all_backends(all_backends):
+    policy = MDRangePolicy(extents=(24, 40), tile=(6, 40))
+    ref = None
+    for space in all_backends:
+        out = np.zeros((24, 40))
+        parallel_for(space, policy, BoundKernel(_bit_tile, (out,)))
+        if ref is None:
+            ref = out
+        else:
+            assert np.array_equal(out, ref), space.name
+
+
+def test_reduce_non_commutative_combine_pins_order(all_backends):
+    """combine(a, b) = a + 2b is order-sensitive: identical results on
+    every backend prove the pairwise tree sees identical ordered partials."""
+    rng = np.random.default_rng(12)
+    x = rng.standard_normal(30_000)
+
+    def combine(a, b):
+        return a + 2.0 * b
+
+    ref = None
+    for space in all_backends:
+        got = parallel_reduce(space, len(x), BoundKernel(_bit_partial, (x,)), combine=combine)
+        if ref is None:
+            ref = got
+        else:
+            assert got == ref, space.name
+
+
+def test_empty_space_edges_on_procpool(procpool):
+    """The n=0 / zero-extent contract holds on the process backend too."""
+    parallel_for(procpool, 0, BoundKernel(_bit_body, (np.zeros(0), np.zeros(0))))
+    with pytest.raises(ValueError, match="no reduction identity"):
+        parallel_reduce(procpool, 0, BoundKernel(_bit_partial, (np.zeros(0),)))
+    with pytest.raises(ValueError, match="no reduction identity"):
+        parallel_reduce(procpool, MDRangePolicy((0, 3)), BoundKernel(_bit_partial, (np.zeros(0),)))
+    assert parallel_scan(procpool, 0, np.zeros(0)).shape == (0,)
