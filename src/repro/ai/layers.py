@@ -33,7 +33,37 @@ __all__ = [
     "ResUnit",
     "ResidualDense",
     "Flatten",
+    "row_stable_matmul",
 ]
+
+#: Fixed GEMM row-block size for :func:`row_stable_matmul`.
+_ROW_BLOCK = 32
+
+
+def row_stable_matmul(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``a @ w`` with a bitwise row-invariance guarantee.
+
+    BLAS picks its kernel (and with it the per-row accumulation order)
+    from the full problem shape, so ``(a @ w)[i]`` can differ in the last
+    ulp between batch sizes — e.g. the small-N and single-row paths.
+    Computing in fixed ``_ROW_BLOCK``-row chunks (zero-padding the tail
+    chunk) pins the kernel choice, so every row's result depends only on
+    that row and ``w``.  This is what makes cross-member *batched*
+    ensemble inference bitwise-identical to per-member inference.
+    """
+    m = a.shape[0]
+    if m == _ROW_BLOCK:
+        return a @ w
+    out = np.empty((m, w.shape[1]), dtype=np.result_type(a, w))
+    for i in range(0, m, _ROW_BLOCK):
+        chunk = a[i:i + _ROW_BLOCK]
+        rows = chunk.shape[0]
+        if rows < _ROW_BLOCK:
+            pad = np.zeros((_ROW_BLOCK - rows, a.shape[1]), dtype=a.dtype)
+            out[i:i + rows] = (np.concatenate([chunk, pad]) @ w)[:rows]
+        else:
+            out[i:i + rows] = chunk @ w
+    return out
 
 
 @dataclass
@@ -86,7 +116,7 @@ class Dense(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
-        return x @ self.w.value + self.b.value
+        return row_stable_matmul(x, self.w.value) + self.b.value
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         assert self._x is not None, "forward before backward"
@@ -129,7 +159,17 @@ class Conv1d(Layer):
             raise ValueError("Conv1d expects (batch, channels, levels)")
         self._x = x
         win = self._window(x)
-        return np.einsum("bclk,ock->bol", win, self.w.value, optimize=True) + self.b.value[None, :, None]
+        # Explicit im2col GEMM: one row-stable matmul with a fixed
+        # (c_in*kernel) reduction order per output row.  Unlike einsum's
+        # optimizer — which may pick different contraction paths at
+        # different batch sizes — this keeps each row's result
+        # bit-identical whether the row is computed alone or inside a
+        # larger (ensemble) batch.
+        b, c, length, k = win.shape
+        cols = win.transpose(0, 2, 1, 3).reshape(b * length, c * k)
+        w_mat = self.w.value.reshape(self.w.value.shape[0], c * k)
+        out = row_stable_matmul(cols, w_mat.T)
+        return out.reshape(b, length, -1).transpose(0, 2, 1) + self.b.value[None, :, None]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         assert self._x is not None, "forward before backward"

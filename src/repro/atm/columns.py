@@ -9,7 +9,7 @@ thermodynamic profiles, and saturation humidity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -97,3 +97,28 @@ class ColumnState:
         """(ncol, 5, nlev) array in the AI suite's input layout (U,V,T,Q,P)."""
         p_bcast = np.broadcast_to(self.p, self.t.shape)
         return np.stack([self.u, self.v, self.t, self.q, p_bcast], axis=1)
+
+    @staticmethod
+    def concat(states: "Sequence[ColumnState]") -> "ColumnState":
+        """Stack several column batches into one along the column axis.
+
+        The cross-member batched-physics gather: all batches must share
+        the same pressure coordinate (same ``nlev`` grid) so one suite
+        call can serve them; the per-batch slices of the result are
+        bitwise-identical to the inputs.
+        """
+        if not states:
+            raise ValueError("concat needs at least one ColumnState")
+        p = states[0].p
+        for s in states[1:]:
+            if not np.array_equal(s.p, p):
+                raise ValueError("all ColumnStates must share the pressure coordinate")
+        return ColumnState(
+            u=np.concatenate([s.u for s in states], axis=0),
+            v=np.concatenate([s.v for s in states], axis=0),
+            t=np.concatenate([s.t for s in states], axis=0),
+            q=np.concatenate([s.q for s in states], axis=0),
+            p=p,
+            tskin=np.concatenate([s.tskin for s in states], axis=0),
+            coszr=np.concatenate([s.coszr for s in states], axis=0),
+        )

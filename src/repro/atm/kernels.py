@@ -38,6 +38,7 @@ from .columns import ColumnState, saturation_specific_humidity
 
 __all__ = [
     "ATM_KERNELS",
+    "make_atm_registry",
     "radiation_kernel",
     "surface_flux_kernel",
     "convective_kernel",
@@ -51,11 +52,7 @@ __all__ = [
 
 SOLAR_CONSTANT = 1361.0  # W/m^2
 
-#: Host-side registry for the atmosphere kernels (§5.3 hash registration).
-ATM_KERNELS = KernelRegistry()
 
-
-@ATM_KERNELS.kernel
 def radiation_kernel(
     idx: np.ndarray,
     gsw: np.ndarray,
@@ -93,7 +90,6 @@ def radiation_kernel(
     dt_rad[idx] = sw_heat - lw_cool
 
 
-@ATM_KERNELS.kernel
 def surface_flux_kernel(
     idx: np.ndarray,
     du: np.ndarray,
@@ -132,7 +128,6 @@ def surface_flux_kernel(
     dq[idx, -1] = lhflx[idx] / (LATENT_HEAT_VAPORIZATION * layer_mass)
 
 
-@ATM_KERNELS.kernel
 def convective_kernel(
     idx: np.ndarray,
     dT: np.ndarray,
@@ -178,7 +173,6 @@ def convective_kernel(
     precip[idx] = np.maximum(-np.trapezoid(dQ_c, p, axis=1) / GRAVITY, 0.0)
 
 
-@ATM_KERNELS.kernel
 def saturation_kernel(
     ci: np.ndarray,
     ki: np.ndarray,
@@ -191,7 +185,6 @@ def saturation_kernel(
     qsat[sl] = saturation_specific_humidity(t[sl], p[ki][None, :])
 
 
-@ATM_KERNELS.kernel
 def condensation_kernel(
     idx: np.ndarray,
     dT: np.ndarray,
@@ -219,6 +212,30 @@ def condensation_kernel(
     cloud[idx] = 1.0 - np.prod(1.0 - 0.5 * cloudy, axis=1)
 
 
+# -- per-context registry factory (§5.3 hash registration) -----------------
+
+
+def make_atm_registry(name: str = "atm") -> KernelRegistry:
+    """A fresh registry with every atmosphere kernel pre-registered.
+
+    Each model instance (each ensemble member) gets its own registry via
+    its :class:`~repro.esm.component.ComponentContext`, so per-kernel
+    launch bookkeeping never aliases across concurrent experiments.
+    """
+    reg = KernelRegistry(name=name)
+    for fn in (
+        radiation_kernel, surface_flux_kernel, convective_kernel,
+        saturation_kernel, condensation_kernel,
+    ):
+        reg.register(fn)
+    return reg
+
+
+#: Backward-compatible module-level registry: the default used by the
+#: ``run_*`` wrappers when no per-context registry is passed.
+ATM_KERNELS = make_atm_registry()
+
+
 # -- host-callable wrappers (dispatch through the registry) ----------------
 
 
@@ -232,13 +249,15 @@ def run_radiation(
     eps_cloud: float,
     lw_cooling_rate: float,
     stats: Optional[KernelStats] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(gsw, glw, dT_rad) via the portable radiation kernel."""
+    reg = registry if registry is not None else ATM_KERNELS
     gsw = np.zeros(state.ncol)
     glw = np.zeros(state.ncol)
     dt_rad = np.zeros_like(state.t)
-    handle = ATM_KERNELS.register(radiation_kernel)
-    ATM_KERNELS.launch(
+    handle = reg.register(radiation_kernel)
+    reg.launch(
         space, handle, state.ncol,
         gsw, glw, dt_rad, state.t, state.q, state.p, state.coszr,
         cloud_fraction, albedo, sw_absorptivity, eps_clear, eps_cloud,
@@ -253,16 +272,18 @@ def run_surface_layer(
     drag_coefficient: float,
     exchange_wind_min: float,
     stats: Optional[KernelStats] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> Tuple[np.ndarray, ...]:
     """(dU, dV, dT, dQ, shflx, lhflx) via the portable surface kernel."""
+    reg = registry if registry is not None else ATM_KERNELS
     du = np.zeros_like(state.u)
     dv = np.zeros_like(state.v)
     dt = np.zeros_like(state.t)
     dq = np.zeros_like(state.q)
     shflx = np.zeros(state.ncol)
     lhflx = np.zeros(state.ncol)
-    handle = ATM_KERNELS.register(surface_flux_kernel)
-    ATM_KERNELS.launch(
+    handle = reg.register(surface_flux_kernel)
+    reg.launch(
         space, handle, state.ncol,
         du, dv, dt, dq, shflx, lhflx,
         state.u, state.v, state.t, state.q, state.tskin,
@@ -278,16 +299,18 @@ def run_convective_adjustment(
     critical_lapse: float,
     adjust_sweeps: int,
     stats: Optional[KernelStats] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(dT, dQ, precip) via the portable convective-adjustment kernel."""
+    reg = registry if registry is not None else ATM_KERNELS
     p = state.p
     z = 7500.0 * np.log(p[-1] / np.maximum(p, 1.0))  # heights, sfc-relative
     dz = z[:-1] - z[1:]  # positive: level k is above k+1
     dT = np.zeros_like(state.t)
     dQ = np.zeros_like(state.q)
     precip = np.zeros(state.ncol)
-    handle = ATM_KERNELS.register(convective_kernel)
-    ATM_KERNELS.launch(
+    handle = reg.register(convective_kernel)
+    reg.launch(
         space, handle, state.ncol,
         dT, dQ, precip, state.t, state.q, p, dz,
         dt_s, critical_lapse, adjust_sweeps, stats=stats,
@@ -302,23 +325,25 @@ def run_condensation(
     cloud_rh_threshold: float,
     stats: Optional[KernelStats] = None,
     tile: Optional[Tuple[int, int]] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """(dT, dQ, precip, cloud) via the tiled saturation + condensation
     kernels.  Saturation humidity runs as an MDRange over (ncol, nlev) —
     the two-dimensional tiled launch — then the per-column condensation
     chunk kernel consumes it."""
+    reg = registry if registry is not None else ATM_KERNELS
     qsat = np.zeros_like(state.q)
     policy = MDRangePolicy((state.ncol, state.nlev), tile=tile)
-    ATM_KERNELS.launch(
-        space, ATM_KERNELS.register(saturation_kernel), policy,
+    reg.launch(
+        space, reg.register(saturation_kernel), policy,
         qsat, state.t, state.p, stats=stats,
     )
     dT = np.zeros_like(state.t)
     dQ = np.zeros_like(state.q)
     precip = np.zeros(state.ncol)
     cloud = np.zeros(state.ncol)
-    ATM_KERNELS.launch(
-        space, ATM_KERNELS.register(condensation_kernel), state.ncol,
+    reg.launch(
+        space, reg.register(condensation_kernel), state.ncol,
         dT, dQ, precip, cloud, state.q, qsat, state.p,
         condensation_timescale, cloud_rh_threshold, stats=stats,
     )

@@ -145,7 +145,7 @@ class GristModel:
         hash registry."""
         self._ctx = ctx
         if hasattr(self.physics, "bind"):
-            self.physics.bind(ctx.space, ctx.metrics)
+            self.physics.bind(ctx.space, ctx.metrics, registry=ctx.kernels)
         from . import kernels as _k
 
         for fn in (
@@ -228,17 +228,30 @@ class GristModel:
             return
         self._check_alive()
         with self.timers.timed("atm_run"):
-            with self.timers.timed("atm_dycore"):
-                for _ in range(DYCORE_SUBSTEPS):
-                    if self._si is not None:
-                        self.swe = self._si.step(self.swe, self.dt_dycore)
-                    else:
-                        self.swe = self.dycore.step_rk4(self.swe, self.dt_dycore)
-            with self.timers.timed("atm_tracer"):
-                for _ in range(TRACER_SUBSTEPS):
-                    self._advect_tracer(self.dt_tracer)
+            self._dynamics_substeps()
             with self.timers.timed("atm_physics"):
                 self._physics_step(self.dt_model)
+        self.time += self.dt_model
+        self.n_steps += 1
+
+    def begin_step(self) -> ColumnState:
+        """First half of one model step, for lockstep ensemble drivers:
+        advance dynamics (dycore + tracer substeps) and return the physics
+        input columns.  Pair every call with :meth:`complete_step`; the
+        two halves compose bitwise-identically to :meth:`step` when the
+        tendencies come from the same physics suite."""
+        self._check_alive()
+        with self.timers.timed("atm_run"):
+            self._dynamics_substeps()
+            return self.current_columns()
+
+    def complete_step(self, tend: PhysicsTendencies) -> None:
+        """Second half of one model step: apply externally computed physics
+        tendencies (e.g. a cross-member batched slice) and tick the clock."""
+        self._check_alive()
+        with self.timers.timed("atm_run"):
+            with self.timers.timed("atm_physics"):
+                self._apply_physics(tend, self.dt_model)
         self.time += self.dt_model
         self.n_steps += 1
 
@@ -351,11 +364,25 @@ class GristModel:
             coszr=self._coszr(),
         )
 
+    def _dynamics_substeps(self) -> None:
+        """The dynamics half of one model step (dycore + tracer bundles)."""
+        with self.timers.timed("atm_dycore"):
+            for _ in range(DYCORE_SUBSTEPS):
+                if self._si is not None:
+                    self.swe = self._si.step(self.swe, self.dt_dycore)
+                else:
+                    self.swe = self.dycore.step_rk4(self.swe, self.dt_dycore)
+        with self.timers.timed("atm_tracer"):
+            for _ in range(TRACER_SUBSTEPS):
+                self._advect_tracer(self.dt_tracer)
+
     def _physics_step(self, dt: float) -> None:
-        g = self.grid
         cols = self.current_columns()
         tend = self.physics.compute(cols, dt)
+        self._apply_physics(tend, dt)
 
+    def _apply_physics(self, tend: PhysicsTendencies, dt: float) -> None:
+        g = self.grid
         self.t_col = self.t_col + dt * tend.dt
         self.q_col = np.clip(self.q_col + dt * tend.dq, 0.0, 0.04)
 

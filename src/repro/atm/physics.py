@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..pp import ExecutionSpace, KernelMetrics, KernelStats, Serial
+from ..pp import ExecutionSpace, KernelMetrics, KernelRegistry, KernelStats, Serial
 from .columns import ColumnState
 
 __all__ = ["PhysicsTendencies", "PhysicsParams", "ConventionalPhysics"]
@@ -42,6 +42,27 @@ class PhysicsTendencies:
     cloud_fraction: np.ndarray  # (ncol,) diagnosed total cloud fraction
     shflx: np.ndarray        # (ncol,) surface sensible heat flux W/m^2
     lhflx: np.ndarray        # (ncol,) surface latent heat flux W/m^2
+
+    def split(self, sizes) -> "list[PhysicsTendencies]":
+        """Slice a stacked-column tendency batch back into per-member parts.
+
+        ``sizes`` are the per-member column counts in stacking order; the
+        slices are views, preserving bitwise identity with the batch.
+        """
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        if offsets[-1] != self.gsw.shape[0]:
+            raise ValueError(
+                f"split sizes sum to {offsets[-1]}, batch has {self.gsw.shape[0]} columns"
+            )
+        parts = []
+        for a, b in zip(offsets[:-1], offsets[1:]):
+            parts.append(PhysicsTendencies(
+                du=self.du[a:b], dv=self.dv[a:b], dt=self.dt[a:b], dq=self.dq[a:b],
+                gsw=self.gsw[a:b], glw=self.glw[a:b], precip=self.precip[a:b],
+                cloud_fraction=self.cloud_fraction[a:b],
+                shflx=self.shflx[a:b], lhflx=self.lhflx[a:b],
+            ))
+        return parts
 
 
 @dataclass(frozen=True)
@@ -81,18 +102,26 @@ class ConventionalPhysics:
         params: PhysicsParams | None = None,
         space: Optional[ExecutionSpace] = None,
         metrics: Optional[KernelMetrics] = None,
+        registry: Optional[KernelRegistry] = None,
     ) -> None:
         self.params = params if params is not None else PhysicsParams()
         self.space = space if space is not None else Serial()
         self.metrics = metrics
+        self.registry = registry
 
     def bind(
-        self, space: ExecutionSpace, metrics: Optional[KernelMetrics] = None
+        self,
+        space: ExecutionSpace,
+        metrics: Optional[KernelMetrics] = None,
+        registry: Optional[KernelRegistry] = None,
     ) -> None:
-        """Point kernel dispatch at a (shared) space + stats pool."""
+        """Point kernel dispatch at a (shared) space + stats pool + per-context
+        registry (``None`` keeps the module-level default registry)."""
         self.space = space
         if metrics is not None:
             self.metrics = metrics
+        if registry is not None:
+            self.registry = registry
 
     def _stats(self, kernel: str) -> Optional[KernelStats]:
         return self.metrics.stats(kernel) if self.metrics is not None else None
@@ -111,6 +140,7 @@ class ConventionalPhysics:
             prm.albedo, prm.sw_absorptivity,
             prm.lw_emissivity_clear, prm.lw_emissivity_cloud,
             prm.lw_cooling_rate, stats=self._stats("atm.radiation"),
+            registry=self.registry,
         )
 
     def surface_layer(
@@ -123,7 +153,7 @@ class ConventionalPhysics:
         prm = self.params
         return run_surface_layer(
             self.space, state, prm.drag_coefficient, prm.exchange_wind_min,
-            stats=self._stats("atm.surface_layer"),
+            stats=self._stats("atm.surface_layer"), registry=self.registry,
         )
 
     def convective_adjustment(self, state: ColumnState, dt_s: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -137,7 +167,7 @@ class ConventionalPhysics:
         prm = self.params
         return run_convective_adjustment(
             self.space, state, dt_s, prm.critical_lapse, prm.adjust_sweeps,
-            stats=self._stats("atm.convective_adjustment"),
+            stats=self._stats("atm.convective_adjustment"), registry=self.registry,
         )
 
     def large_scale_condensation(self, state: ColumnState, dt_s: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -148,6 +178,7 @@ class ConventionalPhysics:
         return run_condensation(
             self.space, state, prm.condensation_timescale,
             prm.cloud_rh_threshold, stats=self._stats("atm.condensation"),
+            registry=self.registry,
         )
 
     def boundary_layer_diffusion(

@@ -6,6 +6,10 @@ Commands
     Library version, subsystem inventory, Table 1 configurations.
 ``run-coupled``
     Run the coupled AP3ESM for N days and print diagnostics + SYPD.
+``run-ensemble``
+    Run N perturbed coupled members in lockstep inside ONE process,
+    optionally batching all members' AI/conventional physics columns
+    into a single suite call per step.
 ``typhoon``
     The idealized-typhoon experiment (Figs. 6/7) with track output.
 ``scaling``
@@ -15,6 +19,12 @@ Commands
 ``perf-gate``
     Compare a benchmark's ``BENCH_*.json`` against a committed baseline
     (the CI regression gate; wall-time metrics are informational only).
+
+The parser is assembled from per-subcommand ``_build_*`` functions that
+share the ``_add_*_group`` argument-group helpers, so ``run-coupled``
+and ``run-ensemble`` present identical core/precision/coupler/
+observability groups (snapshot-tested by introspection — keep group
+titles and flag membership stable).
 """
 
 from __future__ import annotations
@@ -29,21 +39,12 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="AP3ESM reproduction (SC '25) — coupled Earth system "
-                    "model at laptop scale",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+# ---------------------------------------------------------------------------
+# Shared argument groups
 
-    sub.add_parser("info", help="library and configuration summary")
 
-    run = sub.add_parser("run-coupled", help="run the coupled model")
-    # Flags are organized into stable argument groups (core / precision /
-    # resilience / coupler / observability); tests snapshot the grouping
-    # via parser introspection, so keep titles and membership stable.
-    core = run.add_argument_group("core", "model size and schedule")
+def _add_core_group(p: argparse.ArgumentParser) -> None:
+    core = p.add_argument_group("core", "model size and schedule")
     core.add_argument("--days", type=float, default=1.0)
     core.add_argument("--atm-level", type=int, default=3)
     core.add_argument("--ocn-nlon", type=int, default=64)
@@ -62,11 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
     core.add_argument("--concurrent-domains", action="store_true",
                       help="run task domain 2 (ocean) on its own thread "
                            "(§5.1.2; bitwise-identical to the serial schedule)")
-    prec = run.add_argument_group("precision", "storage precision (§5.2.3)")
+
+
+def _add_precision_group(p: argparse.ArgumentParser) -> None:
+    prec = p.add_argument_group("precision", "storage precision (§5.2.3)")
     prec.add_argument("--precision", choices=("fp64", "mixed"), default="mixed",
                       help="storage precision policy for prognostic state "
                            "(§5.2.3; default: mixed group-scaled FP32)")
-    res = run.add_argument_group(
+
+
+def _add_resilience_group(p: argparse.ArgumentParser) -> None:
+    res = p.add_argument_group(
         "resilience", "checkpoints, recovery, and chaos testing"
     )
     res.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
@@ -94,7 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--couplings", type=int, default=6,
                      help="coupling steps for chaos mode (default 6; "
                           "ignored without --faults)")
-    cpl = run.add_argument_group("coupler", "coupler fast path (§5.2.4)")
+
+
+def _add_coupler_group(p: argparse.ArgumentParser) -> None:
+    cpl = p.add_argument_group("coupler", "coupler fast path (§5.2.4)")
     cpl.add_argument("--coupler-cache", default=None, metavar="DIR",
                      help="content-addressed offline GSMap/Router cache "
                           "directory: a warm cache skips Router.build and "
@@ -104,26 +114,90 @@ def build_parser() -> argparse.ArgumentParser:
                      help="prune unused coupling fields from every exchange "
                           "path (§5.2.4); surviving fields stay bitwise "
                           "identical")
-    obsg = run.add_argument_group("observability", "tracing and reports")
+
+
+def _add_obs_group(p: argparse.ArgumentParser) -> None:
+    obsg = p.add_argument_group("observability", "tracing and reports")
     obsg.add_argument("--trace", default=None, metavar="TRACE_JSON",
                       help="record a structured trace and write Chrome-trace "
                            "JSON here (open in chrome://tracing or Perfetto)")
 
+
+def _add_ensemble_group(p: argparse.ArgumentParser) -> None:
+    ens = p.add_argument_group(
+        "ensemble", "member count, perturbations, and cross-member batching"
+    )
+    ens.add_argument("--members", type=int, default=2, metavar="N",
+                     help="ensemble size (default 2); member 0 is never "
+                          "perturbed and stays bitwise-identical to a solo "
+                          "run-coupled twin")
+    ens.add_argument("--perturb-seed", type=int, default=0,
+                     help="namespace seed for the deterministic per-member "
+                          "initial-condition perturbation streams")
+    ens.add_argument("--perturb-amplitude", type=float, default=1e-3,
+                     metavar="K",
+                     help="Gaussian temperature perturbation amplitude in K "
+                          "applied to members k >= 1 (default 1e-3)")
+    ens.add_argument("--batch-physics", action="store_true",
+                     help="stack every member's physics columns into ONE "
+                          "suite call per atmosphere step (one GEMM serves "
+                          "the fleet); bitwise-identical to per-member calls")
+
+
+# ---------------------------------------------------------------------------
+# Per-subcommand builders
+
+
+def _build_info(sub) -> None:
+    sub.add_parser("info", help="library and configuration summary")
+
+
+def _build_run_coupled(sub) -> None:
+    run = sub.add_parser("run-coupled", help="run the coupled model")
+    # Flags are organized into stable argument groups (core / precision /
+    # resilience / coupler / observability); tests snapshot the grouping
+    # via parser introspection, so keep titles and membership stable.
+    _add_core_group(run)
+    _add_precision_group(run)
+    _add_resilience_group(run)
+    _add_coupler_group(run)
+    _add_obs_group(run)
+
+
+def _build_run_ensemble(sub) -> None:
+    run = sub.add_parser(
+        "run-ensemble",
+        help="run N perturbed coupled members in lockstep (one process)",
+    )
+    _add_core_group(run)
+    _add_ensemble_group(run)
+    _add_precision_group(run)
+    _add_coupler_group(run)
+    _add_obs_group(run)
+
+
+def _build_typhoon(sub) -> None:
     ty = sub.add_parser("typhoon", help="idealized typhoon experiment")
     ty.add_argument("--hours", type=int, default=12)
     ty.add_argument("--atm-level", type=int, default=4)
     ty.add_argument("--vmax", type=float, default=40.0)
     ty.add_argument("--rmax-km", type=float, default=500.0)
 
+
+def _build_scaling(sub) -> None:
     sc = sub.add_parser("scaling", help="Table 2 / Fig. 8a tables")
     sc.add_argument("--curve", default=None,
                     help="one curve key (default: all)")
 
+
+def _build_train_ai(sub) -> None:
     tr = sub.add_parser("train-ai", help="train the AI physics suite")
     tr.add_argument("--days", type=int, default=6)
     tr.add_argument("--epochs", type=int, default=40)
     tr.add_argument("--width", type=int, default=32)
 
+
+def _build_perf_gate(sub) -> None:
     pg = sub.add_parser(
         "perf-gate",
         help="compare a BENCH_*.json run against a committed baseline",
@@ -135,7 +209,33 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default 0.15); wall metrics never gate")
     pg.add_argument("--one-sided", action="store_true",
                     help="only fail on increases, not improvements")
+
+
+_BUILDERS = (
+    _build_info,
+    _build_run_coupled,
+    _build_run_ensemble,
+    _build_typhoon,
+    _build_scaling,
+    _build_train_ai,
+    _build_perf_gate,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AP3ESM reproduction (SC '25) — coupled Earth system "
+                    "model at laptop scale",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for builder in _BUILDERS:
+        builder(sub)
     return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
 
 
 def _cmd_info() -> int:
@@ -181,13 +281,13 @@ def _resilience_config(args: argparse.Namespace):
     )
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
-    """run-coupled --faults: the chaos harness instead of a plain run."""
+def _coupled_config(args: argparse.Namespace, resilience=None):
+    """The AP3ESMConfig described by the shared core/precision/coupler
+    flags (used by run-coupled, chaos mode, and run-ensemble's base)."""
     from repro.esm import AP3ESMConfig
-    from repro.resilience import FaultPlan, run_chaos
 
-    plan = FaultPlan.from_file(args.faults)
-    config = AP3ESMConfig(
+    kwargs = {} if resilience is None else {"resilience": resilience}
+    return AP3ESMConfig(
         atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
         ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
         precision=args.precision,
@@ -196,8 +296,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         coupler_cache_dir=args.coupler_cache,
         backend=args.backend,
         backend_workers=args.backend_workers,
-        resilience=_resilience_config(args),
+        **kwargs,
     )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """run-coupled --faults: the chaos harness instead of a plain run."""
+    from repro.resilience import FaultPlan, run_chaos
+
+    plan = FaultPlan.from_file(args.faults)
+    config = _coupled_config(args, resilience=_resilience_config(args))
     print(f"chaos: injecting {plan.n_faults} fault(s) from {args.faults} "
           f"over {args.couplings} coupling(s)...")
     report = run_chaos(plan, config=config, couplings=args.couplings)
@@ -205,8 +313,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.survived else 1
 
 
+def _print_pool_stats(pstats) -> None:
+    if pstats is None:
+        return
+    print(f"procs backend: {pstats.workers} worker(s), "
+          f"{pstats.dispatches} pool dispatch(es), "
+          f"{pstats.fallbacks} in-process fallback(s), "
+          f"{pstats.bytes_shared / 1e6:.1f} MB staged, "
+          f"occupancy {pstats.occupancy:.2f}")
+
+
 def _cmd_run_coupled(args: argparse.Namespace) -> int:
-    from repro.esm import AP3ESM, AP3ESMConfig, atm_snapshot
+    from repro.esm import AP3ESM, atm_snapshot
     from repro.utils import get_timing
 
     if args.faults:
@@ -216,19 +334,8 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
         from repro.obs import Obs
 
         obs = Obs()
-    resilience = _resilience_config(args)
-    cfg_kwargs = {} if resilience is None else {"resilience": resilience}
-    model = AP3ESM(AP3ESMConfig(
-        atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
-        ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
-        precision=args.precision,
-        concurrent_domains=args.concurrent_domains,
-        prune_fields=args.prune_fields,
-        coupler_cache_dir=args.coupler_cache,
-        backend=args.backend,
-        backend_workers=args.backend_workers,
-        **cfg_kwargs,
-    ), obs=obs)
+    model = AP3ESM(_coupled_config(args, resilience=_resilience_config(args)),
+                   obs=obs)
     model.init()
     schedule = "concurrent" if args.concurrent_domains else "serial"
     print(f"running {args.days:g} coupled days "
@@ -263,13 +370,7 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
     rep = get_timing([model.timers], "cpl_run",
                      simulated_days=model.n_couplings * model.dt_couple / 86400.0)
     print(f"throughput: {rep.sypd:.1f} SYPD on this machine")
-    pstats = model.pool_stats()
-    if pstats is not None:
-        print(f"procs backend: {pstats.workers} worker(s), "
-              f"{pstats.dispatches} pool dispatch(es), "
-              f"{pstats.fallbacks} in-process fallback(s), "
-              f"{pstats.bytes_shared / 1e6:.1f} MB staged, "
-              f"occupancy {pstats.occupancy:.2f}")
+    _print_pool_stats(model.pool_stats())
     if args.coupler_cache or args.prune_fields:
         creport = model.coupler_report()
         if model.coupler_cache is not None:
@@ -294,6 +395,55 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
         model.ocn.save_restart(f"{args.restart_dir}/ocn")
         print(f"restart written to {args.restart_dir}/(atm|ocn)")
     model.finalize()
+    if obs is not None:
+        path = obs.write_chrome_trace(args.trace)
+        print(obs.report())
+        print(f"trace written to {path} (open in chrome://tracing / Perfetto)")
+    return 0
+
+
+def _cmd_run_ensemble(args: argparse.Namespace) -> int:
+    from repro.esm import EnsembleConfig, EnsembleRun
+
+    obs = None
+    if args.trace:
+        from repro.obs import Obs
+
+        obs = Obs()
+    ens = EnsembleRun(EnsembleConfig(
+        base=_coupled_config(args),
+        members=args.members,
+        perturb_seed=args.perturb_seed,
+        perturb_amplitude=args.perturb_amplitude,
+        batch_physics=args.batch_physics,
+    ), obs=obs)
+    ens.init()
+    couplings = max(1, round(args.days * 86400.0 / ens.members[0].dt_couple))
+    mode = "batched" if args.batch_physics else "per-member"
+    print(f"running {args.members} member(s) for {args.days:g} coupled "
+          f"day(s) ({couplings} coupling(s), {mode} physics, "
+          f"{args.precision} storage, {args.backend} backend)...")
+    ens.run_couplings(couplings)
+    summary = ens.summary()
+    for row in summary["members"]:
+        print(f"member {row['member']:.0f}: {row['sypd']:.1f} SYPD "
+              f"({row['couplings']:.0f} coupling(s), "
+              f"{row['wall_s']:.2f} s wall)")
+    sy = summary["sypd"]
+    print(f"ensemble SYPD: mean {sy['mean']:.1f}, min {sy['min']:.1f}, "
+          f"max {sy['max']:.1f}, spread {sy['spread']:.1f}")
+    print(f"member spread: bottom-level T sigma "
+          f"{summary['spread']['t_bot']:.2e} K")
+    bp = summary.get("batched_physics")
+    if bp is not None:
+        print(f"batched physics: {bp['fleet_calls']} fleet call(s) served "
+              f"{bp['columns_total']} member-columns over "
+              f"{bp['fleet_steps']} lockstep step(s)")
+    _print_pool_stats(ens.pool_stats())
+    if args.restart_dir:
+        ens.save_restarts(args.restart_dir)
+        print(f"restarts written to {args.restart_dir}/member<k>/")
+    ens.finalize()
     if obs is not None:
         path = obs.write_chrome_trace(args.trace)
         print(obs.report())
@@ -382,21 +532,21 @@ def _cmd_perf_gate(args) -> int:
     return 0 if comparison.ok else 1
 
 
+_COMMANDS = {
+    "run-coupled": _cmd_run_coupled,
+    "run-ensemble": _cmd_run_ensemble,
+    "typhoon": _cmd_typhoon,
+    "scaling": _cmd_scaling,
+    "train-ai": _cmd_train_ai,
+    "perf-gate": _cmd_perf_gate,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
         return _cmd_info()
-    if args.command == "run-coupled":
-        return _cmd_run_coupled(args)
-    if args.command == "typhoon":
-        return _cmd_typhoon(args)
-    if args.command == "scaling":
-        return _cmd_scaling(args)
-    if args.command == "train-ai":
-        return _cmd_train_ai(args)
-    if args.command == "perf-gate":
-        return _cmd_perf_gate(args)
-    raise AssertionError("unreachable")
+    return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":

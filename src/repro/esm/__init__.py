@@ -1,6 +1,12 @@
 """The coupled AP3ESM: configurations, driver, typhoon case, diagnostics."""
 
 from .ap3esm import AP3ESM, AP3ESMConfig
+from .ensemble import (
+    BatchedPhysicsDriver,
+    EnsembleConfig,
+    EnsembleRun,
+    LockstepAtmospheres,
+)
 from .component import (
     Component,
     ComponentContext,
@@ -46,6 +52,10 @@ from .typhoon import (
 __all__ = [
     "AP3ESM",
     "AP3ESMConfig",
+    "EnsembleConfig",
+    "EnsembleRun",
+    "BatchedPhysicsDriver",
+    "LockstepAtmospheres",
     "Component",
     "ComponentContext",
     "default_mixed_policy",

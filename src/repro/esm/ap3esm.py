@@ -144,12 +144,22 @@ class AP3ESM:
         config: AP3ESMConfig | None = None,
         obs: Obs | None = None,
         space: ExecutionSpace | None = None,
+        coupler_cache: Optional[CouplerCache] = None,
     ) -> None:
         self.config = config if config is not None else AP3ESMConfig()
         self.timers = TimerRegistry()
         self.obs = obs if obs is not None else NULL_OBS
         self._space = space
+        #: Warm CouplerCache handed in by a session driver (EnsembleRun):
+        #: all instances share one content-addressed table instead of each
+        #: rebuilding the same GSMaps/Routers.
+        self._shared_cache = coupler_cache
         self._owned_pool = None
+        #: Ensemble hook: when set, ``_domain1_unit`` calls
+        #: ``self._atm_runner(self.atm, n_steps)`` instead of
+        #: ``self.atm.run(n_steps)`` — how the lockstep driver interposes
+        #: cross-member batched physics without touching the schedule.
+        self._atm_runner = None
         self._initialized = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -220,8 +230,10 @@ class AP3ESM:
             # Real process backend: bind obs so pp.procpool.* metrics land
             # in this run's registry, and fork the workers NOW — before
             # the scheduler spawns threads (forking a threaded process is
-            # the classic deadlock).
-            space.runtime.obs = self.obs
+            # the classic deadlock).  A pool we don't own (an ensemble's
+            # shared backend) keeps its owner's obs binding.
+            if self._owned_pool is not None or space.runtime.obs is None:
+                space.runtime.obs = self.obs
             space.runtime.ensure_started()
         ctx_kwargs = {"precision": precision_policy(cfg.precision), "obs": self.obs}
         if space is not None:
@@ -281,7 +293,7 @@ class AP3ESM:
         # directory is configured.
         self.coupler_cache: Optional[CouplerCache] = None
         self.plans: Dict[str, RearrangePlan] = {}
-        if cfg.coupler_cache_dir is not None:
+        if cfg.coupler_cache_dir is not None or self._shared_cache is not None:
             self._init_coupler_tables()
 
         # Lagged ocean coupling state: the published export domain 1
@@ -386,7 +398,10 @@ class AP3ESM:
         the *published* ocean export, never in-flight ocean state)."""
         cfg = self.config
         with obs.span("atm.run", steps=cfg.atm_steps_per_coupling):
-            self.atm.run(cfg.atm_steps_per_coupling)
+            if self._atm_runner is not None:
+                self._atm_runner(self.atm, cfg.atm_steps_per_coupling)
+            else:
+                self.atm.run(cfg.atm_steps_per_coupling)
             self.ctx.apply_precision(self.atm)
             a2x = self.exchange.transfer("a2x", self.atm.post_coupling())
 
@@ -751,7 +766,10 @@ class AP3ESM:
         the o2x plan coalesces the o2x *and* i2x bundles (ice lives on
         the ocean grid) into a single message per (src, dst) edge."""
         cfg = self.config
-        self.coupler_cache = CouplerCache(cfg.coupler_cache_dir, obs=self.obs)
+        if self._shared_cache is not None:
+            self.coupler_cache = self._shared_cache
+        else:
+            self.coupler_cache = CouplerCache(cfg.coupler_cache_dir, obs=self.obs)
         n = self.N_COUPLER_RANKS
         ncells = self.ocn.grid.mask.size
         grid = f"ocn-{cfg.ocn_nlon}x{cfg.ocn_nlat}"

@@ -18,17 +18,13 @@ import numpy as np
 from ..pp import ExecutionSpace, KernelRegistry, KernelStats, MDRangePolicy
 from ..utils.units import LATENT_HEAT_FUSION, RHO_ICE, STEFAN_BOLTZMANN
 
-__all__ = ["ICE_KERNELS", "thermo_kernel", "run_thermodynamics"]
+__all__ = ["ICE_KERNELS", "make_ice_registry", "thermo_kernel", "run_thermodynamics"]
 
 T_FREEZE = -1.8       # deg C
 ICE_ALBEDO = 0.65
 MIN_CONCENTRATION = 1e-4
 
-#: Host-side registry for the sea-ice kernels.
-ICE_KERNELS = KernelRegistry()
 
-
-@ICE_KERNELS.kernel
 def thermo_kernel(
     yi: np.ndarray,
     xi: np.ndarray,
@@ -92,6 +88,18 @@ def thermo_kernel(
     )
 
 
+def make_ice_registry(name: str = "ice") -> KernelRegistry:
+    """A fresh per-context registry with the sea-ice kernels registered."""
+    reg = KernelRegistry(name=name)
+    reg.register(thermo_kernel)
+    return reg
+
+
+#: Backward-compatible module-level registry: the default used by
+#: :func:`run_thermodynamics` when no per-context registry is passed.
+ICE_KERNELS = make_ice_registry()
+
+
 def run_thermodynamics(
     space: ExecutionSpace,
     thickness: np.ndarray,
@@ -107,15 +115,17 @@ def run_thermodynamics(
     h_min: float,
     stats: Optional[KernelStats] = None,
     tile: Optional[Tuple[int, int]] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(thickness, concentration, tsurf) after one thermodynamic step,
     dispatched as a tiled MDRange over the (nlat, nlon) surface."""
+    reg = registry if registry is not None else ICE_KERNELS
     th_out = np.zeros_like(thickness)
     cn_out = np.zeros_like(concentration)
     ts_out = np.zeros_like(tsurf)
     policy = MDRangePolicy(thickness.shape, tile=tile)
-    ICE_KERNELS.launch(
-        space, ICE_KERNELS.register(thermo_kernel), policy,
+    reg.launch(
+        space, reg.register(thermo_kernel), policy,
         th_out, cn_out, ts_out,
         thickness, concentration, tsurf, gsw, glw, t_air, freezing, ocean,
         dt, conductivity, h_min, stats=stats,

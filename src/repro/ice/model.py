@@ -57,6 +57,7 @@ class CiceModel:
         self.timers = timers if timers is not None else TimerRegistry()
         self._space: ExecutionSpace = Serial()
         self._kmetrics = None  # Optional[repro.pp.KernelMetrics]
+        self._kernels = None  # Optional[repro.pp.KernelRegistry]
         self._initialized = False
 
     def _kernel_stats(self, kernel: str) -> Optional[KernelStats]:
@@ -100,6 +101,7 @@ class CiceModel:
         self._ctx = ctx
         self._space = ctx.space
         self._kmetrics = ctx.metrics
+        self._kernels = ctx.kernels
         from .kernels import thermo_kernel
 
         ctx.kernels.register(thermo_kernel)
@@ -182,7 +184,7 @@ class CiceModel:
             self.thickness, self.concentration, self.tsurf,
             self.gsw, self.glw, self.t_air, freezing, self.grid.mask,
             dt, cfg.conductivity, cfg.h_min,
-            stats=self._kernel_stats("ice.thermo"),
+            stats=self._kernel_stats("ice.thermo"), registry=self._kernels,
         )
 
     def _dynamics(self, dt: float) -> None:

@@ -16,16 +16,12 @@ import numpy as np
 from ..pp import ExecutionSpace, KernelRegistry, KernelStats
 from ..utils.units import LATENT_HEAT_VAPORIZATION, STEFAN_BOLTZMANN
 
-__all__ = ["LND_KERNELS", "bucket_kernel", "run_bucket"]
+__all__ = ["LND_KERNELS", "make_lnd_registry", "bucket_kernel", "run_bucket"]
 
 T_SNOW = 273.15  # precipitation falls as snow below this air temperature
 LATENT_HEAT_FUSION_W = 3.337e5 * 1000.0  # J/m^3 of water equivalent
 
-#: Host-side registry for the land kernels.
-LND_KERNELS = KernelRegistry()
 
-
-@LND_KERNELS.kernel
 def bucket_kernel(
     idx: np.ndarray,
     tskin_out: np.ndarray,
@@ -97,6 +93,18 @@ def bucket_kernel(
     runoff[idx] = ro
 
 
+def make_lnd_registry(name: str = "lnd") -> KernelRegistry:
+    """A fresh per-context registry with the land kernels registered."""
+    reg = KernelRegistry(name=name)
+    reg.register(bucket_kernel)
+    return reg
+
+
+#: Backward-compatible module-level registry: the default used by
+#: :func:`run_bucket` when no per-context registry is passed.
+LND_KERNELS = make_lnd_registry()
+
+
 def run_bucket(
     space: ExecutionSpace,
     tskin: np.ndarray,
@@ -110,11 +118,13 @@ def run_bucket(
     dt: float,
     params,
     stats: Optional[KernelStats] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> Tuple[np.ndarray, ...]:
     """(tskin, bucket, snow, runoff, evap, albedo) after one bucket step.
 
     ``params`` is a :class:`repro.lnd.model.LandConfig`-shaped object.
     """
+    reg = registry if registry is not None else LND_KERNELS
     n = tskin.shape[0]
     tskin_out = np.zeros_like(tskin)
     bucket_out = np.zeros_like(bucket)
@@ -122,8 +132,8 @@ def run_bucket(
     runoff = np.zeros(n)
     evap = np.zeros(n)
     albedo = np.zeros(n)
-    LND_KERNELS.launch(
-        space, LND_KERNELS.register(bucket_kernel), n,
+    reg.launch(
+        space, reg.register(bucket_kernel), n,
         tskin_out, bucket_out, snow_out, runoff, evap, albedo,
         tskin, bucket, snow, land_mask, gsw, glw, precip, t_air,
         dt, params.bucket_capacity, params.heat_capacity, params.albedo,

@@ -67,6 +67,7 @@ class LandModel:
         self.timers = timers if timers is not None else TimerRegistry()
         self._space: ExecutionSpace = Serial()
         self._kmetrics = None  # Optional[repro.pp.KernelMetrics]
+        self._kernels = None  # Optional[repro.pp.KernelRegistry]
         self._initialized = False
 
     def _kernel_stats(self, kernel: str) -> Optional[KernelStats]:
@@ -92,6 +93,7 @@ class LandModel:
         self._ctx = ctx
         self._space = ctx.space
         self._kmetrics = ctx.metrics
+        self._kernels = ctx.kernels
         from .kernels import bucket_kernel
 
         ctx.kernels.register(bucket_kernel)
@@ -178,6 +180,7 @@ class LandModel:
                 np.asarray(gsw, dtype=float), np.asarray(glw, dtype=float),
                 np.asarray(precip, dtype=float), np.asarray(t_air, dtype=float),
                 dt, cfg, stats=self._kernel_stats("lnd.bucket"),
+                registry=self._kernels,
             )
             self.runoff_total += np.where(self.land_mask, runoff, 0.0)
         self.time += dt

@@ -6,7 +6,7 @@ script.  See :class:`Obs` for the facade components accept, and
 ``docs/API.md`` for the quickstart.
 """
 
-from .core import NULL_OBS, Obs
+from .core import NULL_OBS, Obs, PrefixedObs
 from .export import (
     chrome_trace_events,
     coupler_fastpath,
@@ -19,6 +19,7 @@ from .tracer import Span, Tracer
 
 __all__ = [
     "Obs",
+    "PrefixedObs",
     "NULL_OBS",
     "Span",
     "Tracer",

@@ -22,7 +22,7 @@ from .export import text_report, timing_summary, write_chrome_trace
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import Tracer
 
-__all__ = ["Obs", "NULL_OBS"]
+__all__ = ["Obs", "PrefixedObs", "NULL_OBS"]
 
 
 class _NoopCtx:
@@ -103,6 +103,18 @@ class Obs:
     def histogram(self, name: str) -> Union[Histogram, _NoopMetric]:
         return self.metrics.histogram(name) if self.enabled else _NOOP_METRIC
 
+    # -- namespacing -------------------------------------------------------
+
+    def prefixed(self, prefix: str) -> "Obs":
+        """A view of this handle that prepends ``prefix + '.'`` to every
+        span and metric name — how ensemble members share one parent
+        registry without colliding (``member.<k>.*``).  Disabled handles
+        return themselves: the no-op fast path stays a single branch.
+        """
+        if not self.enabled:
+            return self
+        return PrefixedObs(self, prefix)
+
     # -- SPMD --------------------------------------------------------------
 
     def fork(self, rank: int) -> "Obs":
@@ -153,6 +165,53 @@ class Obs:
         return timing_summary(
             [o.tracer for o in self._recorded()], span, simulated_days
         )
+
+
+class PrefixedObs:
+    """Name-prefixing view over a base :class:`Obs` handle.
+
+    Records through the *base* tracer/metrics (so exports aggregate all
+    members in one place) but under ``<prefix>.<name>``.  Everything not
+    name-shaped — exports, forks' bookkeeping, ``tracer``/``metrics``
+    attributes — delegates to the base handle unchanged.
+    """
+
+    def __init__(self, base: Obs, prefix: str) -> None:
+        self._base = base
+        self.prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self._base.enabled
+
+    @property
+    def rank(self) -> int:
+        return self._base.rank
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def span(self, name: str, **attrs: Any):
+        return self._base.span(self._name(name), **attrs)
+
+    def counter(self, name: str):
+        return self._base.counter(self._name(name))
+
+    def gauge(self, name: str):
+        return self._base.gauge(self._name(name))
+
+    def histogram(self, name: str):
+        return self._base.histogram(self._name(name))
+
+    def prefixed(self, prefix: str) -> "Obs | PrefixedObs":
+        """Chain prefixes: ``obs.prefixed('member.0').prefixed('cpl')``
+        records under ``member.0.cpl.*``."""
+        if not self._base.enabled:
+            return self._base
+        return PrefixedObs(self._base, self._name(prefix))
+
+    def __getattr__(self, attr: str):
+        return getattr(self._base, attr)
 
 
 NULL_OBS = Obs(enabled=False)

@@ -34,6 +34,7 @@ from .mixing import MixingParams
 
 __all__ = [
     "OCEAN_KERNELS",
+    "make_ocean_registry",
     "eos_kernel",
     "canuto_kernel",
     "baroclinic_pressure_kernel",
@@ -42,18 +43,12 @@ __all__ = [
     "run_pressure",
 ]
 
-#: The host-side registry every ocean kernel is registered in (the
-#: §5.3 hash-based function registration).
-OCEAN_KERNELS = KernelRegistry()
 
-
-@OCEAN_KERNELS.kernel
 def eos_kernel(idx: np.ndarray, rho: np.ndarray, t: np.ndarray, s: np.ndarray) -> None:
     """rho = rho0 (1 - alpha (T - T0) + beta (S - S0)) on flat points."""
     rho[idx] = RHO_OCEAN * (1.0 - RHO_ALPHA * (t[idx] - T_REF) + RHO_BETA * (s[idx] - S_REF))
 
 
-@OCEAN_KERNELS.kernel
 def canuto_kernel(
     idx: np.ndarray,
     kappa: np.ndarray,
@@ -70,7 +65,6 @@ def canuto_kernel(
     kappa[idx] = np.where(r < 0.0, kappa_max, stable)
 
 
-@OCEAN_KERNELS.kernel
 def baroclinic_pressure_kernel(
     idx: np.ndarray,
     p: np.ndarray,
@@ -88,6 +82,23 @@ def baroclinic_pressure_kernel(
         cum = cum + contrib
 
 
+# -- per-context registry factory (§5.3 hash registration) -----------------
+
+
+def make_ocean_registry(name: str = "ocn") -> KernelRegistry:
+    """A fresh per-context registry with the ocean kernels registered."""
+    reg = KernelRegistry(name=name)
+    for fn in (eos_kernel, canuto_kernel, baroclinic_pressure_kernel):
+        reg.register(fn)
+    return reg
+
+
+#: Backward-compatible module-level registry: the default used by the
+#: ``run_*`` wrappers when no per-context registry is passed (the §5.3
+#: hash-based function registration).
+OCEAN_KERNELS = make_ocean_registry()
+
+
 # -- host-callable wrappers (dispatch through the registry) ----------------
 
 
@@ -96,18 +107,20 @@ def run_eos(
     t: np.ndarray,
     s: np.ndarray,
     compressor: Optional[Compressor] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> np.ndarray:
     """Density via the portable kernel; optionally on packed wet points."""
+    reg = registry if registry is not None else OCEAN_KERNELS
     if compressor is not None:
         t_p = compressor.compress(t)
         s_p = compressor.compress(s)
         rho_p = np.zeros_like(t_p)
-        OCEAN_KERNELS.launch(space, OCEAN_KERNELS.register(eos_kernel), len(t_p), rho_p, t_p, s_p)
+        reg.launch(space, reg.register(eos_kernel), len(t_p), rho_p, t_p, s_p)
         return compressor.decompress(rho_p)
     flat_t = t.ravel()
     flat_s = s.ravel()
     rho = np.zeros_like(flat_t)
-    OCEAN_KERNELS.launch(space, OCEAN_KERNELS.register(eos_kernel), flat_t.size, rho, flat_t, flat_s)
+    reg.launch(space, reg.register(eos_kernel), flat_t.size, rho, flat_t, flat_s)
     return rho.reshape(t.shape)
 
 
@@ -116,34 +129,43 @@ def run_canuto(
     ri: np.ndarray,
     params: Optional[MixingParams] = None,
     compressor: Optional[Compressor] = None,
+    registry: Optional[KernelRegistry] = None,
 ) -> np.ndarray:
     """Mixing coefficient via the portable kernel (packed or full)."""
+    reg = registry if registry is not None else OCEAN_KERNELS
     prm = params or MixingParams()
     args = (prm.kappa_background, prm.kappa_0, prm.kappa_max, prm.ri_critical, prm.power)
-    handle = OCEAN_KERNELS.register(canuto_kernel)
+    handle = reg.register(canuto_kernel)
     if compressor is not None:
         ri_p = compressor.compress(ri)
         kappa_p = np.zeros_like(ri_p)
-        OCEAN_KERNELS.launch(space, handle, len(ri_p), kappa_p, ri_p, *args)
+        reg.launch(space, handle, len(ri_p), kappa_p, ri_p, *args)
         return compressor.decompress(kappa_p)
     flat = ri.ravel()
     kappa = np.zeros_like(flat)
-    OCEAN_KERNELS.launch(space, handle, flat.size, kappa, flat, *args)
+    reg.launch(space, handle, flat.size, kappa, flat, *args)
     return kappa.reshape(ri.shape)
 
 
-def run_pressure(space: ExecutionSpace, t: np.ndarray, s: np.ndarray, dz: np.ndarray) -> np.ndarray:
+def run_pressure(
+    space: ExecutionSpace,
+    t: np.ndarray,
+    s: np.ndarray,
+    dz: np.ndarray,
+    registry: Optional[KernelRegistry] = None,
+) -> np.ndarray:
     """Hydrostatic pressure via the portable column kernel.
 
     ``t``/``s`` are (nlev, nlat, nlon); returns pressure in the same
     layout (columns are the parallel dimension, matching the GPU port).
     """
+    reg = registry if registry is not None else OCEAN_KERNELS
     nlev = t.shape[0]
     rho_anom = (
         RHO_OCEAN * (1.0 - RHO_ALPHA * (t - T_REF) + RHO_BETA * (s - S_REF)) - RHO_OCEAN
     )
     cols = rho_anom.reshape(nlev, -1).T.copy()  # (ncol, nlev)
     p = np.zeros_like(cols)
-    handle = OCEAN_KERNELS.register(baroclinic_pressure_kernel)
-    OCEAN_KERNELS.launch(space, handle, cols.shape[0], p, cols, dz)
+    handle = reg.register(baroclinic_pressure_kernel)
+    reg.launch(space, handle, cols.shape[0], p, cols, dz)
     return p.T.reshape(t.shape)

@@ -51,11 +51,22 @@ def kernel_hash(fn: Callable) -> int:
 
 
 class KernelRegistry:
-    """Host-side table of device-callable kernels, keyed by hash."""
+    """Host-side table of device-callable kernels, keyed by hash.
 
-    def __init__(self) -> None:
+    Registries are cheap per-context objects: every
+    :class:`~repro.esm.component.ComponentContext` owns one, and the
+    component modules expose ``make_*_registry()`` factories so
+    concurrent model instances (ensemble members) never share launch
+    bookkeeping.  ``launch_counts`` records per-kernel launches through
+    *this* registry — the state that would alias across instances if the
+    registries were process-global singletons.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name
         self._table: Dict[int, Callable] = {}
         self._names: Dict[int, str] = {}
+        self.launch_counts: Dict[str, int] = {}
 
     def register(self, fn: Callable, name: Optional[str] = None) -> int:
         """Register ``fn``; returns its hash handle.
@@ -98,6 +109,8 @@ class KernelRegistry:
         is unchanged (``BoundKernel(fn, args)(*idx) == fn(*idx, *args)``).
         """
         fn = self.lookup(handle)
+        kname = self._names[handle]
+        self.launch_counts[kname] = self.launch_counts.get(kname, 0) + 1
         return parallel_for(space, policy, BoundKernel(fn, args), **kwargs)
 
     def __len__(self) -> int:

@@ -87,11 +87,11 @@ class GuardedPhysics:
         self.step_fn = step_fn
         self.fallback_columns_total = 0
 
-    def bind(self, space, metrics) -> None:
+    def bind(self, space, metrics, registry=None) -> None:
         """Forward the pp-kernel binding both suites understand."""
         for suite in (self.primary, self.fallback):
             if hasattr(suite, "bind"):
-                suite.bind(space, metrics)
+                suite.bind(space, metrics, registry=registry)
 
     # -- detection ---------------------------------------------------------
 

@@ -113,6 +113,48 @@ class TestSerialization:
         assert np.array_equal(a.gsw, b.gsw)
         assert np.array_equal(a.precip, b.precip)
 
+    def test_roundtrip_restores_every_artifact(self, trained_suite, tmp_path):
+        """Weights, both modules' normalizers, and the tendency guard-rail
+        limits all survive save -> load exactly."""
+        from repro.ai.serialize import state_dict
+
+        path = tmp_path / "suite.npz"
+        trained_suite.save(path)
+        loaded = AIPhysicsSuite.load(path)
+        for orig_t, load_t in (
+            (trained_suite.tendency_trainer, loaded.tendency_trainer),
+            (trained_suite.radiation_trainer, loaded.radiation_trainer),
+        ):
+            orig_sd = state_dict(orig_t.model)
+            load_sd = state_dict(load_t.model)
+            assert sorted(orig_sd) == sorted(load_sd)
+            for key in orig_sd:
+                assert np.array_equal(orig_sd[key], load_sd[key]), key
+            assert np.array_equal(orig_t.x_norm.mean, load_t.x_norm.mean)
+            assert np.array_equal(orig_t.x_norm.std, load_t.x_norm.std)
+            assert np.array_equal(orig_t.y_norm.mean, load_t.y_norm.mean)
+            assert np.array_equal(orig_t.y_norm.std, load_t.y_norm.std)
+        assert np.array_equal(trained_suite.tendency_limits,
+                              loaded.tendency_limits)
+
+    def test_loaded_suite_batches_bitwise(self, trained_suite, tmp_path):
+        """A reloaded suite keeps the cross-member batching contract: one
+        stacked compute equals the per-batch computes bit-for-bit."""
+        from repro.atm.columns import ColumnState
+
+        path = tmp_path / "suite.npz"
+        trained_suite.save(path)
+        loaded = AIPhysicsSuite.load(path)
+        batches = [synthetic_columns(n, 10, season=i, step=i, seed=i)
+                   for i, n in enumerate((9, 1, 22))]
+        stacked = loaded.compute(ColumnState.concat(batches), 120.0)
+        parts = stacked.split([b.ncol for b in batches])
+        for part, cols in zip(parts, batches):
+            solo = loaded.compute(cols, 120.0)
+            assert np.array_equal(part.dt, solo.dt)
+            assert np.array_equal(part.gsw, solo.gsw)
+            assert np.array_equal(part.precip, solo.precip)
+
     def test_untrained_suite_cannot_save(self, tmp_path):
         from repro.ai import Trainer, build_radiation_mlp, build_tendency_cnn
 

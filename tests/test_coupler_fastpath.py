@@ -483,7 +483,7 @@ class TestCLIGrouping:
     """run-coupled flags are organized into stable argument groups; this
     snapshot (by introspection, not help text) is the satellite's test."""
 
-    def _groups(self):
+    def _groups(self, command="run-coupled"):
         from repro.cli import build_parser
 
         parser = build_parser()
@@ -491,7 +491,7 @@ class TestCLIGrouping:
             a for a in parser._actions
             if isinstance(a, __import__("argparse")._SubParsersAction)
         )
-        run = sub.choices["run-coupled"]
+        run = sub.choices[command]
         groups = {}
         for g in run._action_groups:
             opts = sorted(
@@ -511,6 +511,34 @@ class TestCLIGrouping:
         assert {"--days", "--atm-level", "--ocn-nlon",
                 "--backend", "--backend-workers"} <= set(groups["core"])
         assert {"--checkpoint-every", "--faults"} <= set(groups["resilience"])
+
+    def test_run_ensemble_group_snapshot(self):
+        """run-ensemble reuses run-coupled's shared groups verbatim and
+        adds its own 'ensemble' group (no resilience: chaos/checkpoints
+        don't compose with multi-member sessions yet)."""
+        coupled = self._groups("run-coupled")
+        ens = self._groups("run-ensemble")
+        assert set(ens) >= {"core", "ensemble", "precision", "coupler",
+                            "observability"}
+        assert "resilience" not in ens
+        for shared in ("core", "precision", "coupler", "observability"):
+            assert ens[shared] == coupled[shared]
+        assert ens["ensemble"] == ["--batch-physics", "--members",
+                                   "--perturb-amplitude", "--perturb-seed"]
+
+    def test_run_ensemble_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run-ensemble"])
+        assert args.members == 2
+        assert args.perturb_seed == 0
+        assert args.perturb_amplitude == 1e-3
+        assert args.batch_physics is False
+        args = build_parser().parse_args(
+            ["run-ensemble", "--members", "4", "--batch-physics",
+             "--perturb-seed", "9"])
+        assert (args.members, args.perturb_seed, args.batch_physics) == \
+            (4, 9, True)
 
     def test_defaults(self):
         from repro.cli import build_parser

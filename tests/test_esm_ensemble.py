@@ -1,0 +1,330 @@
+"""Tests for the ensemble runtime: multi-instance sessions, lockstep
+stepping, cross-member batched physics, and the bitwise twin contracts."""
+
+import numpy as np
+import pytest
+
+from repro.atm import (
+    AIPhysicsSuite,
+    ConventionalPhysics,
+    generate_training_archive,
+    synthetic_columns,
+)
+from repro.atm.columns import ColumnState
+from repro.esm import (
+    AP3ESM,
+    AP3ESMConfig,
+    BatchedPhysicsDriver,
+    EnsembleConfig,
+    EnsembleRun,
+)
+from repro.obs import Obs
+
+SMALL = dict(atm_level=2, ocn_nlon=24, ocn_nlat=16, ocn_levels=4)
+
+
+def _small_config(**overrides) -> AP3ESMConfig:
+    kwargs = dict(SMALL)
+    kwargs.update(overrides)
+    return AP3ESMConfig(**kwargs)
+
+
+def _atm_state(model):
+    atm = model.atm
+    return {
+        "h": atm.swe.h.copy(), "u": atm.swe.u.copy(),
+        "t_col": np.asarray(atm.t_col).copy(),
+        "q_col": np.asarray(atm.q_col).copy(),
+        "tskin": np.asarray(atm.tskin).copy(),
+    }
+
+
+def _assert_state_equal(a, b):
+    for key in a:
+        assert np.array_equal(a[key], b[key]), f"field {key} differs"
+
+
+class TestEnsembleConfig:
+    def test_needs_at_least_one_member(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EnsembleConfig(members=0)
+
+    def test_member_config_applies_deltas(self):
+        cfg = EnsembleConfig(
+            base=_small_config(), members=3,
+            config_deltas=[{}, {"atm_steps_per_coupling": 2}],
+        )
+        assert cfg.member_config(0).atm_steps_per_coupling == \
+            cfg.base.atm_steps_per_coupling
+        assert cfg.member_config(1).atm_steps_per_coupling == 2
+        # Trailing members past the delta list stay at the base config.
+        assert cfg.member_config(2) == cfg.base
+
+    def test_member_config_rejects_unknown_keys(self):
+        cfg = EnsembleConfig(
+            base=_small_config(), members=2,
+            config_deltas=[{}, {"no_such_field": 1}],
+        )
+        with pytest.raises(ValueError, match="unknown keys"):
+            cfg.member_config(1)
+
+
+class TestPerturbations:
+    def test_member_zero_never_perturbed_and_members_distinct(self):
+        ens = EnsembleRun(EnsembleConfig(base=_small_config(), members=3))
+        ens.init()
+        solo = AP3ESM(_small_config())
+        solo.init()
+        assert np.array_equal(ens.members[0].atm.t_col, solo.atm.t_col)
+        t0 = np.asarray(ens.members[0].atm.t_col)
+        t1 = np.asarray(ens.members[1].atm.t_col)
+        t2 = np.asarray(ens.members[2].atm.t_col)
+        assert not np.array_equal(t0, t1)
+        assert not np.array_equal(t1, t2)
+
+    def test_perturbations_deterministic(self):
+        a = EnsembleRun(EnsembleConfig(base=_small_config(), members=2,
+                                       perturb_seed=7))
+        a.init()
+        b = EnsembleRun(EnsembleConfig(base=_small_config(), members=2,
+                                       perturb_seed=7))
+        b.init()
+        assert np.array_equal(a.members[1].atm.t_col, b.members[1].atm.t_col)
+        c = EnsembleRun(EnsembleConfig(base=_small_config(), members=2,
+                                       perturb_seed=8))
+        c.init()
+        assert not np.array_equal(a.members[1].atm.t_col,
+                                  c.members[1].atm.t_col)
+
+    def test_zero_amplitude_disables_perturbation(self):
+        ens = EnsembleRun(EnsembleConfig(base=_small_config(), members=2,
+                                         perturb_amplitude=0.0))
+        ens.init()
+        assert np.array_equal(ens.members[0].atm.t_col,
+                              ens.members[1].atm.t_col)
+
+
+class TestLockstepBitwise:
+    """The tentpole contracts: member 0 is a bitwise solo twin, and
+    batched physics is bitwise-identical to per-member stepping."""
+
+    COUPLINGS = 3
+
+    def _run_solo(self):
+        solo = AP3ESM(_small_config())
+        solo.init()
+        solo.run_couplings(self.COUPLINGS)
+        solo._wait_ocean()
+        return solo
+
+    def _run_ensemble(self, batch):
+        ens = EnsembleRun(EnsembleConfig(base=_small_config(), members=3,
+                                         batch_physics=batch))
+        ens.init()
+        ens.run_couplings(self.COUPLINGS)
+        return ens
+
+    def test_member0_bitwise_vs_solo_batched(self):
+        solo = self._run_solo()
+        ens = self._run_ensemble(batch=True)
+        _assert_state_equal(_atm_state(solo), _atm_state(ens.members[0]))
+        assert np.array_equal(solo.ocn.t, ens.members[0].ocn.t)
+        assert np.array_equal(solo.ocn.u, ens.members[0].ocn.u)
+        # Perturbed members really diverged.
+        assert not np.array_equal(ens.members[0].atm.t_col,
+                                  ens.members[1].atm.t_col)
+
+    def test_batched_equals_unbatched_stepping(self):
+        batched = self._run_ensemble(batch=True)
+        plain = self._run_ensemble(batch=False)
+        for mb, mp in zip(batched.members, plain.members):
+            _assert_state_equal(_atm_state(mb), _atm_state(mp))
+
+    def test_fleet_call_accounting(self):
+        ens = self._run_ensemble(batch=True)
+        summary = ens.summary()
+        bp = summary["batched_physics"]
+        steps = self.COUPLINGS * ens.config.base.atm_steps_per_coupling
+        assert bp["fleet_steps"] == steps
+        assert bp["fleet_calls"] == steps
+        ncol = ens.members[0].atm.grid.n_cells
+        assert bp["columns_total"] == steps * 3 * ncol
+        assert summary["sypd"]["mean"] > 0
+        assert summary["spread"]["t_bot"] > 0
+
+
+class TestBatchedPhysicsDriver:
+    def _columns(self, sizes, nlev=10):
+        return [synthetic_columns(n, nlev, season=i % 4, step=i, seed=i)
+                for i, n in enumerate(sizes)]
+
+    def test_conventional_batched_bitwise(self):
+        suite = ConventionalPhysics()
+        cols = self._columns([16, 5, 1, 40])
+        driver = BatchedPhysicsDriver([suite] * 4, batch=True)
+        batched = driver.compute(cols, 120.0)
+        sequential = [suite.compute(c, 120.0) for c in cols]
+        for b, s in zip(batched, sequential):
+            for fld in ("du", "dv", "dt", "dq", "gsw", "glw",
+                        "precip", "cloud_fraction"):
+                assert np.array_equal(getattr(b, fld), getattr(s, fld)), fld
+        assert driver.fleet_calls == 1
+        assert driver.columns_total == 62
+
+    def test_ai_suite_batched_bitwise(self, tiny_ai_suite):
+        """One CNN/MLP forward over the stacked fleet reproduces the
+        per-member forwards bit-for-bit (incl. a single-column member,
+        the gemv/gemm edge case)."""
+        cols = self._columns([7, 1, 12])
+        driver = BatchedPhysicsDriver([tiny_ai_suite] * 3, batch=True)
+        batched = driver.compute(cols, 120.0)
+        for b, c in zip(batched, cols):
+            solo = tiny_ai_suite.compute(c, 120.0)
+            for fld in ("du", "dv", "dt", "dq", "gsw", "glw", "precip"):
+                assert np.array_equal(getattr(b, fld), getattr(solo, fld)), fld
+
+    def test_sequential_path_counts_member_calls(self):
+        suite = ConventionalPhysics()
+        driver = BatchedPhysicsDriver([suite] * 2, batch=False)
+        driver.compute(self._columns([4, 4]), 120.0)
+        assert driver.member_calls == 2
+        assert driver.fleet_calls == 0
+
+    def test_rejects_mismatched_suites(self):
+        from repro.atm.physics import PhysicsParams
+
+        a = ConventionalPhysics()
+        other = ConventionalPhysics(params=PhysicsParams(albedo=0.5))
+        with pytest.raises(ValueError, match="different physics parameters"):
+            BatchedPhysicsDriver([a, other], batch=True)
+
+    def test_rejects_guarded_suites(self):
+        from repro.resilience.guardrail import GuardedPhysics
+
+        guarded = GuardedPhysics(ConventionalPhysics())
+        with pytest.raises(ValueError, match="guardrail"):
+            BatchedPhysicsDriver([guarded, guarded], batch=True)
+
+    def test_concat_requires_shared_pressure(self):
+        a = synthetic_columns(4, 10, season=0, step=0)
+        b = synthetic_columns(4, 8, season=0, step=0)
+        with pytest.raises(ValueError, match="pressure"):
+            ColumnState.concat([a, b])
+
+
+@pytest.fixture(scope="module")
+def tiny_ai_suite():
+    archive = generate_training_archive(
+        n_days=8, steps_per_day=4, ncol_per_step=8, nlev=10
+    )
+    return AIPhysicsSuite.train(archive, epochs=3, width=16, lr=3e-3)
+
+
+class TestEnsembleGuards:
+    def test_batch_physics_needs_uniform_atmosphere(self):
+        cfg = EnsembleConfig(
+            base=_small_config(), members=2, batch_physics=True,
+            config_deltas=[{}, {"atm_steps_per_coupling": 2}],
+        )
+        with pytest.raises(ValueError, match="uniform atmosphere"):
+            EnsembleRun(cfg).init()
+
+    def test_batch_physics_rejects_guardrail(self):
+        from repro.resilience import ResilienceConfig
+
+        res = ResilienceConfig(enabled=True, guard_physics=True)
+        cfg = EnsembleConfig(
+            base=_small_config(resilience=res), members=2, batch_physics=True,
+        )
+        with pytest.raises(ValueError, match="guardrail"):
+            EnsembleRun(cfg).init()
+
+    def test_stepping_before_init_raises(self):
+        ens = EnsembleRun(EnsembleConfig(base=_small_config()))
+        with pytest.raises(RuntimeError, match="init"):
+            ens.step_coupling()
+
+
+class TestEnsembleObservability:
+    def test_member_prefixes_in_shared_registry(self):
+        obs = Obs()
+        ens = EnsembleRun(
+            EnsembleConfig(base=_small_config(), members=2), obs=obs
+        )
+        ens.init()
+        ens.run_couplings(1)
+        ens.summary()
+        names = obs.metrics.names()
+        assert any(n.startswith("member.0.") for n in names)
+        assert any(n.startswith("member.1.") for n in names)
+        assert "ensemble.sypd.mean" in names
+        assert "ensemble.spread.t_bot" in names
+
+    def test_batched_counters_recorded(self):
+        obs = Obs()
+        ens = EnsembleRun(
+            EnsembleConfig(base=_small_config(), members=2,
+                           batch_physics=True),
+            obs=obs,
+        )
+        ens.init()
+        ens.run_couplings(1)
+        names = obs.metrics.names()
+        assert "ensemble.physics.fleet_calls" in names
+        assert "ensemble.physics.columns" in names
+
+
+class TestRegistryFactories:
+    """Per-context kernel registries: instances are isolated, module
+    aliases stay the shared default for solo runs."""
+
+    def test_factories_make_isolated_registries(self):
+        from repro.atm.kernels import ATM_KERNELS, make_atm_registry
+        from repro.ice.kernels import make_ice_registry
+        from repro.lnd.kernels import make_lnd_registry
+        from repro.ocn.kernels import make_ocean_registry
+
+        a = make_atm_registry()
+        b = make_atm_registry()
+        assert a is not b
+        assert a is not ATM_KERNELS
+        assert sorted(a._table) == sorted(ATM_KERNELS._table)
+        for make in (make_ice_registry, make_lnd_registry,
+                     make_ocean_registry):
+            r1, r2 = make(), make()
+            assert r1 is not r2
+            assert r1.launch_counts == {}
+
+    def test_launch_counts_stay_per_instance(self):
+        from repro.atm.kernels import make_atm_registry
+        from repro.atm.physics import ConventionalPhysics
+        from repro.pp import Serial
+
+        cols = synthetic_columns(8, 10, season=0, step=0)
+        reg_a, reg_b = make_atm_registry(), make_atm_registry()
+        pa = ConventionalPhysics()
+        pa.bind(Serial(), registry=reg_a)
+        pb = ConventionalPhysics()
+        pb.bind(Serial(), registry=reg_b)
+        pa.compute(cols, 120.0)
+        pa.compute(cols, 120.0)
+        pb.compute(cols, 120.0)
+        assert reg_a.launch_counts["radiation_kernel"] == 2
+        assert reg_b.launch_counts["radiation_kernel"] == 1
+
+    def test_ensemble_members_do_not_share_kernel_registries(self):
+        ens = EnsembleRun(EnsembleConfig(base=_small_config(), members=2))
+        ens.init()
+        regs = {id(m.atm.physics.registry) for m in ens.members}
+        assert len(regs) == 2
+
+
+class TestEnsembleRestarts:
+    def test_save_restarts_layout(self, tmp_path):
+        ens = EnsembleRun(EnsembleConfig(base=_small_config(), members=2))
+        ens.init()
+        ens.run_couplings(1)
+        ens.save_restarts(tmp_path / "rst")
+        for k in range(2):
+            assert (tmp_path / "rst" / f"member{k}" / "atm").is_dir()
+            assert (tmp_path / "rst" / f"member{k}" / "ocn").is_dir()
