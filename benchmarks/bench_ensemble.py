@@ -127,19 +127,52 @@ def _bench_document():
 
     # End-to-end session accounting on a miniature coupled ensemble
     # (gated): N members, lockstep, shared infrastructure.
+    small = dict(atm_level=2, ocn_nlon=24, ocn_nlat=16, ocn_levels=4)
     ens = EnsembleRun(EnsembleConfig(
-        base=AP3ESMConfig(atm_level=2, ocn_nlon=24, ocn_nlat=16, ocn_levels=4),
+        base=AP3ESMConfig(**small),
         members=3, batch_physics=True,
     ))
     ens.init()
+    t0 = time.perf_counter()
     ens.run_couplings(2)
+    t_plain = time.perf_counter() - t0
     summary = ens.summary()
     bp = summary["batched_physics"]
     doc.record("session.members", len(ens.members))
     doc.record("session.fleet_steps", bp["fleet_steps"])
     doc.record("session.fleet_calls", bp["fleet_calls"])
     doc.record("session.columns_total", bp["columns_total"])
+    plain_state = [np.asarray(m.atm.t_col).copy() for m in ens.members]
     ens.finalize()
+
+    # Fleet-supervisor no-fault contract (gated): an armed supervisor
+    # with nothing to do must be invisible — zero events, and every
+    # member bitwise-identical to the unsupervised fleet above.  The
+    # per-coupling wall overhead rides along informationally.
+    from repro.resilience import ResilienceConfig
+
+    armed = EnsembleRun(EnsembleConfig(
+        base=AP3ESMConfig(resilience=ResilienceConfig(
+            enabled=True, guard_physics=False, member_policy="quarantine",
+        ), **small),
+        members=3, batch_physics=True,
+    ))
+    armed.init()
+    t0 = time.perf_counter()
+    armed.run_couplings(2)
+    t_armed = time.perf_counter() - t0
+    supervised_bitwise = all(
+        np.array_equal(np.asarray(m.atm.t_col), ref)
+        for m, ref in zip(armed.members, plain_state)
+    )
+    doc.record("supervisor.armed_events", len(armed.supervisor.events))
+    doc.record("supervisor.armed_faults_injected",
+               armed.supervisor.faults_injected)
+    doc.record("supervisor.fleet_alive", armed.supervisor.n_alive)
+    doc.record("supervisor.armed_bitwise_identical", float(supervised_bitwise))
+    doc.record("wall.supervisor_overhead", t_armed / t_plain, kind="wall",
+               unit="x")
+    armed.finalize()
 
     # Wall/speedup ride along informationally: the python-overhead
     # amortization is real but machine- and load-dependent at this size

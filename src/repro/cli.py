@@ -144,6 +144,38 @@ def _add_ensemble_group(p: argparse.ArgumentParser) -> None:
                           "the fleet); bitwise-identical to per-member calls")
 
 
+def _add_supervisor_group(p: argparse.ArgumentParser) -> None:
+    sup = p.add_argument_group(
+        "fleet supervisor", "member-level fault isolation and rejoin"
+    )
+    sup.add_argument("--member-policy",
+                     choices=("fail_fast", "quarantine", "restart"),
+                     default="fail_fast",
+                     help="what the fleet does when ONE member fails: "
+                          "fail_fast (default, pre-supervisor behavior), "
+                          "quarantine (drop the member, survivors continue "
+                          "bitwise-identical to a smaller fleet), or restart "
+                          "(roll the member back to its rotating checkpoint, "
+                          "replay it solo to the fleet clock, and rejoin "
+                          "bitwise-identical; requires --checkpoint-every/"
+                          "--checkpoint-dir)")
+    sup.add_argument("--member-restart-max", type=int, default=2, metavar="K",
+                     help="restarts allowed per member before escalating to "
+                          "quarantine (default 2)")
+    sup.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                     help="inject this FaultPlan's member-scoped physics/comm "
+                          "faults (entries with a \"member\" key) into the "
+                          "fleet and let the supervisor handle them")
+    sup.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="write per-member rotating checkpoints (under "
+                          "<dir>/member<k>/) every N couplings "
+                          "(requires --checkpoint-dir)")
+    sup.add_argument("--checkpoint-dir", default=None,
+                     help="per-member rotating checkpoint root directory")
+    sup.add_argument("--checkpoint-keep", type=int, default=3,
+                     help="checkpoints kept per member (default 3)")
+
+
 # ---------------------------------------------------------------------------
 # Per-subcommand builders
 
@@ -171,6 +203,7 @@ def _build_run_ensemble(sub) -> None:
     )
     _add_core_group(run)
     _add_ensemble_group(run)
+    _add_supervisor_group(run)
     _add_precision_group(run)
     _add_coupler_group(run)
     _add_obs_group(run)
@@ -279,6 +312,44 @@ def _resilience_config(args: argparse.Namespace):
         recovery_policy=getattr(args, "recovery_policy", "abort"),
         spare_ranks=getattr(args, "spare_ranks", 1),
     )
+
+
+def _ensemble_resilience_config(args: argparse.Namespace):
+    """(ResilienceConfig, FaultPlan) for run-ensemble's fleet supervisor
+    — ``(None, None)`` when no supervisor flag was given, keeping the
+    default run byte-identical to the pre-supervisor CLI."""
+    plan = None
+    if args.faults:
+        from repro.resilience import FaultPlan
+
+        plan = FaultPlan.from_file(args.faults)
+    if (args.member_policy == "fail_fast" and plan is None
+            and not (args.checkpoint_every or args.checkpoint_dir)):
+        return None, None
+    from repro.resilience import ResilienceConfig
+
+    if args.checkpoint_every and not args.checkpoint_dir:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if (args.member_policy == "restart"
+            and not (args.checkpoint_every and args.checkpoint_dir)):
+        raise SystemExit(
+            "--member-policy restart needs a rollback target: pass "
+            "--checkpoint-every and --checkpoint-dir"
+        )
+    # Member-level isolation supersedes the per-column guardrail (which
+    # would mask injected blow-ups before the supervisor sees them, and
+    # is incompatible with --batch-physics).
+    return ResilienceConfig(
+        enabled=True,
+        guard_physics=False,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        max_retries=3,
+        recv_timeout_s=5.0,
+        member_policy=args.member_policy,
+        member_restart_max=args.member_restart_max,
+    ), plan
 
 
 def _coupled_config(args: argparse.Namespace, resilience=None):
@@ -410,12 +481,14 @@ def _cmd_run_ensemble(args: argparse.Namespace) -> int:
         from repro.obs import Obs
 
         obs = Obs()
+    resilience, plan = _ensemble_resilience_config(args)
     ens = EnsembleRun(EnsembleConfig(
-        base=_coupled_config(args),
+        base=_coupled_config(args, resilience=resilience),
         members=args.members,
         perturb_seed=args.perturb_seed,
         perturb_amplitude=args.perturb_amplitude,
         batch_physics=args.batch_physics,
+        fault_plan=plan,
     ), obs=obs)
     ens.init()
     couplings = max(1, round(args.days * 86400.0 / ens.members[0].dt_couple))
@@ -439,6 +512,23 @@ def _cmd_run_ensemble(args: argparse.Namespace) -> int:
         print(f"batched physics: {bp['fleet_calls']} fleet call(s) served "
               f"{bp['columns_total']} member-columns over "
               f"{bp['fleet_steps']} lockstep step(s)")
+    sup = summary.get("supervisor")
+    if sup is not None:
+        for ev in sup["events"]:
+            extra = ""
+            if ev["action"] == "restart":
+                extra = (f" (replayed {ev['replayed_couplings']} "
+                         f"coupling(s))")
+            print(f"member {ev['member']} {ev['kind']} at coupling "
+                  f"{ev['coupling']} -> {ev['action']}{extra}")
+        print(f"fleet: {sup['alive']:.0f}/{sup['members_total']:.0f} "
+              f"member(s) alive under '{sup['policy']}' "
+              f"({sup['restarts']:.0f} restart(s), "
+              f"{sup['quarantines']:.0f} quarantine(s), "
+              f"{sup['escalations']:.0f} escalation(s))")
+        if sup["quarantined"]:
+            print(f"degraded fleet SYPD (surviving members): "
+                  f"{sup['sypd_degraded']:.1f}")
     _print_pool_stats(ens.pool_stats())
     if args.restart_dir:
         ens.save_restarts(args.restart_dir)

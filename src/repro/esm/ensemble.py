@@ -33,9 +33,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..resilience.faults import FaultPlan
+    from ..resilience.supervisor import FleetSupervisor
 
 from ..atm.columns import ColumnState
 from ..atm.physics import ConventionalPhysics, PhysicsTendencies
@@ -73,6 +78,10 @@ class EnsembleConfig:
     #: deltas onto ``base``); shorter lists leave trailing members at the
     #: base configuration.
     config_deltas: Optional[Sequence[Dict[str, object]]] = None
+    #: Optional :class:`~repro.resilience.faults.FaultPlan` whose
+    #: member-scoped entries the fleet supervisor injects at each
+    #: member's fault boundary (requires ``base.resilience.enabled``).
+    fault_plan: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.members < 1:
@@ -182,6 +191,13 @@ class BatchedPhysicsDriver:
             suite.compute(c, dt_s) for suite, c in zip(self.suites, cols)
         ]
 
+    def remove_member(self, i: int) -> None:
+        """Dynamic membership: drop member ``i``'s suite slot (the fleet
+        supervisor quarantined it).  The stacked batch simply shrinks —
+        column independence keeps the survivors' results bitwise-equal to
+        a batch that never contained the removed member."""
+        del self.suites[i]
+
 
 class LockstepAtmospheres:
     """Credit-based lockstep stepping of every member's atmosphere.
@@ -231,6 +247,28 @@ class LockstepAtmospheres:
             self._credits[i] += 1
         self.fleet_steps += 1
 
+    # -- dynamic membership (fleet supervisor) -----------------------------
+
+    def remove(self, atm) -> None:
+        """Drop ``atm`` from the lockstep fleet (quarantine): its credits
+        are discarded and the batched stack shrinks with it.  Removing an
+        unknown atmosphere is a no-op."""
+        i = self._index.get(id(atm))
+        if i is None:
+            return
+        del self._atms[i]
+        del self._credits[i]
+        self._index = {id(a): j for j, a in enumerate(self._atms)}
+        self.driver.remove_member(i)
+
+    def clear_credits(self, atm) -> None:
+        """Zero ``atm``'s step credits before a checkpoint rollback: any
+        fleet advance the member received this coupling is invalidated by
+        the restore, and the solo replay re-earns its place."""
+        i = self._index.get(id(atm))
+        if i is not None:
+            self._credits[i] = 0
+
 
 class EnsembleRun:
     """N lockstep coupled experiments sharing warm infrastructure.
@@ -251,6 +289,10 @@ class EnsembleRun:
         self._cache: Optional[CouplerCache] = None
         self.physics_driver: Optional[BatchedPhysicsDriver] = None
         self.lockstep: Optional[LockstepAtmospheres] = None
+        #: Fleet supervisor (fault boundary + quarantine/restart); None
+        #: unless resilience configures a non-default member_policy or a
+        #: fault plan — the default path is byte-identical to pre-PR.
+        self.supervisor: Optional["FleetSupervisor"] = None
         self.n_couplings = 0
         self._initialized = False
 
@@ -272,28 +314,104 @@ class EnsembleRun:
             # GSMaps/Routers, the rest hit the content-addressed table.
             if base.coupler_cache_dir is not None:
                 self._cache = CouplerCache(base.coupler_cache_dir, obs=self.obs)
-            member_cfgs = [cfg.member_config(k) for k in range(cfg.members)]
-            if cfg.batch_physics:
-                self._validate_uniform(member_cfgs)
-            for k, mcfg in enumerate(member_cfgs):
-                member = AP3ESM(
-                    mcfg,
-                    obs=self.obs.prefixed(f"member.{k}"),
-                    space=self._space,
-                    coupler_cache=self._cache,
-                )
-                member.init()
-                self.perturb_member(k, member)
-                self.members.append(member)
-            if cfg.batch_physics:
-                self.physics_driver = BatchedPhysicsDriver(
-                    [m.atm.physics for m in self.members], batch=True, obs=self.obs
-                )
-                self.lockstep = LockstepAtmospheres(
-                    [m.atm for m in self.members], self.physics_driver
-                )
-                self.lockstep.install(self.members)
+            # A later member's config validation or init() failing must
+            # not leak the pool or the members already started.
+            try:
+                member_cfgs = [
+                    self._scoped_config(cfg.member_config(k), k)
+                    for k in range(cfg.members)
+                ]
+                if cfg.batch_physics:
+                    self._validate_uniform(member_cfgs)
+                for k, mcfg in enumerate(member_cfgs):
+                    member = AP3ESM(
+                        mcfg,
+                        obs=self.obs.prefixed(f"member.{k}"),
+                        space=self._space,
+                        coupler_cache=self._cache,
+                    )
+                    self.members.append(member)
+                    member.init()
+                    self.perturb_member(k, member)
+                if cfg.batch_physics:
+                    self.physics_driver = BatchedPhysicsDriver(
+                        [m.atm.physics for m in self.members], batch=True, obs=self.obs
+                    )
+                    self.lockstep = LockstepAtmospheres(
+                        [m.atm for m in self.members], self.physics_driver
+                    )
+                    self.lockstep.install(self.members)
+                self._arm_supervisor()
+            except BaseException:
+                self._teardown_partial()
+                raise
         self._initialized = True
+
+    def _scoped_config(self, mcfg: AP3ESMConfig, k: int) -> AP3ESMConfig:
+        """Scope a member's rotating-checkpoint directory to
+        ``<checkpoint_dir>/member<k>``, so N members sharing one base
+        config never overwrite each other's rotations (and the fleet
+        supervisor can roll each member back independently)."""
+        res = mcfg.resilience
+        if res.enabled and res.checkpoint_dir:
+            mcfg = dataclasses.replace(
+                mcfg,
+                resilience=dataclasses.replace(
+                    res,
+                    checkpoint_dir=str(Path(res.checkpoint_dir) / f"member{k}"),
+                ),
+            )
+        return mcfg
+
+    def _arm_supervisor(self) -> None:
+        """Build the fleet supervisor when resilience asks for one: a
+        non-default ``member_policy`` or a fault plan.  The fail-fast
+        default without a plan arms nothing, keeping ``step_coupling``
+        byte-identical to the pre-supervisor loop."""
+        cfg = self.config
+        res = cfg.base.resilience
+        plan = cfg.fault_plan
+        if plan is not None and not res.enabled:
+            raise ValueError(
+                "fault_plan requires base.resilience.enabled=True (the "
+                "fleet supervisor is resilience machinery)"
+            )
+        if not res.enabled:
+            return
+        if res.member_policy == "fail_fast" and plan is None:
+            return
+        from ..resilience.supervisor import FleetSupervisor, MemberPolicy
+
+        self.supervisor = FleetSupervisor(
+            self.members,
+            MemberPolicy.parse(res.member_policy),
+            restart_max=res.member_restart_max,
+            backoff_s=res.backoff_s,
+            lockstep=self.lockstep,
+            plan=plan,
+            obs=self.obs,
+        )
+
+    def _teardown_partial(self) -> None:
+        """Best-effort cleanup of a failed ``init()``: finalize every
+        member that completed its own init, shut down schedulers of
+        half-built ones, and stop the owned pool."""
+        for m in self.members:
+            try:
+                if getattr(m, "_initialized", False):
+                    m.finalize()
+                else:
+                    scheduler = getattr(m, "scheduler", None)
+                    if scheduler is not None:
+                        scheduler.shutdown()
+            except Exception:
+                pass
+        self.members = []
+        if self._owned_pool is not None:
+            try:
+                self._owned_pool.shutdown()
+            finally:
+                self._owned_pool = None
 
     def _validate_uniform(self, member_cfgs: Sequence[AP3ESMConfig]) -> None:
         """Batched physics stacks columns across members, so the
@@ -334,12 +452,25 @@ class EnsembleRun:
 
     def finalize(self) -> List[Dict[str, Dict[str, float]]]:
         self._check()
-        out = [m.finalize() for m in self.members]
-        if self._owned_pool is not None:
-            st = self._owned_pool.stats
-            self.obs.gauge("pp.procpool.dispatches_total").set(float(st.dispatches))
-            self.obs.gauge("pp.procpool.fallbacks_total").set(float(st.fallbacks))
-            self._owned_pool.shutdown()
+        out: List[Dict[str, Dict[str, float]]] = []
+        first_error: Optional[BaseException] = None
+        try:
+            for m in self.members:
+                try:
+                    out.append(m.finalize())
+                except BaseException as exc:  # keep finalizing the rest
+                    if first_error is None:
+                        first_error = exc
+        finally:
+            # The owned pool is process-level state: it must come down
+            # even when a member's finalize raised.
+            if self._owned_pool is not None:
+                st = self._owned_pool.stats
+                self.obs.gauge("pp.procpool.dispatches_total").set(float(st.dispatches))
+                self.obs.gauge("pp.procpool.fallbacks_total").set(float(st.fallbacks))
+                self._owned_pool.shutdown()
+        if first_error is not None:
+            raise first_error
         return out
 
     def pool_stats(self):
@@ -358,8 +489,11 @@ class EnsembleRun:
         """
         self._check()
         with self.obs.span("ensemble.step", coupling=self.n_couplings):
-            for m in self.members:
-                m.step_coupling()
+            if self.supervisor is not None:
+                self.supervisor.step_fleet()
+            else:
+                for m in self.members:
+                    m.step_coupling()
         self.n_couplings += 1
 
     def run_couplings(self, n: int) -> None:
@@ -372,23 +506,35 @@ class EnsembleRun:
 
     def summary(self) -> Dict[str, object]:
         """Ensemble roll-up: per-member + spread/mean/min-max SYPD, the
-        cross-member surface-temperature spread, and the batched-physics
-        call accounting.  Emits ``ensemble.*`` gauges."""
+        cross-member surface-temperature spread, the batched-physics
+        call accounting, and (when the fleet supervisor is armed) the
+        degraded-fleet section.  SYPD aggregates and the spread cover
+        the *surviving* members; quarantined rows stay listed with
+        ``alive = 0``.  Emits ``ensemble.*`` gauges."""
         self._check()
-        simulated_days = self.members[0].clock.time / 86400.0
+        sup = self.supervisor
+        live: List[Tuple[int, AP3ESM]] = (
+            list(enumerate(self.members)) if sup is None
+            else (sup.alive_members() or list(enumerate(self.members)))
+        )
+        simulated_days = live[0][1].clock.time / 86400.0
         sypds: List[float] = []
         per_member: List[Dict[str, float]] = []
         for k, m in enumerate(self.members):
             rep = get_timing([m.timers], "cpl_run", simulated_days)
-            sypds.append(rep.sypd)
-            per_member.append({
+            row = {
                 "member": float(k),
                 "sypd": rep.sypd,
                 "wall_s": rep.max_seconds,
                 "couplings": float(m.n_couplings),
-            })
-        t_bot = np.stack([m.atm.t_col[:, -1] for m in self.members])
-        spread_t = float(t_bot.std(axis=0).mean()) if len(self.members) > 1 else 0.0
+            }
+            if sup is not None:
+                row["alive"] = 1.0 if sup.alive[k] else 0.0
+            per_member.append(row)
+            if sup is None or sup.alive[k]:
+                sypds.append(rep.sypd)
+        t_bot = np.stack([m.atm.t_col[:, -1] for _, m in live])
+        spread_t = float(t_bot.std(axis=0).mean()) if len(live) > 1 else 0.0
         out: Dict[str, object] = {
             "members": per_member,
             "simulated_days": simulated_days,
@@ -406,6 +552,28 @@ class EnsembleRun:
                 "columns_total": self.physics_driver.columns_total,
                 "fleet_steps": self.lockstep.fleet_steps if self.lockstep else 0,
             }
+        if sup is not None:
+            # Degraded-fleet roll-up: effective ensemble size and the
+            # fleet throughput scaled by the surviving fraction.
+            out["supervisor"] = {
+                "policy": sup.policy.value,
+                "members_total": float(len(self.members)),
+                "alive": float(sup.n_alive),
+                "effective_size": float(sup.n_alive),
+                "quarantined": list(sup.quarantined),
+                "quarantines": float(sup.quarantines),
+                "restarts": float(sup.restarts),
+                "escalations": float(sup.escalations),
+                "replayed_couplings": float(sup.replayed_total),
+                "faults_injected": float(sup.faults_injected),
+                "sypd_degraded": float(np.mean(sypds))
+                * sup.n_alive / len(self.members),
+                "events": [dataclasses.asdict(e) for e in sup.events],
+            }
+            self.obs.gauge("ensemble.supervisor.alive").set(float(sup.n_alive))
+            self.obs.gauge("ensemble.supervisor.sypd_degraded").set(
+                out["supervisor"]["sypd_degraded"]
+            )
         self.obs.gauge("ensemble.sypd.mean").set(out["sypd"]["mean"])
         self.obs.gauge("ensemble.sypd.min").set(out["sypd"]["min"])
         self.obs.gauge("ensemble.sypd.max").set(out["sypd"]["max"])
@@ -418,8 +586,6 @@ class EnsembleRun:
         """Write each member's full coupled restart under
         ``<directory>/member<k>/``."""
         self._check()
-        from pathlib import Path
-
         base = Path(directory)
         for k, m in enumerate(self.members):
             m.save_restart(base / f"member{k}")

@@ -36,16 +36,20 @@ __all__ = [
 def resilience_interventions(
     metrics: Iterable[MetricsRegistry],
 ) -> Dict[str, float]:
-    """Total every nonzero ``resilience.*`` counter across ranks.
+    """Total every nonzero ``resilience.*`` and ``ensemble.supervisor.*``
+    counter across ranks.
 
     The resilience layer counts each intervention (retries, checkpoint
     fallbacks, physics fallbacks, recoveries, replayed work, spares
-    used); a run that needed none returns ``{}``.
+    used), and the fleet supervisor counts its member-level ones
+    (quarantines, restarts, escalations, replayed couplings); a run that
+    needed none returns ``{}``.
     """
     totals: Dict[str, float] = {}
     for reg in metrics:
         for name in reg.names():
-            if not name.startswith("resilience."):
+            if not (name.startswith("resilience.")
+                    or name.startswith("ensemble.supervisor.")):
                 continue
             metric = reg.get(name)
             if getattr(metric, "kind", None) == "counter" and metric.value:

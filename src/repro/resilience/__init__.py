@@ -55,6 +55,13 @@ from .faults import (
 )
 from .guardrail import GuardedPhysics, GuardrailLimits
 from .retry import RetryPolicy, retry_with_backoff
+from .supervisor import (
+    FleetSupervisor,
+    MemberEvent,
+    MemberPolicy,
+    PhysicsBlowupError,
+    classify_failure,
+)
 
 __all__ = [
     "ResilienceConfig",
@@ -83,6 +90,11 @@ __all__ = [
     "GuardrailLimits",
     "RetryPolicy",
     "retry_with_backoff",
+    "FleetSupervisor",
+    "MemberPolicy",
+    "MemberEvent",
+    "PhysicsBlowupError",
+    "classify_failure",
     "run_chaos",
     "ChaosReport",
 ]

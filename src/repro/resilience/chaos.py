@@ -22,6 +22,13 @@ end to end, in (up to) three stages:
    replayed steps re-inject identically and recovery restores exact
    state.
 
+Plans with *member-scoped* faults (a ``member`` key on physics or comm
+entries) additionally run an **ensemble stage**: a batched fleet under
+the :class:`~repro.resilience.supervisor.FleetSupervisor` proves both
+recovery modes — quarantine (survivors bitwise-identical to a fleet
+that never held the faulted members' faults) and checkpoint-rollback
+restart (every member bitwise-identical to its never-faulted twin).
+
 The report aggregates every ``resilience.*`` counter so an experiment
 where nothing was actually injected (or nothing actually recovered) is
 visible, not silently green.
@@ -63,6 +70,12 @@ RESILIENCE_COUNTERS = (
     "resilience.spares_used",
     "resilience.spares_exhausted",
     "resilience.domains_degraded",
+    "ensemble.supervisor.events",
+    "ensemble.supervisor.faults_injected",
+    "ensemble.supervisor.quarantines",
+    "ensemble.supervisor.restarts",
+    "ensemble.supervisor.escalations",
+    "ensemble.supervisor.replayed_couplings",
 )
 
 
@@ -83,19 +96,26 @@ class ChaosReport:
     shrink_mass_drift: Optional[float] = None
     shrink_sypd_degraded: Optional[float] = None
     spare_bitwise_identical: Optional[bool] = None
+    ensemble_members: Optional[int] = None
+    ensemble_quarantined: Optional[List[int]] = None
+    ensemble_quarantine_bitwise: Optional[bool] = None
+    ensemble_restart_bitwise: Optional[bool] = None
     counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def survived(self) -> bool:
         """The run completed every coupling it was asked for (a surfaced
         comm error is still surviving — it is structured, not a hang),
-        the shrink continuation conserved the global invariant, and the
-        spare continuation matched the fault-free twin bit for bit."""
+        the shrink continuation conserved the global invariant, the
+        spare continuation matched the fault-free twin bit for bit, and
+        both ensemble-supervisor modes kept their bitwise contracts."""
         return (
             self.bitwise_identical is not False
             and self.spare_bitwise_identical is not False
             and (self.shrink_mass_drift is None
                  or self.shrink_mass_drift < 1e-9)
+            and self.ensemble_quarantine_bitwise is not False
+            and self.ensemble_restart_bitwise is not False
         )
 
     def summary(self) -> str:
@@ -130,6 +150,15 @@ class ChaosReport:
                     f"  degraded-mode SYPD estimate: "
                     f"{self.shrink_sypd_degraded:.3g}"
                 )
+        if self.ensemble_members is not None:
+            lines.append(
+                f"  ensemble stage ({self.ensemble_members} member(s)): "
+                f"quarantined {self.ensemble_quarantined}; "
+                f"survivors bitwise identical: "
+                f"{self.ensemble_quarantine_bitwise}; "
+                f"restart rejoin bitwise identical: "
+                f"{self.ensemble_restart_bitwise}"
+            )
         for name in RESILIENCE_COUNTERS:
             value = self.counters.get(name, 0.0)
             if value:
@@ -276,6 +305,80 @@ def _kill_stage(plan: FaultPlan, obs: Obs, report: ChaosReport) -> None:
     )
 
 
+# -- stage 1c: ensemble fleet supervisor -----------------------------------
+
+
+def _ensemble_stage(
+    plan: FaultPlan, config, couplings: int, obs: Obs, report: ChaosReport
+) -> None:
+    """Prove BOTH supervisor recovery modes against the plan's
+    member-scoped faults:
+
+    * ``quarantine`` — the targeted members are removed mid-run and every
+      survivor's final state is bitwise-identical to the same member of a
+      fleet that never contained the faults;
+    * ``restart`` — every member (including the faulted ones, rolled back
+      to their rotating ``member<k>/`` checkpoints and replayed) ends
+      bitwise-identical to its never-faulted twin.
+
+    The twin fleet runs the identical configuration with no plan and the
+    default ``fail_fast`` policy — i.e. the pre-supervisor code path.
+    """
+    import tempfile
+
+    from ..esm import EnsembleConfig, EnsembleRun
+
+    members = max(3, max(plan.member_targets()) + 1)
+    targets = set(plan.member_targets())
+    report.ensemble_members = members
+
+    def fleet(policy, with_plan, obs_handle, ckpt_dir):
+        res = dataclasses.replace(
+            config.resilience,
+            enabled=True,
+            guard_physics=False,  # batching needs the unguarded suite
+            recovery_policy="abort",
+            member_policy=policy,
+            checkpoint_every=2 if ckpt_dir else 0,
+            checkpoint_dir=ckpt_dir,
+        )
+        ens = EnsembleRun(EnsembleConfig(
+            base=dataclasses.replace(config, resilience=res),
+            members=members,
+            batch_physics=True,
+            fault_plan=plan if with_plan else None,
+        ), obs=obs_handle)
+        ens.init()
+        ens.run_couplings(couplings)
+        states = [_final_state(m) for m in ens.members]
+        ens.finalize()
+        return ens, states
+
+    twin, twin_states = fleet("fail_fast", False, None, None)
+
+    quarantined, q_states = fleet("quarantine", True, obs, None)
+    report.ensemble_quarantined = list(quarantined.supervisor.quarantined)
+    survivors = [k for k in range(members) if quarantined.supervisor.alive[k]]
+    report.ensemble_quarantine_bitwise = (
+        set(report.ensemble_quarantined) == targets
+        and all(
+            np.array_equal(q_states[k][f], twin_states[k][f])
+            for k in survivors for f in q_states[k]
+        )
+    )
+
+    with tempfile.TemporaryDirectory(prefix="chaos-ensemble-") as d:
+        restarted, r_states = fleet("restart", True, obs, d)
+        report.ensemble_restart_bitwise = (
+            all(restarted.supervisor.alive)
+            and restarted.supervisor.restarts > 0
+            and all(
+                np.array_equal(r_states[k][f], twin_states[k][f])
+                for k in range(members) for f in r_states[k]
+            )
+        )
+
+
 # -- stages 2+3: crash, recover, and the bitwise twin ----------------------
 
 
@@ -395,6 +498,8 @@ def run_chaos(
         _comm_stage(plan, res, obs, report)
     if any(f.kind == "kill" for f in plan.comm):
         _kill_stage(plan, obs, report)
+    if plan.member_scoped:
+        _ensemble_stage(plan, config, couplings, obs, report)
 
     if res.checkpoint_every > 0:
         _crash_stage(plan, config, couplings, obs, report)

@@ -50,6 +50,17 @@ class ResilienceConfig:
     recovery_policy: str = "abort"
     #: Idle ranks pre-allocated for ``spare`` promotion.
     spare_ranks: int = 1
+    #: What the ensemble fleet supervisor does when ONE member's coupling
+    #: step fails: ``fail_fast`` (default, the pre-supervisor behavior —
+    #: the exception propagates and kills the fleet), ``quarantine``
+    #: (remove the member mid-run; survivors continue bitwise-unchanged),
+    #: or ``restart`` (roll the member back to its rotating checkpoint
+    #: and replay it to the fleet clock; escalates to quarantine after
+    #: ``member_restart_max`` restarts).  Ignored outside EnsembleRun.
+    member_policy: str = "fail_fast"
+    #: Restarts one member may consume before the supervisor escalates
+    #: its next failure to quarantine.
+    member_restart_max: int = 2
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 0:
@@ -65,3 +76,10 @@ class ResilienceConfig:
             )
         if self.spare_ranks < 0:
             raise ValueError("spare_ranks must be >= 0")
+        if self.member_policy not in ("fail_fast", "quarantine", "restart"):
+            raise ValueError(
+                f"unknown member_policy {self.member_policy!r}; "
+                "choose from ('fail_fast', 'quarantine', 'restart')"
+            )
+        if self.member_restart_max < 0:
+            raise ValueError("member_restart_max must be >= 0")

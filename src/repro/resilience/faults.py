@@ -21,7 +21,9 @@ imported by the runtime unless a plan is actually installed.
 
 from __future__ import annotations
 
+import itertools
 import json
+import re
 import threading
 import zlib
 from dataclasses import asdict, dataclass, field
@@ -73,6 +75,14 @@ class CommFault:
     send fail for ``transient`` faults (a retry beyond that succeeds).
     ``kill`` faults ignore the edge and kill ``rank`` at its
     ``after_ops``-th comm operation.
+
+    A non-None ``member`` scopes the fault to ONE ensemble member: the
+    fleet supervisor injects it at that member's fault boundary instead
+    of the simulated interconnect — ``match`` then selects the member's
+    coupling index, ``times`` how many consecutive couplings time out
+    (``transient`` surfaces as a comm timeout, ``kill`` as a rank
+    failure; ``drop``/``corrupt`` are payload-level and cannot be member
+    scoped).  Member-less faults keep their exact interconnect meaning.
     """
 
     kind: str
@@ -82,11 +92,18 @@ class CommFault:
     times: int = 1
     rank: int = 0
     after_ops: int = 0
+    member: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _COMM_KINDS:
             raise ValueError(f"unknown comm fault kind {self.kind!r}; "
                              f"choose from {_COMM_KINDS}")
+        _check_member(self.member)
+        if self.member is not None and self.kind not in ("transient", "kill"):
+            raise ValueError(
+                f"member scoping supports only transient and kill comm "
+                f"faults, got {self.kind!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -112,12 +129,19 @@ class PhysicsFault:
 
     Either list explicit ``columns``, or give ``n_columns`` and let the
     plan's seed pick them deterministically.
+
+    A non-None ``member`` scopes the fault to ONE ensemble member: the
+    fleet supervisor corrupts that member's atmosphere state once when
+    its model-step counter reaches ``step`` (member-less faults keep
+    their exact injector meaning, firing in every model the plan is
+    installed into).
     """
 
     kind: str
     step: int
     columns: Tuple[int, ...] = ()
     n_columns: int = 0
+    member: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _PHYS_KINDS:
@@ -125,6 +149,16 @@ class PhysicsFault:
                              f"choose from {_PHYS_KINDS}")
         if not self.columns and self.n_columns <= 0:
             raise ValueError("physics fault needs columns or n_columns > 0")
+        _check_member(self.member)
+
+
+def _check_member(member: Optional[int]) -> None:
+    if member is None:
+        return
+    if not isinstance(member, int) or isinstance(member, bool) or member < 0:
+        raise ValueError(
+            f"member must be a non-negative integer, got {member!r}"
+        )
 
 
 @dataclass
@@ -206,6 +240,43 @@ class FaultPlan:
     def n_faults(self) -> int:
         return len(self.comm) + len(self.checkpoints) + len(self.physics)
 
+    # -- ensemble member scoping -------------------------------------------
+
+    @property
+    def member_scoped(self) -> bool:
+        """True when any comm/physics fault targets one ensemble member."""
+        return any(
+            f.member is not None
+            for f in itertools.chain(self.comm, self.physics)
+        )
+
+    def member_targets(self) -> List[int]:
+        """Sorted member indices any fault in the plan targets."""
+        return sorted({
+            f.member
+            for f in itertools.chain(self.comm, self.physics)
+            if f.member is not None
+        })
+
+    def for_member(self, k: int) -> Tuple[List[PhysicsFault], List["CommFault"]]:
+        """(physics, comm) faults scoped to member ``k``."""
+        return (
+            [f for f in self.physics if f.member == k],
+            [f for f in self.comm if f.member == k],
+        )
+
+    def without_members(self) -> "FaultPlan":
+        """The plan with every member-scoped fault removed — what global
+        (interconnect / per-model) injectors should consume, so a mixed
+        plan's member faults never leak into every member."""
+        return FaultPlan(
+            seed=self.seed,
+            comm=[f for f in self.comm if f.member is None],
+            checkpoints=list(self.checkpoints),
+            physics=[f for f in self.physics if f.member is None],
+            crash_at_coupling=self.crash_at_coupling,
+        )
+
 
 def _parse_entries(section: str, entries, cls, transform=None) -> List:
     """Build fault dataclasses from a plan section, converting every
@@ -249,9 +320,21 @@ def _parse_entries(section: str, entries, cls, transform=None) -> List:
         try:
             out.append(cls(**payload))
         except (ValueError, TypeError) as exc:
-            key = f".{'kind'}" if "kind" in str(exc) else ""
+            key = _error_key(cls, exc)
             raise FaultPlanError(f"{path}{key}", str(exc)) from None
     return out
+
+
+def _error_key(cls, exc: BaseException) -> str:
+    """``.{field}`` for the dataclass field a validation message names
+    (longest word-boundary match wins, so ``n_columns`` beats
+    ``columns``), or ``""`` when no field is identifiable."""
+    msg = str(exc)
+    hits = [
+        f.name for f in dataclass_fields(cls)
+        if re.search(rf"\b{re.escape(f.name)}\b", msg)
+    ]
+    return f".{max(hits, key=len)}" if hits else ""
 
 
 class CommFaultInjector:
@@ -265,15 +348,18 @@ class CommFaultInjector:
 
     def __init__(self, plan: FaultPlan, obs=None) -> None:
         self._plan = plan
+        # Member-scoped faults belong to the fleet supervisor's boundary,
+        # not the interconnect; a mixed plan must not leak them here.
+        self._comm = [f for f in plan.comm if f.member is None]
         self._obs = obs
         self._lock = threading.Lock()
         self._edge_sends: Dict[Tuple[int, int], int] = {}
         self._rank_ops: Dict[int, int] = {}
         self._remaining: Dict[int, int] = {
-            i: f.times for i, f in enumerate(plan.comm) if f.kind == "transient"
+            i: f.times for i, f in enumerate(self._comm) if f.kind == "transient"
         }
         self._fired: set = set()
-        self._kills = {f.rank: f.after_ops for f in plan.comm if f.kind == "kill"}
+        self._kills = {f.rank: f.after_ops for f in self._comm if f.kind == "kill"}
         self.injected = 0
 
     def _count(self) -> None:
@@ -299,7 +385,7 @@ class CommFaultInjector:
             self._check_kill(src, f"send(dst={dst}, tag={tag})")
             edge = (src, dst)
             seq = self._edge_sends.get(edge, 0)
-            for i, f in enumerate(self._plan.comm):
+            for i, f in enumerate(self._comm):
                 if f.kind == "kill" or (f.src, f.dst) != edge or f.match != seq:
                     continue
                 if f.kind == "transient":
@@ -351,6 +437,10 @@ class PhysicsFaultInjector:
     def __init__(self, plan: FaultPlan, obs=None) -> None:
         self._by_step: Dict[int, List[PhysicsFault]] = {}
         for f in plan.physics:
+            if f.member is not None:
+                # Member-scoped faults fire at the fleet supervisor's
+                # boundary, never in a per-model injector.
+                continue
             self._by_step.setdefault(f.step, []).append(f)
         self._seed = plan.seed
         self._obs = obs
