@@ -19,6 +19,12 @@ Commands
 ``perf-gate``
     Compare a benchmark's ``BENCH_*.json`` against a committed baseline
     (the CI regression gate; wall-time metrics are informational only).
+``submit``
+    Journal one scenario job (config delta + perturbed IC + coupling
+    budget) into a durable job store.
+``run-jobs``
+    Drive a job store's queued jobs to completion with the crash-safe
+    scenario service (recovers jobs a killed service left running).
 
 The parser is assembled from per-subcommand ``_build_*`` functions that
 share the ``_add_*_group`` argument-group helpers, so ``run-coupled``
@@ -176,6 +182,88 @@ def _add_supervisor_group(p: argparse.ArgumentParser) -> None:
                      help="checkpoints kept per member (default 3)")
 
 
+def _add_store_group(p: argparse.ArgumentParser) -> None:
+    svc = p.add_argument_group("job store", "the durable scenario job journal")
+    svc.add_argument("--store", required=True, metavar="DIR",
+                     help="job store directory (holds the CRC'd append-only "
+                          "journal; replaying it reconstructs the job table "
+                          "after any crash)")
+
+
+def _add_job_spec_group(p: argparse.ArgumentParser) -> None:
+    job = p.add_argument_group("job spec", "what one scenario job runs")
+    job.add_argument("--job-id", required=True,
+                     help="unique job name ([A-Za-z0-9._-]+)")
+    job.add_argument("--couplings", type=int, default=2,
+                     help="coupling steps to run (default 2)")
+    job.add_argument("--members", type=int, default=1, metavar="N",
+                     help="1 = solo coupled run (default); > 1 = an "
+                          "ensemble of N members")
+    job.add_argument("--delta", action="append", default=[], metavar="KEY=VAL",
+                     help="AP3ESMConfig override (repeatable); validity is "
+                          "checked at RUN time, so a bad delta burns the "
+                          "job's attempts through the circuit breaker")
+    job.add_argument("--perturb-seed", type=int, default=0,
+                     help="seed for the deterministic IC perturbation stream")
+    job.add_argument("--perturb-amplitude", type=float, default=0.0,
+                     metavar="K",
+                     help="Gaussian temperature perturbation amplitude in K "
+                          "(default 0: unperturbed)")
+    job.add_argument("--batch-physics", action="store_true",
+                     help="stack member physics into one suite call "
+                          "(ensemble jobs only)")
+    job.add_argument("--max-attempts", type=int, default=3, metavar="K",
+                     help="run attempts before the circuit breaker "
+                          "quarantines the spec (default 3)")
+    job.add_argument("--deadline-s", type=float, default=None, metavar="T",
+                     help="per-attempt wall-clock deadline in seconds "
+                          "(default: unbounded)")
+
+
+def _add_scheduler_group(p: argparse.ArgumentParser) -> None:
+    sched = p.add_argument_group(
+        "scheduler", "worker pool, liveness, retry, and chaos"
+    )
+    sched.add_argument("--work-dir", required=True, metavar="DIR",
+                       help="per-job checkpoint rotations and published "
+                            "restart sets live under <DIR>/jobs/<id>/")
+    sched.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="pool threads with --threads (default 2; "
+                            "ignored inline)")
+    sched.add_argument("--threads", action="store_true",
+                       help="fan attempts across a thread pool instead of "
+                            "the deterministic inline loop")
+    sched.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="admission limit on queued + running jobs "
+                            "(default 64)")
+    sched.add_argument("--heartbeat-timeout-s", type=float, default=30.0,
+                       metavar="T",
+                       help="reap (requeue) a running job whose worker has "
+                            "not heartbeat within T seconds (default 30)")
+    sched.add_argument("--checkpoint-every", type=int, default=2, metavar="N",
+                       help="rotating-checkpoint cadence forced onto every "
+                            "job (default 2 couplings)")
+    sched.add_argument("--checkpoint-keep", type=int, default=3,
+                       help="checkpoints kept per job rotation (default 3)")
+    sched.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                       help="inject this FaultPlan's worker_kill faults "
+                            "(service entries) into the pool")
+
+
+def _add_base_model_group(p: argparse.ArgumentParser) -> None:
+    base = p.add_argument_group(
+        "base model", "the configuration job deltas apply onto"
+    )
+    base.add_argument("--atm-level", type=int, default=3)
+    base.add_argument("--ocn-nlon", type=int, default=64)
+    base.add_argument("--ocn-nlat", type=int, default=48)
+    base.add_argument("--ocn-levels", type=int, default=8)
+    base.add_argument("--precision", choices=("fp64", "mixed"),
+                      default="fp64",
+                      help="base storage precision (jobs may override via "
+                           "--delta precision=...)")
+
+
 # ---------------------------------------------------------------------------
 # Per-subcommand builders
 
@@ -244,6 +332,25 @@ def _build_perf_gate(sub) -> None:
                     help="only fail on increases, not improvements")
 
 
+def _build_submit(sub) -> None:
+    sb = sub.add_parser(
+        "submit",
+        help="journal one scenario job into a durable job store",
+    )
+    _add_store_group(sb)
+    _add_job_spec_group(sb)
+
+
+def _build_run_jobs(sub) -> None:
+    rj = sub.add_parser(
+        "run-jobs",
+        help="drive a job store's queue with the crash-safe service",
+    )
+    _add_store_group(rj)
+    _add_scheduler_group(rj)
+    _add_base_model_group(rj)
+
+
 _BUILDERS = (
     _build_info,
     _build_run_coupled,
@@ -252,6 +359,8 @@ _BUILDERS = (
     _build_scaling,
     _build_train_ai,
     _build_perf_gate,
+    _build_submit,
+    _build_run_jobs,
 )
 
 
@@ -622,6 +731,117 @@ def _cmd_perf_gate(args) -> int:
     return 0 if comparison.ok else 1
 
 
+def _coerce_delta_value(value: str):
+    """KEY=VAL values arrive as strings; coerce the obvious scalars so
+    ``--delta ocn_nlon=32`` really overrides an int field."""
+    low = value.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def _parse_delta(pairs) -> dict:
+    delta = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--delta expects KEY=VALUE, got {pair!r}")
+        key, value = pair.split("=", 1)
+        delta[key] = _coerce_delta_value(value)
+    return delta
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import JobSpec, JobStore
+
+    try:
+        spec = JobSpec(
+            job_id=args.job_id,
+            couplings=args.couplings,
+            config_delta=_parse_delta(args.delta),
+            members=args.members,
+            perturb_seed=args.perturb_seed,
+            perturb_amplitude=args.perturb_amplitude,
+            batch_physics=args.batch_physics,
+            max_attempts=args.max_attempts,
+            deadline_s=args.deadline_s,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid job spec: {exc}") from None
+    with JobStore(args.store) as store:
+        store.submit(spec)
+        counts = store.counts()
+    print(f"job {spec.job_id!r} queued ({spec.couplings} coupling(s), "
+          f"{spec.members} member(s), "
+          f"{len(spec.config_delta)} delta field(s))")
+    print("store: " + ", ".join(
+        f"{n} {state}" for state, n in sorted(counts.items())
+    ))
+    return 0
+
+
+def _cmd_run_jobs(args: argparse.Namespace) -> int:
+    from repro.esm import AP3ESMConfig
+    from repro.serve import JobScheduler, JobStore, ServeConfig
+
+    plan = None
+    if args.faults:
+        from repro.resilience import FaultPlan
+
+        plan = FaultPlan.from_file(args.faults)
+    base = AP3ESMConfig(
+        atm_level=args.atm_level, ocn_nlon=args.ocn_nlon,
+        ocn_nlat=args.ocn_nlat, ocn_levels=args.ocn_levels,
+        precision=args.precision,
+    )
+    config = ServeConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        heartbeat_timeout_s=args.heartbeat_timeout_s,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
+        mode="threads" if args.threads else "inline",
+    )
+
+    def stream(ev: dict) -> None:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(ev.items())
+            if k not in ("kind", "job_id") and v is not None
+        )
+        print(f"[{ev['kind']}] {ev['job_id']}" + (f" ({detail})" if detail else ""))
+
+    with JobStore(args.store) as store:
+        sched = JobScheduler(
+            store, base, args.work_dir, config,
+            fault_plan=plan, on_event=stream,
+        )
+        recovered = sched.recover()
+        if recovered["requeued"]:
+            print(f"recovered: requeued {recovered['requeued']} job(s) a "
+                  "previous service left running")
+        if config.mode == "threads":
+            sched.start()
+            counts = sched.join()
+        else:
+            counts = sched.run_until_idle()
+        rep = sched.report()
+    print("final: " + (", ".join(
+        f"{n} {state}" for state, n in sorted(counts.items())
+    ) or "empty store"))
+    for job_id, row in rep["jobs"].items():
+        line = (f"  {job_id}: {row['state']} "
+                f"({row['attempts']} attempt(s), {row['failures']} failure(s))")
+        if row["error"] and row["state"] != "completed":
+            line += f" — {row['error']}"
+        print(line)
+    bad = counts.get("failed", 0) + counts.get("quarantined", 0)
+    return 1 if bad else 0
+
+
 _COMMANDS = {
     "run-coupled": _cmd_run_coupled,
     "run-ensemble": _cmd_run_ensemble,
@@ -629,6 +849,8 @@ _COMMANDS = {
     "scaling": _cmd_scaling,
     "train-ai": _cmd_train_ai,
     "perf-gate": _cmd_perf_gate,
+    "submit": _cmd_submit,
+    "run-jobs": _cmd_run_jobs,
 }
 
 

@@ -580,6 +580,76 @@ class EnsembleRun:
         self.obs.gauge("ensemble.spread.t_bot").set(spread_t)
         return out
 
+    # -- fleet-coherent checkpoints (scenario service) ---------------------
+
+    def checkpoint(self) -> List[Path]:
+        """Write one rotating checkpoint per member, all at the current
+        fleet coupling (requires ``base.resilience.checkpoint_*`` — the
+        per-member rotations live under ``<dir>/member<k>`` via
+        :meth:`_scoped_config`).  Returns the published paths."""
+        self._check()
+        return [m.checkpoint() for m in self.members]
+
+    def has_checkpoint(self) -> bool:
+        """True when EVERY member's rotation holds at least one
+        published checkpoint (the cheap "can we resume?" probe)."""
+        self._check()
+        return all(
+            m.checkpoints is not None and m.checkpoints.latest() is not None
+            for m in self.members
+        )
+
+    def recover(self) -> int:
+        """Fleet-coherent restore: every member rolls back to the newest
+        coupling for which ALL members hold a *valid* checkpoint, so the
+        restored fleet is clock-aligned (members checkpoint at one
+        cadence, so a common step always exists while any rotation is
+        non-empty).  Lockstep credits are cleared — any fleet advance a
+        member received this coupling is invalidated by the restore.
+        Returns the coupling restored to."""
+        from ..resilience.errors import CheckpointError
+
+        self._check()
+        common: Optional[set] = None
+        for m in self.members:
+            if m.checkpoints is None:
+                raise RuntimeError(
+                    "ensemble recovery needs per-member checkpoints "
+                    "(set base.resilience.checkpoint_*)"
+                )
+            steps = set()
+            for ckpt in m.checkpoints.checkpoints():
+                try:
+                    m.checkpoints.validate(ckpt)
+                except CheckpointError:
+                    if self.obs is not None:
+                        self.obs.counter(
+                            "resilience.checkpoint_fallbacks"
+                        ).inc()
+                    continue
+                steps.add(m.checkpoints.step_of(ckpt))
+            common = steps if common is None else (common & steps)
+        if not common:
+            raise CheckpointError(
+                "no coupling step has a valid checkpoint in every member",
+                reason=f"{len(self.members)} member rotation(s) share no step",
+            )
+        step = max(common)
+        for m in self.members:
+            path = next(
+                c for c in m.checkpoints.checkpoints()
+                if m.checkpoints.step_of(c) == step
+            )
+            m._wait_ocean()
+            m.load_restart(path)
+            if self.lockstep is not None:
+                self.lockstep.clear_credits(m.atm)
+        self.n_couplings = step
+        if self.obs is not None:
+            self.obs.counter("resilience.restores").inc()
+            self.obs.gauge("ensemble.recovered_to").set(float(step))
+        return step
+
     # -- restart I/O -------------------------------------------------------
 
     def save_restarts(self, directory) -> None:

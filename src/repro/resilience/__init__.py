@@ -42,6 +42,7 @@ from .errors import (
     ResilienceError,
     RestartError,
     WatchdogTimeout,
+    WorkerKilled,
 )
 from .faults import (
     CheckpointFault,
@@ -51,6 +52,8 @@ from .faults import (
     FaultPlanError,
     PhysicsFault,
     PhysicsFaultInjector,
+    ServiceFault,
+    ServiceFaultInjector,
     corrupt_checkpoint,
 )
 from .guardrail import GuardedPhysics, GuardrailLimits
@@ -82,8 +85,11 @@ __all__ = [
     "CommFault",
     "CheckpointFault",
     "PhysicsFault",
+    "ServiceFault",
     "CommFaultInjector",
     "PhysicsFaultInjector",
+    "ServiceFaultInjector",
+    "WorkerKilled",
     "corrupt_checkpoint",
     "CheckpointManager",
     "GuardedPhysics",

@@ -29,6 +29,14 @@ recovery modes — quarantine (survivors bitwise-identical to a fleet
 that never held the faulted members' faults) and checkpoint-rollback
 restart (every member bitwise-identical to its never-faulted twin).
 
+Plans with *service* faults (``worker_kill`` entries) run a **service
+stage**: the :mod:`repro.serve` scenario job service is killed between
+EVERY pair of journal records (both instants around each append) and
+restarted; every kill point must recover — journal replay + checkpoint
+resume + publish adoption — with each completed job's restart set
+bitwise-identical to an uninterrupted twin's and exactly one completed
+record per job in the whole journal history.
+
 The report aggregates every ``resilience.*`` counter so an experiment
 where nothing was actually injected (or nothing actually recovered) is
 visible, not silently green.
@@ -76,6 +84,22 @@ RESILIENCE_COUNTERS = (
     "ensemble.supervisor.restarts",
     "ensemble.supervisor.escalations",
     "ensemble.supervisor.replayed_couplings",
+    "serve.submitted",
+    "serve.dispatched",
+    "serve.completed",
+    "serve.interruptions",
+    "serve.requeued",
+    "serve.retries",
+    "serve.reaped",
+    "serve.rejected",
+    "serve.failed",
+    "serve.quarantined",
+    "serve.adopted",
+    "serve.resumes",
+    "serve.published",
+    "serve.journal.records",
+    "serve.journal.replayed_records",
+    "serve.journal.rotations",
 )
 
 
@@ -100,6 +124,11 @@ class ChaosReport:
     ensemble_quarantined: Optional[List[int]] = None
     ensemble_quarantine_bitwise: Optional[bool] = None
     ensemble_restart_bitwise: Optional[bool] = None
+    service_jobs: Optional[int] = None
+    service_journal_records: Optional[int] = None
+    service_crash_points: Optional[int] = None
+    service_bitwise: Optional[bool] = None
+    service_exactly_once: Optional[bool] = None
     counters: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -116,6 +145,8 @@ class ChaosReport:
                  or self.shrink_mass_drift < 1e-9)
             and self.ensemble_quarantine_bitwise is not False
             and self.ensemble_restart_bitwise is not False
+            and self.service_bitwise is not False
+            and self.service_exactly_once is not False
         )
 
     def summary(self) -> str:
@@ -158,6 +189,15 @@ class ChaosReport:
                 f"{self.ensemble_quarantine_bitwise}; "
                 f"restart rejoin bitwise identical: "
                 f"{self.ensemble_restart_bitwise}"
+            )
+        if self.service_jobs is not None:
+            lines.append(
+                f"  service stage ({self.service_jobs} job(s), "
+                f"{self.service_journal_records} journal record(s)): "
+                f"killed at {self.service_crash_points} inter-record "
+                f"instant(s); completed restarts bitwise identical: "
+                f"{self.service_bitwise}; every job completed exactly "
+                f"once: {self.service_exactly_once}"
             )
         for name in RESILIENCE_COUNTERS:
             value = self.counters.get(name, 0.0)
@@ -379,6 +419,147 @@ def _ensemble_stage(
         )
 
 
+# -- stage 1d: scenario-service kill sweep ---------------------------------
+
+
+def _dirs_bitwise_equal(a, b) -> bool:
+    from pathlib import Path
+
+    a, b = Path(a), Path(b)
+    files_a = sorted(p.relative_to(a) for p in a.rglob("*") if p.is_file())
+    files_b = sorted(p.relative_to(b) for p in b.rglob("*") if p.is_file())
+    if files_a != files_b:
+        return False
+    return all((a / rel).read_bytes() == (b / rel).read_bytes()
+               for rel in files_a)
+
+
+def _completed_record_counts(journal_path) -> Dict[str, int]:
+    """Per-job count of ``completed`` state records in a journal — the
+    exactly-once ledger (adoption and replay must never double it)."""
+    import json
+
+    counts: Dict[str, int] = {}
+    for line in journal_path.read_text().splitlines():
+        try:
+            body = json.loads(line)["body"]
+        except (ValueError, KeyError):
+            continue
+        if body.get("event") == "state" and body.get("state") == "completed":
+            counts[body["job_id"]] = counts.get(body["job_id"], 0) + 1
+    return counts
+
+
+def _service_stage(
+    plan: FaultPlan, config, couplings: int, obs: Obs, report: ChaosReport
+) -> None:
+    """The scenario-service kill sweep: SIGKILL between EVERY pair of
+    journal records, restart, and demand bitwise + exactly-once recovery.
+
+    Three service runs anchor the sweep:
+
+    1. a **twin** service (no faults, no crashes) publishes the
+       reference restart set for every job;
+    2. a **reference** service runs the plan's ``worker_kill`` faults
+       straight through, measuring the journal length R (its published
+       results must already match the twin — interruption recovery is
+       bitwise);
+    3. for every append index k < R and both instants around it
+       (``after`` the k-th record hit disk, and ``before`` the next one
+       does — i.e. after the inter-record work: checkpoints, publishes),
+       a fresh service runs with a crash hook at that instant, is
+       "killed", and a restarted service (journal replay + checkpoint
+       resume + publish adoption) must drain the queue with every job's
+       restart set bitwise-identical to the twin's and exactly ONE
+       completed record per job in the whole journal history.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..serve import JobScheduler, JobSpec, JobStore, ServeConfig, ServiceCrash
+
+    res = config.resilience
+    every = res.checkpoint_every if res.checkpoint_every > 0 else 2
+    specs = [
+        JobSpec("job0", couplings=couplings, perturb_amplitude=1e-3),
+        JobSpec("job1", couplings=couplings, perturb_seed=1,
+                perturb_amplitude=1e-3),
+    ]
+    report.service_jobs = len(specs)
+    scfg = ServeConfig(checkpoint_every=every)
+
+    def service_life(root: Path, crash_at=None, with_faults=True,
+                     count_obs=None):
+        """One service process lifetime; returns (scheduler, crashed)."""
+        store = JobStore(root / "store", crash_at=crash_at, obs=count_obs)
+        try:
+            sched = JobScheduler(
+                store, config, root / "work", scfg,
+                fault_plan=plan if with_faults else None, obs=count_obs,
+            )
+            sched.recover()
+            for spec in specs:
+                if spec.job_id not in store.jobs:
+                    sched.submit(spec)
+            sched.run_until_idle()
+            return sched, False
+        except ServiceCrash:
+            return None, True
+        finally:
+            # Stand-in for kernel fd cleanup on process death: the flock
+            # is released, nothing is flushed or written.
+            store.close()
+
+    with tempfile.TemporaryDirectory(prefix="chaos-serve-") as d:
+        base = Path(d)
+        twin_root = base / "twin"
+        twin, _ = service_life(twin_root, with_faults=False)
+        twin_dirs = {s.job_id: twin.runner.published_dir(s.job_id)
+                     for s in specs}
+
+        ref_root = base / "ref"
+        ref, _ = service_life(ref_root, count_obs=obs)
+        records = ref.store.appends
+        report.service_journal_records = records
+        bitwise = all(
+            _dirs_bitwise_equal(ref.runner.published_dir(s.job_id),
+                                twin_dirs[s.job_id])
+            for s in specs
+        )
+
+        crash_points = 0
+        exactly_once = True
+        for k in range(records):
+            for phase in ("after", "before"):
+                root = base / f"kill-{phase}-{k}"
+                first, crashed = service_life(
+                    root, crash_at=(phase, k), count_obs=obs
+                )
+                if crashed:
+                    crash_points += 1
+                    final, crashed_again = service_life(root, count_obs=obs)
+                    if crashed_again:  # a restart must never re-crash
+                        bitwise = False
+                        continue
+                else:
+                    final = first
+                if final.store.counts().get("completed", 0) != len(specs):
+                    bitwise = False  # a job was lost
+                    continue
+                bitwise = bitwise and all(
+                    _dirs_bitwise_equal(final.runner.published_dir(s.job_id),
+                                        twin_dirs[s.job_id])
+                    for s in specs
+                )
+                done = _completed_record_counts(final.store.path)
+                exactly_once = exactly_once and all(
+                    done.get(s.job_id) == 1 for s in specs
+                )
+        report.service_crash_points = crash_points
+        report.service_bitwise = bitwise
+        report.service_exactly_once = exactly_once
+
+
 # -- stages 2+3: crash, recover, and the bitwise twin ----------------------
 
 
@@ -500,10 +681,17 @@ def run_chaos(
         _kill_stage(plan, obs, report)
     if plan.member_scoped:
         _ensemble_stage(plan, config, couplings, obs, report)
+    if plan.service:
+        _service_stage(plan, config, couplings, obs, report)
 
-    if res.checkpoint_every > 0:
+    # The solo crash/recover stage is skipped for service-only plans:
+    # the service stage already drives (and kills) whole coupled runs.
+    solo_relevant = bool(
+        plan.comm or plan.physics or plan.checkpoints or not plan.service
+    )
+    if res.checkpoint_every > 0 and solo_relevant:
         _crash_stage(plan, config, couplings, obs, report)
-    else:
+    elif solo_relevant:
         model = _build_model(config, obs, plan, count_obs=obs)
         model.run_couplings(couplings)
         model.scheduler.shutdown()

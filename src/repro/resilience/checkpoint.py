@@ -15,10 +15,15 @@ fallback.
 * **Rotating**: the newest ``keep`` checkpoints survive; restore walks
   newest → oldest, skipping invalid sets and counting each skip as a
   ``resilience.checkpoint_fallbacks`` intervention.
+* **Exclusive**: publish and prune hold an inter-process ``flock`` on a
+  ``.lock`` file in the root, so two writers sharing one rotation (two
+  service jobs, or a worker racing the reaper that requeued it) cannot
+  interleave ``os.rename``/``rmtree`` and shred each other's sets.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -27,12 +32,18 @@ import zlib
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+try:  # POSIX; the lock degrades to a no-op where flock is unavailable
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 from .errors import CheckpointError
 
 __all__ = ["CheckpointManager"]
 
 _MANIFEST = "checkpoint.json"
 _PREFIX = "ckpt-"
+_LOCKFILE = ".lock"
 _VERSION = 1
 
 
@@ -78,26 +89,47 @@ class CheckpointManager:
         )
         return self.to_file(saver, step)
 
+    @contextlib.contextmanager
+    def _locked(self):
+        """Inter-process exclusive lock on the rotation (flock on
+        ``<root>/.lock``).  Held across stage → manifest → publish →
+        prune so concurrent writers serialize whole rotations; a holder
+        dying (SIGKILL) releases the flock with its fd, so a crashed
+        writer never wedges the rotation."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        fd = os.open(self.root / _LOCKFILE, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     def _save(self, saver: Callable[[Path], None], step: int) -> Path:
         final = self.root / f"{_PREFIX}{step:08d}"
         staging = self.root / f".tmp-{final.name}"
-        if staging.exists():
-            shutil.rmtree(staging)
-        if final.exists():  # re-checkpoint of the same step: replace it
-            shutil.rmtree(final)
-        staging.mkdir(parents=True)
-        saver(staging)
-        files: Dict[str, Dict[str, int]] = {}
-        for f in sorted(p for p in staging.rglob("*") if p.is_file()):
-            rel = f.relative_to(staging).as_posix()
-            data = f.read_bytes()
-            files[rel] = {"size": len(data), "crc32": zlib.crc32(data)}
-        manifest = {"version": _VERSION, "step": int(step), "files": files}
-        tmp_manifest = staging / (_MANIFEST + ".tmp")
-        tmp_manifest.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        os.replace(tmp_manifest, staging / _MANIFEST)
-        os.rename(staging, final)
-        self._prune()
+        with self._locked():
+            if staging.exists():
+                shutil.rmtree(staging)
+            if final.exists():  # re-checkpoint of the same step: replace it
+                shutil.rmtree(final)
+            staging.mkdir(parents=True)
+            saver(staging)
+            files: Dict[str, Dict[str, int]] = {}
+            for f in sorted(p for p in staging.rglob("*") if p.is_file()):
+                rel = f.relative_to(staging).as_posix()
+                data = f.read_bytes()
+                files[rel] = {"size": len(data), "crc32": zlib.crc32(data)}
+            manifest = {"version": _VERSION, "step": int(step), "files": files}
+            tmp_manifest = staging / (_MANIFEST + ".tmp")
+            tmp_manifest.write_text(
+                json.dumps(manifest, indent=2, sort_keys=True)
+            )
+            os.replace(tmp_manifest, staging / _MANIFEST)
+            os.rename(staging, final)
+            self._prune()
         return final
 
     def _prune(self) -> None:
@@ -113,6 +145,14 @@ class CheckpointManager:
     def checkpoints(self) -> List[Path]:
         """Published checkpoints, oldest → newest."""
         return sorted(self.root.glob(f"{_PREFIX}*"))
+
+    def latest(self) -> Optional[Path]:
+        """Newest *published* checkpoint (no validation; use
+        :meth:`latest_valid` to also prove the bytes), or None when the
+        rotation is empty — the cheap "is there anything to resume
+        from?" probe services ask before building a model."""
+        ckpts = self.checkpoints()
+        return ckpts[-1] if ckpts else None
 
     def step_of(self, path: Union[str, Path]) -> int:
         return int(Path(path).name[len(_PREFIX):])

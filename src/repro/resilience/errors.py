@@ -21,6 +21,7 @@ __all__ = [
     "ResilienceError",
     "CheckpointError",
     "WatchdogTimeout",
+    "WorkerKilled",
     "RestartError",
     "CommTransientError",
     "CommTimeoutError",
@@ -45,6 +46,21 @@ class CheckpointError(ResilienceError):
         super().__init__(detail)
         self.path = None if path is None else str(path)
         self.reason = reason
+
+
+class WorkerKilled(ResilienceError):
+    """A scenario-service worker died (simulated SIGKILL) while driving
+    a job — the service-level analogue of :class:`RankFailure`.  The
+    scheduler's reaper classifies it as an *interruption* (requeue and
+    resume from the job's newest checkpoint), never as a job failure."""
+
+    def __init__(self, job_id: str, coupling: int) -> None:
+        super().__init__(
+            f"worker killed while driving job {job_id!r} at coupling "
+            f"{coupling}"
+        )
+        self.job_id = job_id
+        self.coupling = coupling
 
 
 class WatchdogTimeout(ResilienceError):

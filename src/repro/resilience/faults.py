@@ -13,7 +13,12 @@ fault a chaos run will inject:
   (AI) physics output by :class:`PhysicsFaultInjector`, keyed on the
   atmosphere *model step* so a replay after checkpoint recovery
   re-injects the identical faults (the property the chaos harness's
-  bitwise comparison relies on).
+  bitwise comparison relies on);
+* **service faults** — ``worker_kill`` entries, coupling-keyed and
+  job-scoped (the service-layer analogue of PR 8's ``member`` key),
+  executed by :class:`ServiceFaultInjector` inside the
+  :mod:`repro.serve` job scheduler: the targeted job's worker dies
+  mid-run and the reaper must requeue and resume it.
 
 Everything is deterministic via :mod:`repro.utils.rng`; nothing here is
 imported by the runtime unless a plan is actually installed.
@@ -35,15 +40,18 @@ import numpy as np
 
 from ..parallel.comm import CommTransientError, RankFailure
 from ..utils.rng import seeded
+from .errors import WorkerKilled
 
 __all__ = [
     "CommFault",
     "CheckpointFault",
     "PhysicsFault",
+    "ServiceFault",
     "FaultPlan",
     "FaultPlanError",
     "CommFaultInjector",
     "PhysicsFaultInjector",
+    "ServiceFaultInjector",
     "corrupt_checkpoint",
 ]
 
@@ -64,6 +72,7 @@ class FaultPlanError(ValueError):
 _COMM_KINDS = ("transient", "drop", "corrupt", "kill")
 _CKPT_KINDS = ("bitflip", "truncate", "stale")
 _PHYS_KINDS = ("nan", "blowup")
+_SERVICE_KINDS = ("worker_kill",)
 
 
 @dataclass(frozen=True)
@@ -152,6 +161,35 @@ class PhysicsFault:
         _check_member(self.member)
 
 
+@dataclass(frozen=True)
+class ServiceFault:
+    """Kill one scenario-service worker mid-job (simulated SIGKILL).
+
+    Coupling-keyed and job-scoped, mirroring PR 8's member-scoped
+    faults: the fault fires when the job named by ``job`` reaches
+    coupling index ``coupling`` (``job=None`` scopes it to *every*
+    job).  One-shot per scheduler run — after the reaper requeues the
+    job and the resumed attempt replays the same coupling, the fault
+    does not re-fire, so every chaos experiment terminates.
+    """
+
+    kind: str
+    coupling: int = 0
+    job: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SERVICE_KINDS:
+            raise ValueError(f"unknown service fault kind {self.kind!r}; "
+                             f"choose from {_SERVICE_KINDS}")
+        if not isinstance(self.coupling, int) or isinstance(self.coupling, bool) \
+                or self.coupling < 0:
+            raise ValueError(
+                f"coupling must be a non-negative integer, got {self.coupling!r}"
+            )
+        if self.job is not None and not isinstance(self.job, str):
+            raise ValueError(f"job must be a string or null, got {self.job!r}")
+
+
 def _check_member(member: Optional[int]) -> None:
     if member is None:
         return
@@ -169,6 +207,8 @@ class FaultPlan:
     comm: List[CommFault] = field(default_factory=list)
     checkpoints: List[CheckpointFault] = field(default_factory=list)
     physics: List[PhysicsFault] = field(default_factory=list)
+    #: Service-level faults (``worker_kill``) the job scheduler injects.
+    service: List[ServiceFault] = field(default_factory=list)
     #: Coupling index at which the chaos harness simulates a crash
     #: (None = let the harness pick one past the first checkpoint).
     crash_at_coupling: Optional[int] = None
@@ -179,7 +219,8 @@ class FaultPlan:
     def from_dict(data: Dict) -> "FaultPlan":
         if not isinstance(data, dict):
             raise FaultPlanError("$", f"plan must be an object, got {type(data).__name__}")
-        known = {"seed", "comm", "checkpoints", "physics", "crash_at_coupling"}
+        known = {"seed", "comm", "checkpoints", "physics", "service",
+                 "crash_at_coupling"}
         unknown = set(data) - known
         if unknown:
             raise FaultPlanError(
@@ -203,6 +244,9 @@ class FaultPlan:
             physics=_parse_entries(
                 "physics", data.get("physics", []), PhysicsFault,
                 transform=lambda f: {**f, "columns": tuple(f.get("columns", ()))},
+            ),
+            service=_parse_entries(
+                "service", data.get("service", []), ServiceFault
             ),
             crash_at_coupling=crash,
         )
@@ -238,7 +282,8 @@ class FaultPlan:
 
     @property
     def n_faults(self) -> int:
-        return len(self.comm) + len(self.checkpoints) + len(self.physics)
+        return (len(self.comm) + len(self.checkpoints) + len(self.physics)
+                + len(self.service))
 
     # -- ensemble member scoping -------------------------------------------
 
@@ -274,6 +319,7 @@ class FaultPlan:
             comm=[f for f in self.comm if f.member is None],
             checkpoints=list(self.checkpoints),
             physics=[f for f in self.physics if f.member is None],
+            service=list(self.service),
             crash_at_coupling=self.crash_at_coupling,
         )
 
@@ -473,6 +519,43 @@ class PhysicsFaultInjector:
         if self._obs is not None and hit:
             self._obs.counter("resilience.faults_injected").inc(len(faults))
         return len(hit)
+
+
+class ServiceFaultInjector:
+    """Executes a plan's ``worker_kill`` faults inside the job scheduler.
+
+    The worker driving a job calls :meth:`check` once per coupling
+    (before stepping); a matching fault raises
+    :class:`~repro.resilience.errors.WorkerKilled`, which the scheduler
+    classifies as an interruption — requeue and resume, never a job
+    failure.  One-shot per injector instance: the resumed attempt
+    replays the same coupling without re-dying, so chaos runs terminate.
+    Thread-safe (scheduler workers may be threads).
+    """
+
+    def __init__(self, plan: FaultPlan, obs=None) -> None:
+        self._faults = list(plan.service)
+        self._fired: set = set()
+        self._obs = obs
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def check(self, job_id: str, coupling: int) -> None:
+        """Raise :class:`WorkerKilled` when a not-yet-fired fault
+        targets ``job_id`` (or every job) at this coupling."""
+        with self._lock:
+            for i, f in enumerate(self._faults):
+                if i in self._fired:
+                    continue
+                if f.job is not None and f.job != job_id:
+                    continue
+                if f.coupling != coupling:
+                    continue
+                self._fired.add(i)
+                self.injected += 1
+                if self._obs is not None:
+                    self._obs.counter("resilience.faults_injected").inc()
+                raise WorkerKilled(job_id, coupling)
 
 
 def corrupt_checkpoint(

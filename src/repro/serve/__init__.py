@@ -1,0 +1,55 @@
+"""``repro.serve`` — the crash-safe scenario job service.
+
+Run AP³ESM as a multi-tenant simulation server: scenario jobs (config
+deltas + perturbed ICs + coupling budgets) are journaled durably,
+dispatched to a supervised worker pool, checkpointed as they run, and
+published atomically — so a SIGKILL of the whole service at ANY instant
+is recovered by journal replay + checkpoint resume, with every completed
+job's restart set bitwise-identical to an uninterrupted twin's.
+
+Layers (each importable alone):
+
+* :mod:`repro.serve.spec` — :class:`JobSpec` / :class:`JobRecord`, the
+  state machine, and the service error taxonomy;
+* :mod:`repro.serve.journal` — :class:`JobStore`, the CRC'd append-only
+  JSONL journal with idempotent replay and atomic segment rotation;
+* :mod:`repro.serve.runner` — :class:`JobRunner`, one resumable job
+  attempt (seed checkpoint → step/checkpoint loop → atomic publish);
+* :mod:`repro.serve.scheduler` — :class:`JobScheduler` /
+  :class:`ServeConfig`, the worker pool with admission control,
+  heartbeat reaping, retry-with-backoff, and the failure circuit
+  breaker.
+
+Nothing here is imported by the model, the ensemble, or the default CLI
+paths — ``run-coupled``/``run-ensemble`` never touch this package (the
+zero-overhead rule the tests pin with a subprocess import check).
+"""
+
+from __future__ import annotations
+
+from .journal import JobStore
+from .runner import JobRunner
+from .scheduler import JobScheduler, ServeConfig
+from .spec import (
+    JOB_STATES,
+    JobDeadlineExceeded,
+    JobRecord,
+    JobSpec,
+    ServeBackpressure,
+    ServeError,
+    ServiceCrash,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "JobSpec",
+    "JobRecord",
+    "JobStore",
+    "JobRunner",
+    "JobScheduler",
+    "ServeConfig",
+    "ServeError",
+    "ServeBackpressure",
+    "JobDeadlineExceeded",
+    "ServiceCrash",
+]

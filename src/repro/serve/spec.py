@@ -1,0 +1,224 @@
+"""Scenario job specifications and the job state machine.
+
+A :class:`JobSpec` is the durable unit of work the scenario service
+accepts: a config delta onto the service's base :class:`AP3ESMConfig`,
+an optional seeded initial-condition perturbation, a coupling budget,
+and retry/deadline policy.  Specs are plain JSON-serializable data —
+they live in the journal, so they must survive a service restart
+byte-identically.
+
+Config-delta *keys* are shape-checked at submit time (strings), but
+whether they name real ``AP3ESMConfig`` fields with valid values is
+deliberately deferred to run time: a bad delta is the canonical
+"poisoned spec" that exercises the scheduler's failure-count circuit
+breaker instead of being rejected at the door.
+
+State machine (every transition is one journal record)::
+
+    queued ──► running ──► completed
+                 │ ▲
+                 │ └── interruption (worker kill / service crash / reap):
+                 │     requeued with NO failure penalty
+                 ├──► queued      (failure, retries left — backoff applies)
+                 ├──► failed      (failure, max_attempts == 1)
+                 └──► quarantined (failures >= max_attempts > 1 — the
+                                   circuit breaker on poisoned specs)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "JOB_STATES",
+    "JobSpec",
+    "JobRecord",
+    "ServeError",
+    "ServeBackpressure",
+    "JobDeadlineExceeded",
+    "ServiceCrash",
+]
+
+#: The closed set of journaled job states.
+JOB_STATES = ("queued", "running", "completed", "failed", "quarantined")
+
+#: States a job never leaves (the scheduler stops dispatching them).
+TERMINAL_STATES = ("completed", "failed", "quarantined")
+
+_JOB_ID = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class ServeError(RuntimeError):
+    """Base class for scenario-service errors."""
+
+
+class ServeBackpressure(ServeError):
+    """Admission control rejected a submit: the queue is full.
+
+    The spec was NOT journaled — the caller owns resubmission."""
+
+    def __init__(self, job_id: str, depth: int, limit: int) -> None:
+        super().__init__(
+            f"job {job_id!r} rejected: {depth} job(s) already queued or "
+            f"running (admission limit {limit})"
+        )
+        self.job_id = job_id
+        self.depth = depth
+        self.limit = limit
+
+
+class JobDeadlineExceeded(ServeError):
+    """An attempt ran past its per-job wall-clock deadline.  Counted as
+    a *failure* (it burns an attempt), unlike an interruption."""
+
+    def __init__(self, job_id: str, deadline_s: float, elapsed_s: float) -> None:
+        super().__init__(
+            f"job {job_id!r} exceeded its {deadline_s:g}s deadline "
+            f"({elapsed_s:.3f}s elapsed)"
+        )
+        self.job_id = job_id
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+
+
+class ServiceCrash(BaseException):
+    """A simulated whole-service SIGKILL (the chaos harness's journal
+    crash hooks raise it).  Derives from ``BaseException`` so no retry
+    or circuit-breaker handler can swallow it — exactly like a real
+    SIGKILL, it takes the service down through every layer."""
+
+    def __init__(self, phase: str, append_index: int) -> None:
+        super().__init__(
+            f"simulated service crash {phase} journal append {append_index}"
+        )
+        self.phase = phase
+        self.append_index = append_index
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One durable scenario job."""
+
+    job_id: str
+    #: Coupling steps to run (the job's size).
+    couplings: int = 2
+    #: ``dataclasses.replace`` delta onto the service's base AP3ESMConfig.
+    #: Keys are validated as strings here; field validity is a run-time
+    #: concern (see module docstring).
+    config_delta: Mapping[str, object] = field(default_factory=dict)
+    #: 1 = solo AP3ESM; > 1 = an EnsembleRun of this many members.
+    members: int = 1
+    #: Seeded IC perturbation: solo jobs perturb the atmosphere
+    #: temperature columns from the ("serve.job", seed, job_id) stream;
+    #: ensemble jobs pass both straight to EnsembleConfig.
+    perturb_seed: int = 0
+    perturb_amplitude: float = 0.0
+    #: Stack member physics into one suite call (ensemble jobs only).
+    batch_physics: bool = False
+    #: Run attempts before the circuit breaker opens (>= 1).
+    max_attempts: int = 3
+    #: Per-attempt wall-clock deadline (None = unbounded).
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.job_id, str) or not _JOB_ID.match(self.job_id):
+            raise ValueError(
+                f"job_id must match [A-Za-z0-9._-]+, got {self.job_id!r}"
+            )
+        if not isinstance(self.couplings, int) or isinstance(self.couplings, bool) \
+                or self.couplings < 1:
+            raise ValueError(f"couplings must be a positive integer, "
+                             f"got {self.couplings!r}")
+        if not isinstance(self.members, int) or isinstance(self.members, bool) \
+                or self.members < 1:
+            raise ValueError(f"members must be a positive integer, "
+                             f"got {self.members!r}")
+        if not isinstance(self.config_delta, Mapping):
+            raise ValueError("config_delta must be a mapping")
+        bad = [k for k in self.config_delta if not isinstance(k, str)]
+        if bad:
+            raise ValueError(f"config_delta keys must be strings, got {bad!r}")
+        # Freeze the mapping into a plain dict so the spec hashes/serializes
+        # deterministically regardless of what the caller handed in.
+        object.__setattr__(self, "config_delta", dict(self.config_delta))
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive or None")
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "couplings": self.couplings,
+            "config_delta": dict(self.config_delta),
+            "members": self.members,
+            "perturb_seed": self.perturb_seed,
+            "perturb_amplitude": self.perturb_amplitude,
+            "batch_physics": self.batch_physics,
+            "max_attempts": self.max_attempts,
+            "deadline_s": self.deadline_s,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "JobSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"job spec must be an object, "
+                             f"got {type(data).__name__}")
+        known = {
+            "job_id", "couplings", "config_delta", "members",
+            "perturb_seed", "perturb_amplitude", "batch_physics",
+            "max_attempts", "deadline_s",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown job spec keys: {sorted(unknown)}")
+        return JobSpec(**dict(data))
+
+
+@dataclass
+class JobRecord:
+    """The journaled state of one job (what replay reconstructs)."""
+
+    spec: JobSpec
+    state: str = "queued"
+    #: Run attempts started (interruptions included — they cost a
+    #: dispatch, just not a failure).
+    attempts: int = 0
+    #: Failures counted toward the circuit breaker (interruptions are
+    #: NOT failures).
+    failures: int = 0
+    #: Submit order, used for FIFO dispatch across restarts.
+    submitted_seq: int = 0
+    error: Optional[str] = None
+    result: Optional[Dict[str, object]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "submitted_seq": self.submitted_seq,
+            "error": self.error,
+            "result": self.result,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "JobRecord":
+        return JobRecord(
+            spec=JobSpec.from_dict(data["spec"]),
+            state=data["state"],
+            attempts=int(data["attempts"]),
+            failures=int(data["failures"]),
+            submitted_seq=int(data.get("submitted_seq", 0)),
+            error=data.get("error"),
+            result=data.get("result"),
+        )
