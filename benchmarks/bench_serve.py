@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import PerfBaseline, banner, compare_baselines, format_table
+from repro.bench import PerfBaseline, banner, compare_baselines, emit, format_table
 from repro.esm import AP3ESMConfig
 from repro.resilience import FaultPlan, ServiceFault
 from repro.serve import JobScheduler, JobSpec, JobStore, ServeConfig
@@ -175,9 +175,7 @@ def test_serve_report(doc, emit_report):
 def test_emit_bench_serve_json(doc, report_dir):
     """Emit BENCH_serve.json — the document the CI perf gate compares
     against benchmarks/baselines/BENCH_serve.json."""
-    out = doc.write(report_dir / BENCH_JSON)
-    print(f"\n[bench-json] {out}")
-    assert PerfBaseline.from_file(out).metrics == doc.metrics
+    emit(doc, report_dir)
 
 
 def test_gate_against_committed_baseline(doc):

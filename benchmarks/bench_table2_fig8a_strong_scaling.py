@@ -150,12 +150,10 @@ def _bench_document(component_results, coupled_results):
 
 def test_emit_bench_scaling_json(component_results, coupled_results, report_dir):
     """Emit BENCH_scaling.json for the CI perf gate."""
-    from repro.bench import PerfBaseline
+    from repro.bench import emit
 
     doc = _bench_document(component_results, coupled_results)
-    out = doc.write(report_dir / BENCH_JSON)
-    print(f"\n[bench-json] {out}")
-    assert PerfBaseline.from_file(out).metrics == doc.metrics
+    emit(doc, report_dir)
 
 
 def test_gate_against_committed_baseline(component_results, coupled_results):

@@ -5,6 +5,7 @@ from .baseline import (
     BaselineComparison,
     PerfBaseline,
     compare_baselines,
+    emit,
     load_baseline,
 )
 from .paper_data import (
@@ -51,4 +52,5 @@ __all__ = [
     "BaselineComparison",
     "compare_baselines",
     "load_baseline",
+    "emit",
 ]

@@ -17,12 +17,24 @@ baselines under ``benchmarks/baselines/``:
   ``host.cores`` metric greater than 1, a speedup below 1.0 fails (a
   parallel backend must not be slower than serial on a multi-core host);
   on single-core runners it is informational.
+* ``drift`` — modeled-vs-measured drift fraction per kernel (see
+  :func:`repro.machine.calibrate.drift`).  Like ``speedup``, the
+  committed value is never a target (measurements are machine-dependent);
+  the **band is gated**: the current run fails when ``|drift|`` exceeds
+  ``drift_tolerance`` or is non-finite (``NaN > tol`` is falsy — a
+  silent pass — so finiteness is checked explicitly).  The boundary
+  exactly met passes.
 
 The gate is symmetric by default — an unexplained 10× *improvement* in a
 ``count`` metric usually means the benchmark stopped measuring the thing
 it used to measure, which is just as much a regression of the baseline's
 meaning.  Refresh the baseline deliberately by re-running the suite and
 committing the new JSON.
+
+Every benchmark writes its document through :func:`emit` — one place that
+stamps host metadata (``host.cores``, the speedup-floor switch), writes
+``BENCH_<suite>.json`` under the report directory and verifies the
+round-trip — instead of hand-rolled ``json.dump`` blocks per suite.
 
 CLI (used by the CI job)::
 
@@ -32,6 +44,8 @@ CLI (used by the CI job)::
 from __future__ import annotations
 
 import json
+import math
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -41,10 +55,11 @@ __all__ = [
     "BaselineComparison",
     "compare_baselines",
     "load_baseline",
+    "emit",
 ]
 
 _VERSION = 1
-_KINDS = ("count", "model", "wall", "speedup")
+_KINDS = ("count", "model", "wall", "speedup", "drift")
 #: Relative difference below which two values are "the same" even when
 #: the baseline value is 0 (guards the 0-vs-1e-12 division).
 _ABS_FLOOR = 1e-12
@@ -93,6 +108,31 @@ def load_baseline(path: Union[str, Path]) -> PerfBaseline:
     return PerfBaseline.from_file(path)
 
 
+def emit(
+    doc: PerfBaseline,
+    directory: Union[str, Path],
+    host_metadata: bool = True,
+    echo: bool = True,
+) -> Path:
+    """The one way a benchmark suite writes its ``BENCH_<suite>.json``.
+
+    Stamps ``host.cores`` (kind ``wall`` — informational, but it switches
+    the speedup-floor and documents where measurements came from) unless
+    the suite already recorded it, writes ``BENCH_<suite>.json`` under
+    ``directory``, verifies the document round-trips, and returns the
+    path.  ``echo=True`` prints the ``[bench-json] <path>`` line the CI
+    logs grep for.
+    """
+    if host_metadata and "host.cores" not in doc.metrics:
+        doc.record("host.cores", float(os.cpu_count() or 1), kind="wall")
+    out = doc.write(Path(directory) / f"BENCH_{doc.suite}.json")
+    if PerfBaseline.from_file(out).metrics != doc.metrics:
+        raise RuntimeError(f"{out}: emitted document did not round-trip")
+    if echo:
+        print(f"\n[bench-json] {out}")
+    return out
+
+
 @dataclass
 class MetricDelta:
     name: str
@@ -118,6 +158,7 @@ class BaselineComparison:
     missing: List[str] = field(default_factory=list)
     added: List[str] = field(default_factory=list)
     checked: int = 0
+    drift_tolerance: float = 0.5
 
     @property
     def ok(self) -> bool:
@@ -128,6 +169,13 @@ class BaselineComparison:
         lines = [f"perf gate: suite={self.suite} tolerance={self.tolerance:.0%} "
                  f"checked={self.checked} -> {'OK' if self.ok else 'FAIL'}"]
         for d in self.regressions:
+            if d.kind == "drift":
+                shown = f"{d.current:+.1%}" if math.isfinite(d.current) else "non-finite"
+                lines.append(
+                    f"  DRIFT {d.name}: modeled-vs-measured {shown} "
+                    f"exceeds +/-{self.drift_tolerance:.0%}"
+                )
+                continue
             lines.append(
                 f"  REGRESSION {d.name} [{d.kind}]: "
                 f"{d.baseline:.6g} -> {d.current:.6g} ({d.rel_change:+.1%})"
@@ -135,6 +183,12 @@ class BaselineComparison:
         for name in self.missing:
             lines.append(f"  MISSING {name}: in baseline but not in current run")
         for d in self.informational:
+            if d.kind == "drift":
+                lines.append(
+                    f"  drift {d.name}: {d.current:+.1%} modeled-vs-measured "
+                    f"(within +/-{self.drift_tolerance:.0%})"
+                )
+                continue
             mark = " (drifted)" if abs(d.rel_change) > self.tolerance else ""
             lines.append(
                 f"  {d.kind} {d.name}: {d.baseline:.6g} -> {d.current:.6g} "
@@ -150,6 +204,7 @@ def compare_baselines(
     baseline: PerfBaseline,
     tolerance: float = 0.15,
     symmetric: bool = True,
+    drift_tolerance: float = 0.5,
 ) -> BaselineComparison:
     """Compare a fresh suite run against the committed baseline.
 
@@ -158,11 +213,18 @@ def compare_baselines(
     when worse, i.e. larger) are regressions; ``wall`` metrics are
     always informational; ``speedup`` metrics are gated against the 1.0
     floor iff the current document's ``host.cores`` metric exceeds 1,
-    and informational otherwise.  Metrics present in the baseline but absent
-    from the current run fail the gate (the benchmark lost coverage);
-    new metrics are reported but pass.
+    and informational otherwise; ``drift`` metrics are gated against the
+    ``drift_tolerance`` band on the *current* value only (never compared
+    to the committed number — it documents, it is not a target), with
+    non-finite drift always failing.  Metrics present in the baseline but
+    absent from the current run fail the gate (the benchmark lost
+    coverage); new metrics are reported but pass.
     """
-    cmp = BaselineComparison(suite=current.suite, tolerance=tolerance)
+    if not math.isfinite(drift_tolerance) or drift_tolerance < 0:
+        raise ValueError("drift_tolerance must be finite and >= 0")
+    cmp = BaselineComparison(
+        suite=current.suite, tolerance=tolerance, drift_tolerance=drift_tolerance
+    )
     for name, meta in sorted(baseline.metrics.items()):
         cur = current.metrics.get(name)
         if cur is None:
@@ -176,6 +238,16 @@ def compare_baselines(
         )
         if delta.kind == "wall":
             cmp.informational.append(delta)
+            continue
+        if delta.kind == "drift":
+            # Machine-dependent: only the |current| <= band matters; the
+            # boundary exactly met passes.  Non-finite always fails —
+            # ``NaN > tol`` is falsy and would slip through a naive check.
+            cmp.checked += 1
+            if not math.isfinite(delta.current) or abs(delta.current) > drift_tolerance:
+                cmp.regressions.append(delta)
+            else:
+                cmp.informational.append(delta)
             continue
         if delta.kind == "speedup":
             # Machine-dependent: the committed value is not a target.
@@ -217,6 +289,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
                         "(default 0.15)")
     c.add_argument("--one-sided", action="store_true",
                    help="only fail on increases (worse), not improvements")
+    c.add_argument("--drift-tolerance", type=float, default=0.5,
+                   help="|modeled-vs-measured| band allowed on drift "
+                        "metrics (default 0.5)")
     args = parser.parse_args(argv)
 
     comparison = compare_baselines(
@@ -224,6 +299,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         PerfBaseline.from_file(args.baseline),
         tolerance=args.tolerance,
         symmetric=not args.one_sided,
+        drift_tolerance=args.drift_tolerance,
     )
     print(comparison.report())
     return 0 if comparison.ok else 1

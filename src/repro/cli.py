@@ -330,6 +330,40 @@ def _build_perf_gate(sub) -> None:
                          "(default 0.15); wall metrics never gate")
     pg.add_argument("--one-sided", action="store_true",
                     help="only fail on increases, not improvements")
+    pg.add_argument("--drift-tolerance", type=float, default=0.5,
+                    help="|modeled-vs-measured| band allowed on drift "
+                         "metrics (default 0.5); non-finite drift always "
+                         "fails")
+
+
+def _add_calibration_group(parser: argparse.ArgumentParser) -> None:
+    cal = parser.add_argument_group(
+        "calibration", "measured probe kernels -> fitted machine-model cost terms"
+    )
+    cal.add_argument("--out", default="CALIBRATION.json", metavar="TABLE_JSON",
+                     help="where to write the fitted CalibrationTable "
+                          "(default CALIBRATION.json)")
+    cal.add_argument("--sizes", default="16384,65536",
+                     help="comma-separated probe iteration counts "
+                          "(>= 2 sizes fits the per-launch cost)")
+    cal.add_argument("--repeats", type=int, default=3,
+                     help="launches per probe per size; best-of is fitted "
+                          "(default 3)")
+    cal.add_argument("--check", default=None, metavar="TABLE_JSON",
+                     help="load an existing table, re-measure the probes and "
+                          "report modeled-vs-measured drift per kernel "
+                          "instead of fitting; exit 1 when any kernel "
+                          "exceeds --drift-tolerance")
+    cal.add_argument("--drift-tolerance", type=float, default=0.5,
+                     help="|drift| band allowed by --check (default 0.5)")
+
+
+def _build_calibrate(sub) -> None:
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit machine-model cost terms from measured probe kernels",
+    )
+    _add_calibration_group(cal)
 
 
 def _build_submit(sub) -> None:
@@ -359,6 +393,7 @@ _BUILDERS = (
     _build_scaling,
     _build_train_ai,
     _build_perf_gate,
+    _build_calibrate,
     _build_submit,
     _build_run_jobs,
 )
@@ -726,9 +761,41 @@ def _cmd_perf_gate(args) -> int:
         PerfBaseline.from_file(args.baseline),
         tolerance=args.tolerance,
         symmetric=not args.one_sided,
+        drift_tolerance=args.drift_tolerance,
     )
     print(comparison.report())
     return 0 if comparison.ok else 1
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.machine.calibrate import (
+        CalibrationError,
+        CalibrationTable,
+        calibrate,
+        drift_report,
+        measure_probes,
+    )
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        raise SystemExit(f"--sizes expects comma-separated ints, got {args.sizes!r}")
+    try:
+        if args.check:
+            table = CalibrationTable.from_file(args.check)
+            measurements = measure_probes(sizes=sizes, repeats=args.repeats)
+            report = drift_report(
+                table, measurements, tolerance=args.drift_tolerance
+            )
+            print(report.report())
+            return 0 if report.ok else 1
+        table = calibrate(sizes=sizes, repeats=args.repeats)
+    except CalibrationError as exc:
+        raise SystemExit(f"calibration failed: {exc}") from None
+    print(table.report())
+    path = table.to_file(args.out)
+    print(f"calibration table {table.table_id[:12]} -> {path}")
+    return 0
 
 
 def _coerce_delta_value(value: str):
@@ -849,6 +916,7 @@ _COMMANDS = {
     "scaling": _cmd_scaling,
     "train-ai": _cmd_train_ai,
     "perf-gate": _cmd_perf_gate,
+    "calibrate": _cmd_calibrate,
     "submit": _cmd_submit,
     "run-jobs": _cmd_run_jobs,
 }

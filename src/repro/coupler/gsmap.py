@@ -12,7 +12,6 @@ model <GlobalSegMap.build_cost>` exposing why online construction hurts.
 from __future__ import annotations
 
 import io
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
@@ -154,23 +153,6 @@ class GlobalSegMap:
                 lengths=data["lengths"],
                 pes=data["pes"],
             )
-
-    def save(self, path: Union[str, Path]) -> None:
-        """Deprecated alias for :meth:`to_file` (same on-disk format)."""
-        warnings.warn(
-            "GlobalSegMap.save is deprecated; use GlobalSegMap.to_file",
-            DeprecationWarning, stacklevel=2,
-        )
-        self.to_file(path)
-
-    @staticmethod
-    def load(path: Union[str, Path]) -> "GlobalSegMap":
-        """Deprecated alias for :meth:`from_file` (same on-disk format)."""
-        warnings.warn(
-            "GlobalSegMap.load is deprecated; use GlobalSegMap.from_file",
-            DeprecationWarning, stacklevel=2,
-        )
-        return GlobalSegMap.from_file(path)
 
     def memory_bytes(self) -> int:
         """Resident size of the segment table (what a CG must hold)."""

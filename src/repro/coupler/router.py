@@ -11,7 +11,6 @@ provide (and :class:`repro.coupler.cache.CouplerCache` automates).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
@@ -145,23 +144,6 @@ class Router:
                 target = send if kind == "s" else recv
                 target[(int(p), int(q))] = data[key]
         return Router(int(meta[0]), int(meta[1]), send, recv)
-
-    def save(self, path: Union[str, Path]) -> None:
-        """Deprecated alias for :meth:`to_file` (same on-disk format)."""
-        warnings.warn(
-            "Router.save is deprecated; use Router.to_file",
-            DeprecationWarning, stacklevel=2,
-        )
-        self.to_file(path)
-
-    @staticmethod
-    def load(path: Union[str, Path]) -> "Router":
-        """Deprecated alias for :meth:`from_file` (same on-disk format)."""
-        warnings.warn(
-            "Router.load is deprecated; use Router.from_file",
-            DeprecationWarning, stacklevel=2,
-        )
-        return Router.from_file(path)
 
 
 def _local_positions(gsmap: GlobalSegMap) -> np.ndarray:

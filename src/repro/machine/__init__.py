@@ -1,6 +1,17 @@
 """Analytic machine models (Sunway OceanLight, ORISE) and the performance
 model that regenerates the paper's scaling tables and figures."""
 
+from .calibrate import (
+    CalibrationError,
+    CalibrationTable,
+    DriftReport,
+    KernelCalibration,
+    ReferenceRates,
+    calibrate,
+    drift,
+    drift_report,
+    measure_probes,
+)
 from .federation import FederatedESM, WanLink
 from .orise import GPU_PROCESSOR, HOST_PROCESSOR, ORISE_NODES, orise
 from .perfmodel import (
@@ -54,4 +65,13 @@ __all__ = [
     "ocn_workload",
     "ice_workload",
     "lnd_workload",
+    "CalibrationError",
+    "CalibrationTable",
+    "KernelCalibration",
+    "ReferenceRates",
+    "DriftReport",
+    "calibrate",
+    "drift",
+    "drift_report",
+    "measure_probes",
 ]

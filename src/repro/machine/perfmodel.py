@@ -30,10 +30,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..utils.units import SECONDS_PER_DAY, sypd_from_walltime
 from .spec import MachineSpec, ProcessorSpec
+
+if TYPE_CHECKING:  # avoid importing the pp layer at module import time
+    from .calibrate import CalibrationTable
 
 __all__ = [
     "Phase",
@@ -61,6 +64,13 @@ class Phase:
         Halo depth in points.
     allreduces_per_step:
         Global reductions per step (CFL checks, solver dot products).
+    kernel:
+        Optional calibration-class tag naming the probe kernel in a
+        :class:`~repro.machine.calibrate.CalibrationTable` that prices
+        this phase (``stencil``, ``axpy``, ``stream``, ``fma8``,
+        ``transcendental``).  Untagged phases fall back to
+        nearest-arithmetic-intensity matching; without a calibration
+        table the tag is inert.
     """
 
     name: str
@@ -70,6 +80,7 @@ class Phase:
     halo_fields: int = 1
     halo_width: int = 1
     allreduces_per_step: float = 0.0
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.steps_per_day <= 0:
@@ -146,12 +157,19 @@ class PerfModel:
         Multiplier on compute time (calibrated; 1.0 = spec defaults).
     comm_scale:
         Multiplier on communication time (calibrated).
+    calibration:
+        Optional measurement-fitted :class:`~repro.machine.calibrate.CalibrationTable`.
+        When set, each phase's roofline step time is repriced with the
+        matching kernel's fitted ``overhead_factor`` / ``bandwidth_scale``
+        / ``per_launch_s``; when ``None`` (the default) the compute term
+        is byte-identical to the uncalibrated constants.
     """
 
     machine: MachineSpec
     mode: str = "accelerated"
     compute_scale: float = 1.0
     comm_scale: float = 1.0
+    calibration: Optional["CalibrationTable"] = None
     #: Per-rank compute-time coefficient of variation.  Every substep ends
     #: at the *slowest* rank, and the expected maximum of P iid
     #: rank-times is ~ mean * (1 + cv * sqrt(2 ln P)) (Gumbel asymptotics)
@@ -230,7 +248,15 @@ class PerfModel:
         for phase in workload.phases:
             flops = points_local * phase.flops_per_point
             bytes_ = points_local * phase.bytes_per_point
-            t_step = max(flops / proc.flops, bytes_ / mem_bw)
+            if self.calibration is None:
+                t_step = max(flops / proc.flops, bytes_ / mem_bw)
+            else:
+                entry = self.calibration.for_phase(phase)
+                t_step = (
+                    max(flops / proc.flops, bytes_ / (mem_bw * entry.bandwidth_scale))
+                    * entry.overhead_factor
+                    + entry.per_launch_s
+                )
             t_compute += phase.steps_per_day * t_step
 
             if n_procs > 1:
@@ -269,6 +295,13 @@ class PerfModel:
 
     def predict_sypd(self, workload: ComponentWorkload, n_procs: int) -> float:
         return self.time_per_day(workload, n_procs).sypd
+
+    def with_calibration(
+        self, calibration: Optional["CalibrationTable"]
+    ) -> "PerfModel":
+        """The same model repriced with measurement-fitted kernel terms
+        (``None`` returns to the uncalibrated constants)."""
+        return replace(self, calibration=calibration)
 
     # -- calibration ---------------------------------------------------------
 
@@ -426,6 +459,7 @@ class CoupledPerfModel:
         model1: PerfModel,
         model2: PerfModel,
         coupling: CouplingSpec,
+        calibration: Optional["CalibrationTable"] = None,
         **kwargs,
     ) -> "CoupledPerfModel":
         """Build from a driver task-domain layout (``AP3ESM.task_domains``
@@ -434,8 +468,12 @@ class CoupledPerfModel:
         ``workloads`` maps component names to their profiles; layout
         members without a workload (the coupler, or components too cheap
         to model) are skipped.  Each domain must keep at least one
-        modeled member.
+        modeled member.  ``calibration`` (optional) reprices both domain
+        models with one measurement-fitted table.
         """
+        if calibration is not None:
+            model1 = model1.with_calibration(calibration)
+            model2 = model2.with_calibration(calibration)
         def pick(name: str) -> Tuple[ComponentWorkload, ...]:
             members = layout[name]["members"]
             picked = tuple(workloads[m] for m in members if m in workloads)
@@ -452,6 +490,17 @@ class CoupledPerfModel:
             domain2=pick("domain2"),
             coupling=coupling,
             **kwargs,
+        )
+
+    def with_calibration(
+        self, calibration: Optional["CalibrationTable"]
+    ) -> "CoupledPerfModel":
+        """Both domain models repriced with one measurement-fitted table
+        (``None`` returns to the uncalibrated constants)."""
+        return replace(
+            self,
+            model1=self.model1.with_calibration(calibration),
+            model2=self.model2.with_calibration(calibration),
         )
 
     def domain_time(self, domain: Sequence[ComponentWorkload], model: PerfModel, n_procs: int) -> float:

@@ -16,6 +16,14 @@ terms:
 FLOP/byte counts per point are order-of-magnitude estimates for the
 respective numerical schemes; the calibration layer absorbs the absolute
 scale, so only their *ratios across phases* shape the predictions.
+
+Each phase also carries a ``kernel`` tag naming its probe class in a
+:class:`~repro.machine.calibrate.CalibrationTable` (``stencil`` for the
+dycore/baroclinic/EVP stencils, ``axpy`` for tracer advection, ``stream``
+for the 2-D barotropic sub-stepping, ``fma8`` for dense AI-physics tensor
+kernels, ``transcendental`` for column physics) — necessary because phase
+*names* are not unique across workloads (ATM and OCN both have a
+``tracer``).  Without a calibration table the tags are inert.
 """
 
 from __future__ import annotations
@@ -66,6 +74,7 @@ def atm_workload(
         halo_fields=5,
         halo_width=2,
         allreduces_per_step=0.1,  # CFL check every ~10 steps
+        kernel="stencil",
     )
     tracer = Phase(
         name="tracer",
@@ -74,6 +83,7 @@ def atm_workload(
         bytes_per_point=160.0,
         halo_fields=2,
         halo_width=2,
+        kernel="axpy",
     )
     if ai_physics:
         # ~5e5 params, 2 FLOPs/param per column, spread over `levels` points,
@@ -85,6 +95,7 @@ def atm_workload(
             flops_per_point=2.0 * 5.0e5 / levels / 8.0,  # tensor-kernel efficiency
             bytes_per_point=120.0,
             halo_fields=0,
+            kernel="fma8",
         )
     else:
         physics = Phase(
@@ -93,6 +104,7 @@ def atm_workload(
             flops_per_point=1.0e6 / levels,
             bytes_per_point=900.0,
             halo_fields=0,
+            kernel="transcendental",
         )
     return ComponentWorkload(
         name=name,
@@ -125,6 +137,7 @@ def ocn_workload(
         halo_fields=1,
         halo_width=1,
         allreduces_per_step=1.0,  # solver norm / stabilization each substep
+        kernel="stream",
     )
     baroclinic = Phase(
         name="baroclinic",
@@ -133,6 +146,7 @@ def ocn_workload(
         bytes_per_point=280.0,
         halo_fields=3,
         halo_width=2,
+        kernel="stencil",
     )
     tracer = Phase(
         name="tracer",
@@ -141,6 +155,7 @@ def ocn_workload(
         bytes_per_point=240.0,
         halo_fields=2,
         halo_width=2,
+        kernel="axpy",
     )
     wl = ComponentWorkload(
         name=name,
@@ -161,6 +176,7 @@ def ice_workload(columns: int, name: str = "ICE") -> ComponentWorkload:
         flops_per_point=400.0,
         bytes_per_point=300.0,
         halo_fields=0,
+        kernel="transcendental",
     )
     dyn = Phase(
         name="dynamics",
@@ -169,6 +185,7 @@ def ice_workload(columns: int, name: str = "ICE") -> ComponentWorkload:
         bytes_per_point=400.0,
         halo_fields=2,
         halo_width=1,
+        kernel="stencil",
     )
     return ComponentWorkload(name=name, columns=columns, levels=1, phases=(thermo, dyn))
 
@@ -181,5 +198,6 @@ def lnd_workload(columns: int, name: str = "LND") -> ComponentWorkload:
         flops_per_point=300.0,
         bytes_per_point=240.0,
         halo_fields=0,
+        kernel="transcendental",
     )
     return ComponentWorkload(name=name, columns=columns, levels=1, phases=(step,))

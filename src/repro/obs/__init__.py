@@ -10,6 +10,7 @@ from .core import NULL_OBS, Obs, PrefixedObs
 from .export import (
     chrome_trace_events,
     coupler_fastpath,
+    kernel_measurements,
     text_report,
     timing_summary,
     write_chrome_trace,
@@ -32,4 +33,5 @@ __all__ = [
     "text_report",
     "timing_summary",
     "coupler_fastpath",
+    "kernel_measurements",
 ]

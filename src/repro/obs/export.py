@@ -30,6 +30,7 @@ __all__ = [
     "timing_summary",
     "resilience_interventions",
     "coupler_fastpath",
+    "kernel_measurements",
 ]
 
 
@@ -72,6 +73,46 @@ def coupler_fastpath(metrics: Iterable[MetricsRegistry]) -> Dict[str, float]:
             if getattr(metric, "kind", None) == "counter" and metric.value:
                 totals[name] = totals.get(name, 0.0) + metric.value
     return totals
+
+
+def kernel_measurements(
+    metrics: Iterable[MetricsRegistry],
+) -> Dict[str, Dict[str, float]]:
+    """Collect per-kernel pp measurements across ranks.
+
+    The pp layer publishes ``pp.<kernel>.launches`` (counter),
+    ``pp.<kernel>.iterations`` (histogram) and ``pp.<kernel>.seconds``
+    (counter of measured wall time) through
+    :class:`repro.pp.stats.ObsKernelStats`.  This exporter inverts those
+    names back into ``{kernel: {launches, iterations, seconds}}`` — the
+    measured side of the modeled-vs-measured loop that
+    :mod:`repro.machine.calibrate` closes.  Tile gauges (``pp.tile.*``)
+    and totals gauges are excluded; a run that launched no instrumented
+    kernels returns ``{}``.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for reg in metrics:
+        for name in reg.names():
+            if not name.startswith("pp.") or name.startswith("pp.tile."):
+                continue
+            kernel, _, field = name[len("pp."):].rpartition(".")
+            if field not in ("launches", "iterations", "seconds") or not kernel:
+                continue
+            metric = reg.get(name)
+            kind = getattr(metric, "kind", None)
+            if field == "iterations":
+                if kind != "histogram":
+                    continue
+                value = metric.sum
+            else:
+                if kind != "counter":
+                    continue
+                value = metric.value
+            rec = out.setdefault(
+                kernel, {"launches": 0.0, "iterations": 0.0, "seconds": 0.0}
+            )
+            rec[field] += value
+    return out
 
 
 def _jsonable(value: Any) -> Any:
@@ -181,6 +222,19 @@ def text_report(
         lines = ["== coupler fast path =="]
         for name in sorted(fastpath):
             lines.append(f"{name:<44}{fastpath[name]:>14g}")
+        sections.append("\n".join(lines))
+    kernels = kernel_measurements(metric_list)
+    if any(rec["seconds"] > 0 for rec in kernels.values()):
+        lines = [
+            "== pp kernel measurements ==",
+            f"{'kernel':<36}{'launches':>10}{'iterations':>14}{'seconds':>12}",
+        ]
+        for name in sorted(kernels):
+            rec = kernels[name]
+            lines.append(
+                f"{name:<36}{rec['launches']:>10g}{rec['iterations']:>14g}"
+                f"{rec['seconds']:>12.4g}"
+            )
         sections.append("\n".join(lines))
     return "\n".join(sections)
 

@@ -1,35 +1,26 @@
-"""Deprecated backend-selection shim.
+"""Removed backend-selection shim (hard error since the calibration PR).
 
 The LICOM implementation-portfolio selection (§5.1.1) moved to
 :mod:`repro.pp.backends` so that backend choice is component-agnostic —
-the same execution space now drives atm/ice/lnd kernels through the
-shared ``ComponentContext``.  Import :func:`repro.pp.select_backend` and
-``repro.pp.BACKEND_PORTFOLIO`` instead; this module lazily forwards the
-old names and emits a :class:`DeprecationWarning` on first use.
+the same execution space drives atm/ice/lnd kernels through the shared
+``ComponentContext``.  The deprecation shim that forwarded the old names
+with a :class:`DeprecationWarning` has completed its cycle: importing
+``select_backend`` / ``BACKEND_PORTFOLIO`` from here now raises
+:class:`ImportError` with the migration target, instead of silently
+keeping stale call sites alive.
 """
 
 from __future__ import annotations
 
-import warnings
+__all__: list = []
 
-__all__ = ["select_backend", "BACKEND_PORTFOLIO"]
-
-_FORWARDED = frozenset(__all__)
+_REMOVED = frozenset({"select_backend", "BACKEND_PORTFOLIO"})
 
 
 def __getattr__(name: str):
-    if name in _FORWARDED:
-        warnings.warn(
-            f"repro.ocn.backends.{name} is deprecated; "
-            f"import {name} from repro.pp instead",
-            DeprecationWarning,
-            stacklevel=2,
+    if name in _REMOVED:
+        raise ImportError(
+            f"repro.ocn.backends.{name} was removed after its deprecation "
+            f"cycle; import {name} from repro.pp instead"
         )
-        from ..pp import backends as _backends
-
-        return getattr(_backends, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(set(globals()) | _FORWARDED)

@@ -43,14 +43,22 @@ __all__ = [
 
 @dataclass
 class KernelStats:
-    """Per-space accumulated kernel launch statistics."""
+    """Per-space accumulated kernel launch statistics.
+
+    ``seconds`` accumulates measured wall time per launch (supplied by the
+    kernel layer, which times each dispatch) — the raw signal the
+    measurement-calibrated machine model (:mod:`repro.machine.calibrate`)
+    fits its per-kernel cost terms against.
+    """
 
     launches: int = 0
     iterations: int = 0
+    seconds: float = 0.0
 
-    def record(self, n: int) -> None:
+    def record(self, n: int, seconds: float = 0.0) -> None:
         self.launches += 1
         self.iterations += n
+        self.seconds += seconds
 
 
 @dataclass(frozen=True)

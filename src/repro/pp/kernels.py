@@ -28,6 +28,7 @@ iteration counts/shapes are recorded on the returned :class:`TileProfile`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -197,19 +198,24 @@ def parallel_for(
     """
     if isinstance(policy, MDRangePolicy):
         tiles = policy.tiles()
+        t0 = time.perf_counter() if stats is not None else 0.0
         space.run_tiles(functor, tiles)
+        elapsed = time.perf_counter() - t0 if stats is not None else 0.0
         prof = None
         if profile:
             prof = TileProfile()
             for tile in tiles:
                 prof.record(tuple(len(ix) for ix in tile))
         if stats is not None:
-            stats.record(policy.n_iterations)
+            stats.record(policy.n_iterations, elapsed)
         return prof
     n = int(policy)
-    space.run_chunks(functor, list(space.chunks(n)))
     if stats is not None:
-        stats.record(n)
+        t0 = time.perf_counter()
+        space.run_chunks(functor, list(space.chunks(n)))
+        stats.record(n, time.perf_counter() - t0)
+    else:
+        space.run_chunks(functor, list(space.chunks(n)))
     return None
 
 
@@ -234,6 +240,7 @@ def parallel_reduce(
     zero extent — raises ``ValueError``: with a caller-supplied ``combine``
     there is no identity element to return.
     """
+    t0 = time.perf_counter() if stats is not None else 0.0
     if isinstance(policy, MDRangePolicy):
         n = policy.n_iterations
         partials = space.map_tiles(functor, policy.tiles())
@@ -241,7 +248,7 @@ def parallel_reduce(
         n = int(policy)
         partials = space.map_chunks(functor, reduction_chunks(n))
     if stats is not None:
-        stats.record(n)
+        stats.record(n, time.perf_counter() - t0)
     if not partials:
         raise ValueError(
             "empty iteration space has no reduction identity here "
@@ -288,10 +295,11 @@ def parallel_scan(
     if values.shape[0] != n:
         raise ValueError("values length must equal n")
     out = np.empty_like(values)
-    if stats is not None:
-        stats.record(n)
     if n == 0:
+        if stats is not None:
+            stats.record(n)
         return out
+    t0 = time.perf_counter() if stats is not None else 0.0
     chunk_list = reduction_chunks(n)
     starts = np.array([c[0] for c in chunk_list], dtype=np.int64)
     totals = np.zeros((len(chunk_list),) + values.shape[1:], dtype=out.dtype)
@@ -302,6 +310,8 @@ def parallel_scan(
     for k, chunk in enumerate(chunk_list):
         out[chunk] += offset
         offset = offset + totals[k]
+    if stats is not None:
+        stats.record(n, time.perf_counter() - t0)
     return out
 
 

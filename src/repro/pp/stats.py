@@ -26,19 +26,23 @@ __all__ = ["ObsKernelStats", "KernelMetrics", "publish_tile_profile"]
 class ObsKernelStats(KernelStats):
     """KernelStats that mirrors each launch into an obs metrics registry.
 
-    Metric names follow ``pp.<kernel>.launches`` (counter) and
+    Metric names follow ``pp.<kernel>.launches`` (counter),
     ``pp.<kernel>.iterations`` (histogram of per-launch iteration
-    counts).  With ``obs=None`` this is exactly a ``KernelStats``.
+    counts) and ``pp.<kernel>.seconds`` (counter of measured wall
+    seconds — the signal :mod:`repro.machine.calibrate` fits against).
+    With ``obs=None`` this is exactly a ``KernelStats``.
     """
 
     kernel: str = "kernel"
     obs: Optional[Any] = None
 
-    def record(self, n: int) -> None:
-        super().record(n)
+    def record(self, n: int, seconds: float = 0.0) -> None:
+        super().record(n, seconds)
         if self.obs is not None:
             self.obs.counter(f"pp.{self.kernel}.launches").inc()
             self.obs.histogram(f"pp.{self.kernel}.iterations").observe(float(n))
+            if seconds > 0.0:
+                self.obs.counter(f"pp.{self.kernel}.seconds").inc(seconds)
 
 
 class KernelMetrics:
@@ -61,10 +65,14 @@ class KernelMetrics:
             self._stats[kernel] = acc
         return acc
 
-    def summary(self) -> Dict[str, Dict[str, int]]:
-        """{kernel: {launches, iterations}} for every accumulator."""
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """{kernel: {launches, iterations, seconds}} for every accumulator."""
         return {
-            name: {"launches": acc.launches, "iterations": acc.iterations}
+            name: {
+                "launches": acc.launches,
+                "iterations": acc.iterations,
+                "seconds": acc.seconds,
+            }
             for name, acc in sorted(self._stats.items())
         }
 

@@ -27,7 +27,6 @@ import contextlib
 import json
 import os
 import shutil
-import warnings
 import zlib
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -53,8 +52,8 @@ class CheckpointManager:
     ``to_file``/``restore_latest_valid`` (alias ``from_file``) take
     callables (e.g. ``model.save_restart`` / ``model.load_restart``) so
     the manager works for any component or the whole coupled system
-    without importing them.  ``save`` is a deprecated alias kept for old
-    call sites.
+    without importing them.  (The pre-unification ``save`` alias is gone;
+    ``to_file``/``from_file`` is the one persistence idiom.)
     """
 
     def __init__(self, root: Union[str, Path], keep: int = 3, obs=None) -> None:
@@ -79,15 +78,6 @@ class CheckpointManager:
             path = self._save(saver, step)
         self.obs.counter("resilience.checkpoints_written").inc()
         return path
-
-    def save(self, saver: Callable[[Path], None], step: int) -> Path:
-        """Deprecated alias for :meth:`to_file`."""
-        warnings.warn(
-            "CheckpointManager.save is deprecated; use CheckpointManager.to_file",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.to_file(saver, step)
 
     @contextlib.contextmanager
     def _locked(self):

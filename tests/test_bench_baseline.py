@@ -1,8 +1,10 @@
 """Tests for the JSON perf-baseline regression gate."""
 
+import math
+
 import pytest
 
-from repro.bench import PerfBaseline, compare_baselines
+from repro.bench import PerfBaseline, compare_baselines, emit
 
 
 def _doc(**values):
@@ -116,3 +118,101 @@ class TestCompare:
         bad = _doc(a=(200.0, "count")).write(tmp_path / "bad.json")
         assert main(["perf-gate", str(bad), str(base)]) == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestDriftKind:
+    """The calibration loop's metric kind: gated on the band, never on
+    the committed value, with non-finite drift always failing."""
+
+    def test_within_band_passes(self):
+        cur = _doc(d=(0.3, "drift"))
+        base = _doc(d=(-0.4, "drift"))
+        cmp = compare_baselines(cur, base, drift_tolerance=0.5)
+        assert cmp.ok
+        assert cmp.checked == 1
+        assert "within" in cmp.report()
+
+    def test_exceeding_band_fails(self):
+        cmp = compare_baselines(
+            _doc(d=(0.6, "drift")), _doc(d=(0.0, "drift")), drift_tolerance=0.5
+        )
+        assert not cmp.ok
+        assert "DRIFT" in cmp.report()
+
+    def test_band_is_symmetric(self):
+        assert not compare_baselines(
+            _doc(d=(-0.6, "drift")), _doc(d=(0.0, "drift")), drift_tolerance=0.5
+        ).ok
+
+    def test_boundary_exactly_met_passes(self):
+        assert compare_baselines(
+            _doc(d=(0.5, "drift")), _doc(d=(0.0, "drift")), drift_tolerance=0.5
+        ).ok
+        assert compare_baselines(
+            _doc(d=(-0.5, "drift")), _doc(d=(0.0, "drift")), drift_tolerance=0.5
+        ).ok
+
+    def test_non_finite_drift_always_fails(self):
+        """NaN > tol is falsy — the gate must not pass silently."""
+        for bad in (math.nan, math.inf, -math.inf):
+            cmp = compare_baselines(
+                _doc(d=(bad, "drift")), _doc(d=(0.0, "drift")),
+                drift_tolerance=1e9,
+            )
+            assert not cmp.ok
+            assert "non-finite" in cmp.report()
+
+    def test_never_compared_against_committed_value(self):
+        """A huge committed drift is documentation, not a target: a fresh
+        near-zero drift passes even though the relative change is wild."""
+        cur = _doc(d=(0.001, "drift"))
+        base = _doc(d=(0.45, "drift"))
+        assert compare_baselines(cur, base, tolerance=0.15).ok
+
+    def test_drift_tolerance_validated(self):
+        doc = _doc(d=(0.0, "drift"))
+        with pytest.raises(ValueError, match="drift_tolerance"):
+            compare_baselines(doc, doc, drift_tolerance=-0.1)
+        with pytest.raises(ValueError, match="drift_tolerance"):
+            compare_baselines(doc, doc, drift_tolerance=math.nan)
+
+    def test_missing_drift_metric_still_fails(self):
+        cmp = compare_baselines(_doc(), _doc(d=(0.0, "drift")))
+        assert not cmp.ok
+        assert cmp.missing == ["d"]
+
+    def test_cli_drift_tolerance_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cur = _doc(d=(0.8, "drift")).write(tmp_path / "cur.json")
+        base = _doc(d=(0.0, "drift")).write(tmp_path / "base.json")
+        assert main(["perf-gate", str(cur), str(base)]) == 1
+        capsys.readouterr()
+        assert main(["perf-gate", str(cur), str(base),
+                     "--drift-tolerance", "1.0"]) == 0
+        assert "within" in capsys.readouterr().out
+
+
+class TestEmit:
+    def test_writes_named_file_and_roundtrips(self, tmp_path, capsys):
+        doc = _doc(a=(3.0, "count"))
+        out = emit(doc, tmp_path)
+        assert out == tmp_path / "BENCH_t.json"
+        assert PerfBaseline.from_file(out).metrics == doc.metrics
+        assert f"[bench-json] {out}" in capsys.readouterr().out
+
+    def test_stamps_host_cores_once(self, tmp_path):
+        doc = _doc(a=(1.0, "count"))
+        emit(doc, tmp_path, echo=False)
+        assert doc.metrics["host.cores"]["kind"] == "wall"
+        assert doc.metrics["host.cores"]["value"] >= 1.0
+
+    def test_respects_existing_host_cores(self, tmp_path):
+        doc = _doc(**{"host.cores": (64.0, "wall")})
+        emit(doc, tmp_path, echo=False)
+        assert doc.metrics["host.cores"]["value"] == 64.0
+
+    def test_host_metadata_opt_out(self, tmp_path):
+        doc = _doc(a=(1.0, "count"))
+        emit(doc, tmp_path, host_metadata=False, echo=False)
+        assert "host.cores" not in doc.metrics

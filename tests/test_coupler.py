@@ -62,14 +62,12 @@ class TestGSMap:
         loaded = GlobalSegMap.from_file(path)
         assert np.array_equal(loaded.owner_array(), src.owner_array())
 
-    def test_save_load_aliases_deprecated(self, tmp_path):
+    def test_save_load_aliases_removed(self):
+        """to_file/from_file is the one persistence idiom: the deprecated
+        save/load aliases completed their cycle and are gone."""
         src, _ = _two_maps()
-        path = tmp_path / "gsmap.npz"
-        with pytest.warns(DeprecationWarning, match="to_file"):
-            src.save(path)
-        with pytest.warns(DeprecationWarning, match="from_file"):
-            loaded = GlobalSegMap.load(path)
-        assert np.array_equal(loaded.owner_array(), src.owner_array())
+        assert not hasattr(src, "save")
+        assert not hasattr(GlobalSegMap, "load")
 
     def test_build_cost_scales_with_pes(self):
         a = GlobalSegMap.from_owners(np.arange(100) % 4)
@@ -154,15 +152,12 @@ class TestRouter:
             assert np.array_equal(loaded.send[key], router.send[key])
             assert np.array_equal(loaded.recv[key], router.recv[key])
 
-    def test_save_load_aliases_deprecated(self, tmp_path):
+    def test_save_load_aliases_removed(self):
+        """Same unification as GlobalSegMap: only to_file/from_file exist."""
         src, dst = _two_maps()
         router = Router.build(src, dst)
-        path = tmp_path / "router.npz"
-        with pytest.warns(DeprecationWarning, match="to_file"):
-            router.save(path)
-        with pytest.warns(DeprecationWarning, match="from_file"):
-            loaded = Router.load(path)
-        assert loaded.n_pairs == router.n_pairs
+        assert not hasattr(router, "save")
+        assert not hasattr(Router, "load")
 
     def test_memory_accounting(self):
         src, dst = _two_maps()

@@ -116,28 +116,26 @@ class TestBackendSelection:
         assert {"athread", "hip", "kokkos-host", "serial"} <= set(BACKEND_PORTFOLIO)
 
 
-def test_ocn_backends_shim_warns():
-    """The old ``repro.ocn.backends`` names still resolve, but only via a
-    DeprecationWarning that points the caller at ``repro.pp``."""
+def test_ocn_backends_shim_removed():
+    """The PR-5 deprecation cycle is complete: the old
+    ``repro.ocn.backends`` names now raise a hard error that points the
+    caller at ``repro.pp`` instead of forwarding with a warning."""
     import importlib
     import warnings
 
     from repro.ocn import backends as shim
 
-    with pytest.warns(DeprecationWarning, match=r"repro\.pp"):
-        fn = shim.select_backend
-    from repro.pp import select_backend
-
-    assert fn is select_backend
-    with pytest.warns(DeprecationWarning, match=r"BACKEND_PORTFOLIO"):
-        portfolio = shim.BACKEND_PORTFOLIO
-    from repro.pp import BACKEND_PORTFOLIO
-
-    assert portfolio is BACKEND_PORTFOLIO
+    with pytest.raises(ImportError, match=r"repro\.pp"):
+        shim.select_backend
+    with pytest.raises(ImportError, match=r"BACKEND_PORTFOLIO"):
+        shim.BACKEND_PORTFOLIO
+    with pytest.raises(ImportError):
+        from repro.ocn.backends import select_backend  # noqa: F401
     with pytest.raises(AttributeError):
         shim.not_a_backend_name
-    assert "select_backend" in dir(importlib.import_module("repro.ocn.backends"))
+    # The removed names no longer advertise themselves.
+    assert "select_backend" not in dir(importlib.import_module("repro.ocn.backends"))
     with warnings.catch_warnings():
-        warnings.simplefilter("error")  # no warning on plain module import
+        warnings.simplefilter("error")  # plain module import stays silent
         importlib.reload(shim)
 
